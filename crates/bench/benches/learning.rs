@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the learning stack: policy sampling, policy
+//! evaluation, and one full PPO update — the per-step costs behind the
+//! Figure 5 wall-clock comparison.
+
+use atena_data::cyber2;
+use atena_env::{EdaEnv, EnvConfig};
+use atena_nn::{Graph, Tensor};
+use atena_rl::{
+    ActionChoice, FlatPolicy, Policy, PpoConfig, PpoLearner, RolloutBuffer, RolloutStep,
+    TwofoldConfig, TwofoldPolicy,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (EdaEnv, TwofoldPolicy, FlatPolicy) {
+    let d = cyber2();
+    let env = EdaEnv::new(d.frame.clone(), EnvConfig::default());
+    let mut rng = StdRng::seed_from_u64(0);
+    let twofold = TwofoldPolicy::new(
+        env.observation_dim(),
+        env.action_space().head_sizes(),
+        TwofoldConfig::default(),
+        &mut rng,
+    );
+    let flat = FlatPolicy::new(
+        env.observation_dim(),
+        env.action_space().flat_size_binned(),
+        [128, 128],
+        &mut rng,
+    );
+    (env, twofold, flat)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (env, twofold, flat) = setup();
+    let obs = vec![0.2f32; env.observation_dim()];
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("policy");
+    g.bench_function("twofold_act", |b| {
+        b.iter(|| black_box(twofold.act(&obs, 1.0, &mut rng).log_prob))
+    });
+    g.bench_function("flat_act", |b| {
+        b.iter(|| black_box(flat.act(&obs, 1.0, &mut rng).log_prob))
+    });
+
+    // Batch evaluation (the PPO inner loop).
+    let batch = 64usize;
+    let obs_t = Tensor::from_vec(
+        batch,
+        env.observation_dim(),
+        (0..batch * env.observation_dim()).map(|i| (i as f32 * 0.01).sin()).collect(),
+    );
+    let choices: Vec<ActionChoice> =
+        (0..batch).map(|r| twofold.act(obs_t.row(r), 1.0, &mut rng).choice).collect();
+    g.bench_function("twofold_evaluate_batch64", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let eval = twofold.evaluate(&mut graph, &obs_t, &choices);
+            black_box(graph.value(eval.log_prob).get(0, 0))
+        })
+    });
+    let flat_choices: Vec<ActionChoice> =
+        (0..batch).map(|r| flat.act(obs_t.row(r), 1.0, &mut rng).choice).collect();
+    g.bench_function("flat_evaluate_batch64", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let eval = flat.evaluate(&mut graph, &obs_t, &flat_choices);
+            black_box(graph.value(eval.log_prob).get(0, 0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let (env, twofold, _) = setup();
+    let mut rng = StdRng::seed_from_u64(2);
+    let obs_dim = env.observation_dim();
+    let mut buffer = RolloutBuffer::new();
+    for i in 0..96 {
+        let obs = vec![(i as f32 * 0.03).cos(); obs_dim];
+        let step = twofold.act(&obs, 1.0, &mut rng);
+        buffer.push(RolloutStep {
+            obs,
+            choice: step.choice,
+            log_prob: step.log_prob,
+            value: step.value,
+            reward: (i % 7) as f32 * 0.1,
+            done: i % 12 == 11,
+        });
+    }
+    let mut g = c.benchmark_group("ppo");
+    g.sample_size(20);
+    g.bench_function("update_96_steps", |b| {
+        let mut learner = PpoLearner::new(
+            &twofold,
+            PpoConfig { epochs: 2, minibatch: 32, ..Default::default() },
+        );
+        b.iter(|| {
+            black_box(learner.update(&twofold, &buffer, &mut rng).policy_loss);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_ppo_update);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks for the substrates underneath every
+//! experiment: dataframe operators, environment stepping, reward
+//! evaluation, and the benchmark metrics.
+
+use atena_benchmark::{eda_sim, precision, t_bleu};
+use atena_core::Notebook;
+use atena_data::{cyber1, cyber2};
+use atena_dataframe::{AggFunc, CmpOp, Predicate};
+use atena_env::{EdaAction, EdaEnv, EnvConfig, FrequencyBins};
+use atena_env::RewardModel;
+use atena_reward::{random_action, CoherencyConfig, CompoundReward};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dataframe(c: &mut Criterion) {
+    let d = cyber1(); // 8648 rows
+    let frame = d.frame;
+    let mut g = c.benchmark_group("dataframe");
+    g.bench_function("filter_eq_8648_rows", |b| {
+        let pred = Predicate::new("protocol", CmpOp::Eq, "icmp");
+        b.iter(|| black_box(frame.filter(&pred).unwrap().n_rows()))
+    });
+    g.bench_function("filter_contains_8648_rows", |b| {
+        let pred = Predicate::new("info", CmpOp::Contains, "Echo");
+        b.iter(|| black_box(frame.filter(&pred).unwrap().n_rows()))
+    });
+    g.bench_function("group_aggregate_8648_rows", |b| {
+        b.iter(|| {
+            black_box(
+                frame
+                    .group_aggregate(&["source_ip"], AggFunc::Avg, "length")
+                    .unwrap()
+                    .n_rows(),
+            )
+        })
+    });
+    g.bench_function("column_stats_all", |b| {
+        b.iter(|| black_box(frame.all_column_stats().len()))
+    });
+    g.bench_function("value_distribution", |b| {
+        b.iter(|| black_box(frame.value_distribution("destination_ip").unwrap().support_size()))
+    });
+    g.finish();
+}
+
+fn bench_env(c: &mut Criterion) {
+    let d = cyber2(); // 348 rows
+    let mut g = c.benchmark_group("env");
+    g.bench_function("env_step_group", |b| {
+        let mut env = EdaEnv::new(d.frame.clone(), EnvConfig::default());
+        env.reset();
+        b.iter(|| {
+            if env.done() {
+                env.reset();
+            }
+            black_box(env.step(&EdaAction::Group { key: 3, func: 0, agg: 6 }).step)
+        })
+    });
+    g.bench_function("env_step_filter", |b| {
+        let mut env = EdaEnv::new(d.frame.clone(), EnvConfig::default());
+        env.reset();
+        b.iter(|| {
+            if env.done() {
+                env.reset();
+            }
+            black_box(env.step(&EdaAction::Filter { attr: 3, op: 0, bin: 9 }).step)
+        })
+    });
+    g.bench_function("frequency_binning", |b| {
+        let col = d.frame.column("info").unwrap();
+        b.iter(|| black_box(FrequencyBins::build(col, 10).n_bins()))
+    });
+    g.bench_function("observation_encode", |b| {
+        let mut env = EdaEnv::new(d.frame.clone(), EnvConfig::default());
+        env.reset();
+        b.iter(|| black_box(env.observation().len()))
+    });
+    g.finish();
+}
+
+fn bench_reward(c: &mut Criterion) {
+    let d = cyber2();
+    let mut env = EdaEnv::new(d.frame.clone(), EnvConfig::default());
+    let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(d.focal_attrs()));
+    reward.fit(&mut env, 200, 0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut g = c.benchmark_group("reward");
+    g.bench_function("compound_score_per_step", |b| {
+        env.reset();
+        b.iter(|| {
+            if env.done() {
+                env.reset();
+            }
+            let action = random_action(&env, &mut rng);
+            let op = env.resolve(&action);
+            let preview = env.preview(&op);
+            let score = {
+                let info = env.step_info(&preview);
+                reward.score(&info).total
+            };
+            env.commit(preview);
+            black_box(score)
+        })
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let d = cyber2();
+    let golds: Vec<Notebook> = d
+        .gold_standards
+        .iter()
+        .map(|gold| Notebook::replay(&d.spec.name, &d.frame, gold))
+        .collect();
+    let gen = golds[0].clone();
+    let gen_views = gen.views();
+    let gold_views: Vec<Vec<String>> = golds.iter().map(|g| g.views()).collect();
+    let mut g = c.benchmark_group("aeda_metrics");
+    g.bench_function("precision", |b| {
+        b.iter(|| black_box(precision(&gen_views, &gold_views)))
+    });
+    g.bench_function("t_bleu_3", |b| {
+        b.iter(|| black_box(t_bleu(&gen_views, &gold_views, 3)))
+    });
+    g.bench_function("eda_sim", |b| b.iter(|| black_box(eda_sim(&gen, &golds))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataframe, bench_env, bench_reward, bench_metrics);
+criterion_main!(benches);

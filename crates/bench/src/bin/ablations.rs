@@ -1,0 +1,142 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Output architecture** — twofold multi-softmax vs flat softmax
+//!    (network size and final reward);
+//! 2. **Term binning** — flat policy with frequency bins vs explicit terms;
+//! 3. **Entropy regularization** — on vs off (premature convergence);
+//! 4. **Reward components** — full compound reward vs interestingness-only
+//!    (the ATN-IO ablation), measured on the A-EDA metrics.
+
+use atena_bench::{dump_json, f2, render_table, run_strategy, Scale};
+use atena_benchmark::score_notebook;
+use atena_core::{Atena, Strategy};
+use atena_data::cyber2;
+use atena_env::EdaEnv;
+use atena_rl::{
+    ActionMapper, PpoConfig, Trainer, TrainerConfig, TwofoldConfig, TwofoldPolicy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct AblationRow {
+    ablation: String,
+    variant: String,
+    metric: String,
+    value: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let dataset = cyber2();
+    let mut records: Vec<AblationRow> = Vec::new();
+
+    // --- 1 & 2: architecture and binning (shared with Table 2 baselines).
+    eprintln!("[ablations] architecture & binning ...");
+    for strategy in [Strategy::Atena, Strategy::OtsDrlB, Strategy::OtsDrl] {
+        let result = run_strategy(strategy, &dataset, &scale, 41);
+        records.push(AblationRow {
+            ablation: "output-architecture".into(),
+            variant: strategy.name().into(),
+            metric: "best_episode_reward".into(),
+            value: result.best_reward,
+        });
+    }
+    // Network sizes: pre-output vs flat output node counts.
+    let env = EdaEnv::new(dataset.frame.clone(), scale.config(41).env);
+    let head_sizes = env.action_space().head_sizes();
+    records.push(AblationRow {
+        ablation: "output-architecture".into(),
+        variant: "twofold".into(),
+        metric: "output_layer_nodes".into(),
+        value: head_sizes.pre_output_size() as f64,
+    });
+    records.push(AblationRow {
+        ablation: "output-architecture".into(),
+        variant: "flat-binned".into(),
+        metric: "output_layer_nodes".into(),
+        value: env.action_space().flat_size_binned() as f64,
+    });
+
+    // --- 3: entropy regularization on/off with the twofold policy.
+    eprintln!("[ablations] entropy regularization ...");
+    for (variant, coef) in [("entropy-on", 0.02f32), ("entropy-off", 0.0)] {
+        let cfg = scale.config(43);
+        let probe = EdaEnv::new(dataset.frame.clone(), cfg.env.clone());
+        let mut rng = StdRng::seed_from_u64(43);
+        let policy = TwofoldPolicy::new(
+            probe.observation_dim(),
+            probe.action_space().head_sizes(),
+            TwofoldConfig { hidden: cfg.hidden },
+            &mut rng,
+        );
+        let reward = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+            .with_focal_attrs(dataset.focal_attrs())
+            .with_config(cfg.clone())
+            .build_reward();
+        let mut trainer = Trainer::new(
+            Arc::new(policy),
+            ActionMapper::Twofold,
+            Arc::new(reward),
+            &dataset.frame,
+            cfg.env.clone(),
+            TrainerConfig {
+                ppo: PpoConfig { entropy_coef: coef, ..Default::default() },
+                n_workers: scale.n_workers,
+                seed: 43,
+                ..Default::default()
+            },
+        );
+        let log = trainer.train(scale.train_steps);
+        let final_mean = log.curve.last().map(|p| p.mean_episode_reward).unwrap_or(0.0);
+        records.push(AblationRow {
+            ablation: "entropy-regularization".into(),
+            variant: variant.into(),
+            metric: "final_mean_episode_reward".into(),
+            value: final_mean,
+        });
+        records.push(AblationRow {
+            ablation: "entropy-regularization".into(),
+            variant: variant.into(),
+            metric: "best_episode_reward".into(),
+            value: log.best_episode.map(|e| e.total_reward).unwrap_or(0.0),
+        });
+    }
+
+    // --- 4: reward-component ablation on benchmark quality.
+    eprintln!("[ablations] reward components ...");
+    for strategy in [Strategy::Atena, Strategy::AtnIo] {
+        let result = run_strategy(strategy, &dataset, &scale, 47);
+        let scores = score_notebook(&result.notebook, &dataset);
+        records.push(AblationRow {
+            ablation: "reward-components".into(),
+            variant: strategy.name().into(),
+            metric: "precision".into(),
+            value: scores.precision,
+        });
+        records.push(AblationRow {
+            ablation: "reward-components".into(),
+            variant: strategy.name().into(),
+            metric: "eda_sim".into(),
+            value: scores.eda_sim,
+        });
+    }
+
+    println!("\nAblation results (dataset: {})\n", dataset.spec.name);
+    let table = render_table(
+        &["Ablation", "Variant", "Metric", "Value"],
+        &records
+            .iter()
+            .map(|r| {
+                vec![r.ablation.clone(), r.variant.clone(), r.metric.clone(), f2(r.value)]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    match dump_json("ablations", &records) {
+        Ok(path) => println!("JSON written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+    }
+}

@@ -1,0 +1,77 @@
+//! Diagnostic: replay an operation sequence against a dataset and print the
+//! per-step reward breakdown plus the coherency rule votes — the tool used
+//! to audit reward-hacking behaviours (kept as part of the harness since it
+//! is the fastest way to understand why an agent prefers a sequence).
+//!
+//! ```sh
+//! cargo run --release -p atena-bench --bin debug_rewards [dataset-id]
+//! ```
+
+use atena_core::Atena;
+use atena_data::dataset_by_id;
+use atena_dataframe::CmpOp;
+use atena_env::{EdaEnv, EnvConfig, RewardModel, ResolvedOp};
+use atena_reward::Vote;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "cyber1".to_string());
+    let dataset = dataset_by_id(&id).expect("known dataset id");
+    let atena = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+        .with_focal_attrs(dataset.focal_attrs());
+    let reward = atena.build_reward();
+    let w = reward.weights();
+    println!(
+        "weights: interestingness {:.2}, diversity {:.2}, coherency {:.2}\n",
+        w.interestingness, w.diversity, w.coherency
+    );
+
+    // The churn pattern observed from a trained agent plus a gold-like path
+    // for contrast.
+    let churn: Vec<ResolvedOp> = vec![
+        atena_data::g("destination_port", atena_dataframe::AggFunc::Count, "length"),
+        atena_data::g("destination_ip", atena_dataframe::AggFunc::Count, "length"),
+        atena_data::f("time", CmpOp::Ge, 3378i64),
+        atena_data::f("time", CmpOp::Ge, 7070i64),
+        atena_data::f("time", CmpOp::Ge, 7133i64),
+        atena_data::f("time", CmpOp::Ge, 7160i64),
+    ];
+    let gold = dataset.gold_standards[0].clone();
+
+    for (label, ops) in [("CHURN SEQUENCE", churn), ("GOLD SEQUENCE", gold)] {
+        println!("==== {label} ====");
+        let mut env = EdaEnv::new(
+            dataset.frame.clone(),
+            EnvConfig { episode_len: ops.len(), ..EnvConfig::default() },
+        );
+        env.reset();
+        let mut total = 0.0;
+        for op in &ops {
+            let preview = env.preview(op);
+            let (r, votes) = {
+                let info = env.step_info(&preview);
+                (reward.score(&info), reward.classifier().votes(&info))
+            };
+            total += r.total;
+            let fired: Vec<String> = reward
+                .classifier()
+                .rule_names()
+                .iter()
+                .zip(&votes)
+                .filter(|(_, v)| **v != Vote::Abstain)
+                .map(|(n, v)| format!("{n}{}", if *v == Vote::Coherent { "+" } else { "-" }))
+                .collect();
+            println!(
+                "  {:<55} I {:+.2} D {:+.2} C {:+.2} P {:+.2} => {:+.2}   [{}]",
+                op.to_string(),
+                r.interestingness,
+                r.diversity,
+                r.coherency,
+                r.penalty,
+                r.total,
+                fired.join(" ")
+            );
+            env.commit(preview);
+        }
+        println!("  episode total: {total:+.2}\n");
+    }
+}

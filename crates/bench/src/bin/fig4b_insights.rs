@@ -1,0 +1,71 @@
+//! Figure 4b — % of relevant insights gathered per system on the
+//! cyber-security datasets.
+//!
+//! The paper counts how many insights (out of the challenge's official
+//! solution) users list after passively viewing a notebook; here the
+//! planted-insight predicates are evaluated directly against the notebook's
+//! views (no human in the loop). Paper anchors: Gold-Standard ≈ 65%,
+//! ATENA ≈ 46%, EDA-Traces ≈ 35%, OTS-DRL-B ≈ 17%, Greedy-IO ≈ 5%.
+
+use atena_bench::{dump_json, generate_for, render_table, Scale, System};
+use atena_core::Strategy;
+use atena_data::{all_cyber, insight_coverage};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    system: String,
+    per_dataset: Vec<(String, f64)>,
+    mean_pct: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let datasets = all_cyber();
+    let systems = [
+        System::GoldStandard,
+        System::Generated(Strategy::Atena),
+        System::EdaTraces,
+        System::Generated(Strategy::GreedyIo),
+        System::Generated(Strategy::OtsDrlB),
+    ];
+
+    let mut rows = Vec::new();
+    for system in systems {
+        eprintln!("[fig4b] {} ...", system.name());
+        let mut per_dataset = Vec::new();
+        for dataset in &datasets {
+            let notebooks = generate_for(system, dataset, &scale, 23);
+            let coverage = notebooks
+                .iter()
+                .map(|nb| insight_coverage(nb, &dataset.insights))
+                .sum::<f64>()
+                / notebooks.len().max(1) as f64;
+            per_dataset.push((dataset.spec.name.clone(), coverage * 100.0));
+            eprintln!("[fig4b]   {}: {:.0}%", dataset.spec.id, coverage * 100.0);
+        }
+        let mean_pct =
+            per_dataset.iter().map(|(_, v)| v).sum::<f64>() / per_dataset.len() as f64;
+        rows.push(Row { system: system.name().to_string(), per_dataset, mean_pct });
+    }
+
+    println!("\nFigure 4b: % of Gathered Insights (cyber datasets)\n");
+    let headers = vec!["System", "Cyber #1", "Cyber #2", "Cyber #3", "Cyber #4", "Mean"];
+    let table = render_table(
+        &headers,
+        &rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.system.clone()];
+                cells.extend(r.per_dataset.iter().map(|(_, v)| format!("{v:.0}%")));
+                cells.push(format!("{:.0}%", r.mean_pct));
+                cells
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    match dump_json("fig4b_insights", &rows) {
+        Ok(path) => println!("JSON written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+    }
+}

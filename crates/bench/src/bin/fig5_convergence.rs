@@ -1,0 +1,121 @@
+//! Figure 5 — learning-convergence comparison: mean episode reward as a
+//! function of training steps for ATENA, OTS-DRL-B, OTS-DRL, and the
+//! non-learning Greedy-CR (a flat line), on the paper's two representative
+//! datasets, Flights #4 and Cyber #2.
+//!
+//! Expected shape (paper §6.4): OTS-DRL stabilizes slowly near a suboptimal
+//! reward; OTS-DRL-B converges higher thanks to term binning; ATENA
+//! converges 2–3× faster to the highest reward and beats Greedy-CR's
+//! non-learned ceiling.
+
+use atena_bench::{dump_json, f2, render_table, run_strategy, Scale};
+use atena_core::Strategy;
+use atena_data::{cyber2, flights4};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    dataset: String,
+    system: String,
+    /// `(steps, mean_episode_reward)` samples.
+    points: Vec<(usize, f64)>,
+    /// Greedy baseline level (for the dashed line), if applicable.
+    flat_level: Option<f64>,
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    // Convergence curves need a longer horizon than the quality tables;
+    // default to 25k steps unless the user pinned a scale explicitly.
+    if std::env::var("ATENA_TRAIN_STEPS").is_err() {
+        scale.train_steps = 25_000;
+    }
+    let datasets = [flights4(), cyber2()];
+    let learned = [Strategy::Atena, Strategy::OtsDrlB, Strategy::OtsDrl];
+
+    let mut curves: Vec<Curve> = Vec::new();
+    for dataset in &datasets {
+        for strategy in learned {
+            eprintln!("[fig5] training {} on {} ...", strategy.name(), dataset.spec.id);
+            let result = run_strategy(strategy, dataset, &scale, 31);
+            curves.push(Curve {
+                dataset: dataset.spec.name.clone(),
+                system: strategy.name().to_string(),
+                points: result
+                    .curve
+                    .iter()
+                    .map(|p| (p.steps, p.mean_episode_reward))
+                    .collect(),
+                flat_level: None,
+            });
+        }
+        eprintln!("[fig5] greedy baseline on {} ...", dataset.spec.id);
+        let greedy = run_strategy(Strategy::GreedyCr, dataset, &scale, 31);
+        curves.push(Curve {
+            dataset: dataset.spec.name.clone(),
+            system: "Greedy-CR".to_string(),
+            points: Vec::new(),
+            flat_level: Some(greedy.best_reward),
+        });
+    }
+
+    for dataset in &datasets {
+        println!("\nFigure 5 — {}: mean episode reward vs training steps\n", dataset.spec.name);
+        // Sample each curve at a few checkpoints for the text rendering.
+        let mut rows = Vec::new();
+        for c in curves.iter().filter(|c| c.dataset == dataset.spec.name) {
+            if let Some(level) = c.flat_level {
+                rows.push(vec![
+                    c.system.clone(),
+                    format!("(flat) {}", f2(level)),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+                continue;
+            }
+            let sample = |frac: f64| -> String {
+                if c.points.is_empty() {
+                    return String::new();
+                }
+                let idx = ((c.points.len() - 1) as f64 * frac) as usize;
+                format!("{} @{}", f2(c.points[idx].1), c.points[idx].0)
+            };
+            rows.push(vec![c.system.clone(), sample(0.1), sample(0.4), sample(0.7), sample(1.0)]);
+        }
+        let table = render_table(&["System", "early", "mid", "late", "final"], &rows);
+        println!("{table}");
+    }
+
+    // Convergence-speed summary: steps to reach 90% of the final reward.
+    println!("\nConvergence speed (steps to reach 90% of own final mean reward):\n");
+    let mut rows = Vec::new();
+    for c in &curves {
+        if c.points.is_empty() {
+            continue;
+        }
+        let final_reward = c.points.last().unwrap().1;
+        let threshold = if final_reward > 0.0 { 0.9 * final_reward } else { final_reward };
+        let steps = c
+            .points
+            .iter()
+            .find(|(_, r)| *r >= threshold)
+            .map(|(s, _)| *s)
+            .unwrap_or(c.points.last().unwrap().0);
+        rows.push(vec![
+            c.dataset.clone(),
+            c.system.clone(),
+            steps.to_string(),
+            f2(final_reward),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Dataset", "System", "steps to 90%", "final reward"], &rows)
+    );
+
+    match dump_json("fig5_convergence", &curves) {
+        Ok(path) => println!("JSON written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+    }
+}

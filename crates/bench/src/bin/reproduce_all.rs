@@ -1,0 +1,34 @@
+//! Run every experiment driver in sequence (Table 1, Figure 4a, Figure 4b,
+//! Table 2, Figure 5, ablations). Equivalent to invoking each binary; the
+//! consolidated stdout is what EXPERIMENTS.md records.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table1_datasets",
+        "fig4a_user_ratings",
+        "fig4b_insights",
+        "table2_aeda",
+        "fig5_convergence",
+        "ablations",
+    ];
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for bin in binaries {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(bin_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

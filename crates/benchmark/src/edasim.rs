@@ -1,0 +1,174 @@
+//! EDA-Sim (paper §6.3, metric 5; devised in [29]): a graded similarity for
+//! exploratory sessions. Unlike Precision/T-BLEU, *almost* identical views
+//! contribute partial credit: pairwise view similarity is computed from the
+//! views' structure (filters, grouping, aggregations) and sequences are
+//! compared by global alignment.
+
+use atena_core::Notebook;
+use atena_env::DisplaySpec;
+
+/// Pairwise structural similarity of two views in `[0, 1]`:
+/// an even blend of the Jaccard similarities of the predicate sets, the
+/// group-key sets, and the aggregation sets (the three facets of a display
+/// spec).
+pub fn view_similarity(a: &DisplaySpec, b: &DisplaySpec) -> f64 {
+    let preds_a: Vec<String> = a.predicates.iter().map(|p| p.to_string()).collect();
+    let preds_b: Vec<String> = b.predicates.iter().map(|p| p.to_string()).collect();
+    let keys_a: Vec<String> = a.group_keys.clone();
+    let keys_b: Vec<String> = b.group_keys.clone();
+    let aggs_a: Vec<String> = a.aggregations.iter().map(|(f, c)| format!("{f}({c})")).collect();
+    let aggs_b: Vec<String> = b.aggregations.iter().map(|(f, c)| format!("{f}({c})")).collect();
+
+    // Attribute-level partial credit on predicates: same attribute filtered
+    // with a different term still reflects related intent.
+    let attr_a: Vec<&str> = a.predicates.iter().map(|p| p.attr.as_str()).collect();
+    let attr_b: Vec<&str> = b.predicates.iter().map(|p| p.attr.as_str()).collect();
+
+    0.35 * jaccard(&preds_a, &preds_b)
+        + 0.15 * jaccard(&attr_a, &attr_b)
+        + 0.3 * jaccard(&keys_a, &keys_b)
+        + 0.2 * jaccard(&aggs_a, &aggs_b)
+}
+
+fn jaccard<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(x)).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Similarity of two view sequences in `[0, 1]`: the score of a global
+/// (Needleman–Wunsch) alignment with match score [`view_similarity`] and
+/// zero-cost gaps, normalized by the longer sequence's length.
+pub fn sequence_similarity(a: &[DisplaySpec], b: &[DisplaySpec]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0.0f64; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            let matched = dp[i - 1][j - 1] + view_similarity(&a[i - 1], &b[j - 1]);
+            dp[i][j] = matched.max(dp[i - 1][j]).max(dp[i][j - 1]);
+        }
+    }
+    dp[n][m] / n.max(m) as f64
+}
+
+/// EDA-Sim of a generated notebook against a gold set: the sequence
+/// similarity to each gold notebook, maximized (paper §6.3: "we compare the
+/// generated notebook to each of the gold-standard notebooks and take the
+/// maximal EDA-Sim score").
+pub fn eda_sim(generated: &Notebook, golds: &[Notebook]) -> f64 {
+    let gen_specs = specs_of(generated);
+    golds
+        .iter()
+        .map(|g| sequence_similarity(&gen_specs, &specs_of(g)))
+        .fold(0.0, f64::max)
+}
+
+fn specs_of(nb: &Notebook) -> Vec<DisplaySpec> {
+    nb.entries
+        .iter()
+        .filter(|e| e.outcome.is_applied())
+        .map(|e| e.display.spec.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_dataframe::{AggFunc, CmpOp, Predicate};
+
+    fn spec(preds: &[(&str, i64)], keys: &[&str], aggs: &[(&str, AggFunc)]) -> DisplaySpec {
+        let mut s = DisplaySpec::default();
+        for (attr, v) in preds {
+            s = s.with_predicate(Predicate::new(*attr, CmpOp::Eq, *v));
+        }
+        for k in keys {
+            for (agg, func) in aggs {
+                s = s.with_grouping(k.to_string(), *func, agg.to_string());
+            }
+            if aggs.is_empty() {
+                s.group_keys.push(k.to_string());
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn identical_views_score_one() {
+        let a = spec(&[("x", 1)], &["g"], &[("v", AggFunc::Avg)]);
+        assert!((view_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_identical_views_score_high_not_zero() {
+        // Same grouping, filter on the same attribute with a different term:
+        // Precision would call this a miss; EDA-Sim gives substantial credit.
+        let a = spec(&[("x", 1)], &["g"], &[("v", AggFunc::Avg)]);
+        let b = spec(&[("x", 2)], &["g"], &[("v", AggFunc::Avg)]);
+        let sim = view_similarity(&a, &b);
+        assert!(sim > 0.6, "{sim}");
+        assert!(sim < 1.0);
+    }
+
+    #[test]
+    fn unrelated_views_score_low() {
+        let a = spec(&[("x", 1)], &["g"], &[("v", AggFunc::Avg)]);
+        let c = spec(&[("y", 9)], &["h"], &[("w", AggFunc::Max)]);
+        assert!(view_similarity(&a, &c) < 0.15);
+    }
+
+    #[test]
+    fn empty_specs_are_identical() {
+        let root = DisplaySpec::default();
+        assert!((view_similarity(&root, &root) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_alignment_rewards_shared_order() {
+        let a = spec(&[("x", 1)], &[], &[]);
+        let b = spec(&[], &["g"], &[("v", AggFunc::Avg)]);
+        let c = spec(&[("y", 2)], &["g"], &[("v", AggFunc::Avg)]);
+        let seq = vec![a.clone(), b.clone(), c.clone()];
+        assert!((sequence_similarity(&seq, &seq) - 1.0).abs() < 1e-12);
+        // A subsequence aligns partially.
+        let sub = vec![a.clone(), c.clone()];
+        let sim = sequence_similarity(&sub, &seq);
+        assert!(sim > 0.5 && sim < 1.0, "{sim}");
+        // Empty vs non-empty.
+        assert_eq!(sequence_similarity(&[], &seq), 0.0);
+        assert_eq!(sequence_similarity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn eda_sim_takes_max_over_golds() {
+        use atena_dataframe::{AttrRole, DataFrame};
+        use atena_env::ResolvedOp;
+        let df = DataFrame::builder()
+            .str("g", AttrRole::Categorical, (0..20).map(|i| Some(["a", "b"][i % 2])))
+            .int("v", AttrRole::Numeric, (0..20).map(|i| Some(i as i64)))
+            .build()
+            .unwrap();
+        let ops1 = vec![ResolvedOp::Group {
+            key: "g".into(),
+            func: AggFunc::Avg,
+            agg: "v".into(),
+        }];
+        let ops2 = vec![ResolvedOp::Filter(Predicate::new("g", CmpOp::Eq, "a"))];
+        let gen = Notebook::replay("d", &df, &ops1);
+        let gold_match = Notebook::replay("d", &df, &ops1);
+        let gold_miss = Notebook::replay("d", &df, &ops2);
+        let sim = eda_sim(&gen, &[gold_miss.clone(), gold_match]);
+        assert!((sim - 1.0).abs() < 1e-12);
+        let sim_miss_only = eda_sim(&gen, &[gold_miss]);
+        assert!(sim_miss_only < 0.5);
+    }
+}

@@ -1,0 +1,281 @@
+//! The simulated-rater model for Figure 4a (see DESIGN.md §3.5).
+//!
+//! The paper's 40-participant study rated notebooks 1–7 on four criteria.
+//! Our rater is a deterministic function of *measurable* notebook
+//! properties, calibrated once so that gold-standard notebooks land near
+//! the paper's 6.8/7 anchor, then applied identically to every system —
+//! absolute values are synthetic, relative ordering is meaningful.
+
+use crate::edasim::eda_sim;
+use crate::metrics::precision;
+use atena_core::Notebook;
+use atena_data::{insight_coverage, Insight};
+use atena_env::{EdaEnv, EnvConfig, OpOutcome, RewardModel};
+use atena_reward::CompoundReward;
+use serde::{Deserialize, Serialize};
+
+/// Ratings on the paper's four criteria, each in `[1, 7]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ratings {
+    /// How informative the notebook is; captures dataset highlights.
+    pub informativity: f64,
+    /// How comprehensible and easy to follow it is.
+    pub comprehensibility: f64,
+    /// Perceived expertise of the composer.
+    pub expertise: f64,
+    /// How closely it resembles a human-made session.
+    pub human_equivalence: f64,
+}
+
+impl Ratings {
+    /// Mean of the four criteria.
+    pub fn overall(&self) -> f64 {
+        (self.informativity + self.comprehensibility + self.expertise + self.human_equivalence)
+            / 4.0
+    }
+}
+
+/// Per-step signals gathered by replaying a notebook against the reward
+/// model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplaySignals {
+    /// Mean coherency confidence across steps.
+    pub mean_coherency: f64,
+    /// Mean interestingness across steps.
+    pub mean_interestingness: f64,
+    /// Mean diversity across steps.
+    pub mean_diversity: f64,
+    /// Fraction of steps that failed to apply.
+    pub invalid_fraction: f64,
+}
+
+/// Replay a notebook's operations through a fresh environment, scoring
+/// each step with the reward model's components.
+pub fn replay_signals(
+    notebook: &Notebook,
+    dataset: &atena_dataframe::DataFrame,
+    reward: &CompoundReward,
+) -> ReplaySignals {
+    let ops = notebook.ops();
+    if ops.is_empty() {
+        return ReplaySignals::default();
+    }
+    let mut env = EdaEnv::new(
+        dataset.clone(),
+        EnvConfig { episode_len: ops.len(), ..EnvConfig::default() },
+    );
+    env.reset();
+    let mut coherency = 0.0;
+    let mut interestingness = 0.0;
+    let mut diversity = 0.0;
+    let mut invalid = 0usize;
+    let mut scored = 0usize;
+    for op in &ops {
+        let preview = env.preview(op);
+        {
+            let info = env.step_info(&preview);
+            match info.outcome {
+                OpOutcome::Applied => {
+                    coherency += reward.classifier().score(&info);
+                    let breakdown = reward.score(&info);
+                    // Undo the weighting so signals are comparable across
+                    // datasets: divide by the calibrated weights.
+                    let w = reward.weights();
+                    interestingness += breakdown.interestingness / w.interestingness.max(1e-9);
+                    diversity += breakdown.diversity / w.diversity.max(1e-9);
+                    scored += 1;
+                }
+                _ => invalid += 1,
+            }
+        }
+        env.commit(preview);
+    }
+    let n = scored.max(1) as f64;
+    ReplaySignals {
+        mean_coherency: coherency / n,
+        mean_interestingness: interestingness / n,
+        mean_diversity: diversity / n,
+        invalid_fraction: invalid as f64 / ops.len() as f64,
+    }
+}
+
+/// Mean signals of the gold-standard set, used as the rater's anchor.
+fn gold_anchor(
+    golds: &[Notebook],
+    dataset: &atena_dataframe::DataFrame,
+    reward: &CompoundReward,
+    insights: &[Insight],
+) -> (ReplaySignals, f64) {
+    let mut acc = ReplaySignals::default();
+    let mut coverage = 0.0;
+    let n = golds.len().max(1) as f64;
+    for g in golds {
+        let s = replay_signals(g, dataset, reward);
+        acc.mean_coherency += s.mean_coherency / n;
+        acc.mean_interestingness += s.mean_interestingness / n;
+        acc.mean_diversity += s.mean_diversity / n;
+        acc.invalid_fraction += s.invalid_fraction / n;
+        coverage += if insights.is_empty() {
+            1.0 / n
+        } else {
+            insight_coverage(g, insights) / n
+        };
+    }
+    (acc, coverage)
+}
+
+/// Rate a notebook. `golds` are the dataset's gold-standard notebooks and
+/// `insights` its planted insight list (empty for datasets without one).
+///
+/// Every signal is normalized by the gold set's mean for that signal —
+/// the "calibrated against the gold anchor" step of DESIGN.md §3.5 — so a
+/// gold-standard notebook lands near the paper's 6.8/7 on every criterion
+/// and other systems are rated *relative* to that curated ceiling.
+pub fn rate(
+    notebook: &Notebook,
+    dataset: &atena_dataframe::DataFrame,
+    reward: &CompoundReward,
+    golds: &[Notebook],
+    insights: &[Insight],
+) -> Ratings {
+    let signals = replay_signals(notebook, dataset, reward);
+    let (gold, gold_coverage) = gold_anchor(golds, dataset, reward, insights);
+    let gold_views: Vec<Vec<String>> = golds.iter().map(|g| g.views()).collect();
+    let prec = precision(&notebook.views(), &gold_views);
+    let sim = eda_sim(notebook, golds);
+    let coverage = if insights.is_empty() {
+        prec
+    } else {
+        insight_coverage(notebook, insights)
+    };
+
+    // Gold-relative signals, capped slightly above 1 so a system can edge
+    // past the anchor but not run away.
+    let rel = |v: f64, anchor: f64| {
+        if anchor <= 1e-9 {
+            v.clamp(0.0, 1.05)
+        } else {
+            (v / anchor).clamp(0.0, 1.05)
+        }
+    };
+    let coverage_r = rel(coverage, gold_coverage);
+    let coherency_r = rel(signals.mean_coherency, gold.mean_coherency);
+    let interest_r = rel(signals.mean_interestingness, gold.mean_interestingness);
+    let diversity_r = rel(signals.mean_diversity, gold.mean_diversity);
+    let validity = 1.0 - signals.invalid_fraction;
+
+    // Blends of the criteria the paper's participants were asked about.
+    // Human-equivalence weighs followability (coherency) over literal view
+    // overlap: a messy trace reproducing gold views still reads non-human.
+    let informativity =
+        (0.6 * coverage_r + 0.25 * interest_r + 0.15 * diversity_r) * validity;
+    let comprehensibility = coherency_r * validity;
+    let expertise = (0.45 * coverage_r + 0.35 * coherency_r + 0.2 * prec) * validity;
+    let human_equivalence = (0.4 * sim + 0.6 * coherency_r) * validity;
+
+    // Affine map to 1–7: a gold-relative score of 1.0 maps to ~6.9.
+    let to_scale = |s: f64| (1.0 + 5.9 * s.clamp(0.0, 1.05)).min(7.0);
+    Ratings {
+        informativity: to_scale(informativity),
+        comprehensibility: to_scale(comprehensibility),
+        expertise: to_scale(expertise),
+        human_equivalence: to_scale(human_equivalence),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_data::cyber2;
+    use atena_env::ResolvedOp;
+    use atena_reward::CoherencyConfig;
+
+    fn fitted_reward(dataset: &atena_dataframe::DataFrame, focal: Vec<String>) -> CompoundReward {
+        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(focal));
+        let mut env = EdaEnv::new(dataset.clone(), EnvConfig::default());
+        reward.fit(&mut env, 150, 0);
+        reward
+    }
+
+    #[test]
+    fn gold_standard_rates_above_junk() {
+        let d = cyber2();
+        let reward = fitted_reward(&d.frame, d.focal_attrs());
+        let golds: Vec<Notebook> = d
+            .gold_standards
+            .iter()
+            .map(|g| Notebook::replay(&d.spec.name, &d.frame, g))
+            .collect();
+
+        let gold_rating = rate(&golds[0], &d.frame, &reward, &golds, &d.insights);
+
+        // A junk notebook: repeated BACKs and an invalid aggregation.
+        let junk_ops = vec![
+            ResolvedOp::Back,
+            ResolvedOp::Back,
+            ResolvedOp::Group {
+                key: "length".into(),
+                func: atena_dataframe::AggFunc::Sum,
+                agg: "protocol".into(),
+            },
+            ResolvedOp::Back,
+        ];
+        let junk = Notebook::replay(&d.spec.name, &d.frame, &junk_ops);
+        let junk_rating = rate(&junk, &d.frame, &reward, &golds, &d.insights);
+
+        assert!(
+            gold_rating.overall() > junk_rating.overall() + 2.0,
+            "gold {:?} vs junk {:?}",
+            gold_rating,
+            junk_rating
+        );
+        assert!(gold_rating.overall() > 5.0, "gold overall {:?}", gold_rating);
+        for r in [
+            gold_rating.informativity,
+            gold_rating.comprehensibility,
+            gold_rating.expertise,
+            gold_rating.human_equivalence,
+            junk_rating.informativity,
+        ] {
+            assert!((1.0..=7.0).contains(&r), "rating out of scale: {r}");
+        }
+    }
+
+    #[test]
+    fn replay_signals_detect_invalid_ops() {
+        let d = cyber2();
+        let reward = fitted_reward(&d.frame, vec![]);
+        let ops = vec![
+            ResolvedOp::Group {
+                key: "protocol".into(),
+                func: atena_dataframe::AggFunc::Sum,
+                agg: "source_ip".into(), // SUM over strings: invalid
+            },
+            ResolvedOp::Group {
+                key: "protocol".into(),
+                func: atena_dataframe::AggFunc::Count,
+                agg: "length".into(),
+            },
+        ];
+        let nb = Notebook::replay(&d.spec.name, &d.frame, &ops);
+        let s = replay_signals(&nb, &d.frame, &reward);
+        assert!((s.invalid_fraction - 0.5).abs() < 1e-12);
+        assert!(s.mean_coherency > 0.0);
+    }
+
+    #[test]
+    fn empty_notebook_rates_at_floor() {
+        let d = cyber2();
+        let reward = fitted_reward(&d.frame, vec![]);
+        let nb = Notebook::replay(&d.spec.name, &d.frame, &[]);
+        let golds: Vec<Notebook> = d
+            .gold_standards
+            .iter()
+            .take(2)
+            .map(|g| Notebook::replay(&d.spec.name, &d.frame, g))
+            .collect();
+        let r = rate(&nb, &d.frame, &reward, &golds, &d.insights);
+        assert!(r.informativity < 1.5);
+        assert!(r.human_equivalence < 1.5);
+    }
+}

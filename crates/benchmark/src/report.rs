@@ -1,0 +1,115 @@
+//! Aggregated A-EDA scoring of a notebook against a dataset's gold set —
+//! the five columns of Table 2 plus insight coverage.
+
+use crate::edasim::eda_sim;
+use crate::metrics::{precision, t_bleu};
+use atena_core::Notebook;
+use atena_data::{insight_coverage, ExperimentalDataset};
+use serde::{Deserialize, Serialize};
+
+/// One row of A-EDA scores (the Table 2 metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AedaScores {
+    /// Precision.
+    pub precision: f64,
+    /// T-BLEU-1.
+    pub t_bleu_1: f64,
+    /// T-BLEU-2.
+    pub t_bleu_2: f64,
+    /// T-BLEU-3.
+    pub t_bleu_3: f64,
+    /// EDA-Sim (max over golds).
+    pub eda_sim: f64,
+    /// Fraction of planted insights surfaced (Figure 4b's measure; 0 when
+    /// the dataset has no insight list).
+    pub insight_coverage: f64,
+}
+
+impl AedaScores {
+    /// Elementwise mean of several score rows.
+    pub fn mean(rows: &[AedaScores]) -> AedaScores {
+        if rows.is_empty() {
+            return AedaScores::default();
+        }
+        let n = rows.len() as f64;
+        AedaScores {
+            precision: rows.iter().map(|r| r.precision).sum::<f64>() / n,
+            t_bleu_1: rows.iter().map(|r| r.t_bleu_1).sum::<f64>() / n,
+            t_bleu_2: rows.iter().map(|r| r.t_bleu_2).sum::<f64>() / n,
+            t_bleu_3: rows.iter().map(|r| r.t_bleu_3).sum::<f64>() / n,
+            eda_sim: rows.iter().map(|r| r.eda_sim).sum::<f64>() / n,
+            insight_coverage: rows.iter().map(|r| r.insight_coverage).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Score a generated notebook against a dataset's gold standards.
+pub fn score_notebook(notebook: &Notebook, dataset: &ExperimentalDataset) -> AedaScores {
+    let golds: Vec<Notebook> = dataset
+        .gold_standards
+        .iter()
+        .map(|g| Notebook::replay(&dataset.spec.name, &dataset.frame, g))
+        .collect();
+    score_against(notebook, &golds, dataset)
+}
+
+/// Score against pre-replayed golds (cheaper when scoring many notebooks).
+pub fn score_against(
+    notebook: &Notebook,
+    golds: &[Notebook],
+    dataset: &ExperimentalDataset,
+) -> AedaScores {
+    let views = notebook.views();
+    let gold_views: Vec<Vec<String>> = golds.iter().map(|g| g.views()).collect();
+    AedaScores {
+        precision: precision(&views, &gold_views),
+        t_bleu_1: t_bleu(&views, &gold_views, 1),
+        t_bleu_2: t_bleu(&views, &gold_views, 2),
+        t_bleu_3: t_bleu(&views, &gold_views, 3),
+        eda_sim: eda_sim(notebook, golds),
+        insight_coverage: insight_coverage(notebook, &dataset.insights),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_data::cyber2;
+
+    #[test]
+    fn gold_scores_itself_perfectly() {
+        let d = cyber2();
+        let nb = Notebook::replay(&d.spec.name, &d.frame, &d.gold_standards[0]);
+        let s = score_notebook(&nb, &d);
+        assert!((s.precision - 1.0).abs() < 1e-12);
+        assert!((s.t_bleu_1 - 1.0).abs() < 1e-12);
+        assert!((s.eda_sim - 1.0).abs() < 1e-9);
+        assert!(s.insight_coverage > 0.4);
+    }
+
+    #[test]
+    fn unrelated_notebook_scores_low() {
+        let d = cyber2();
+        // Junk: a single weird grouping.
+        let ops = vec![atena_env::ResolvedOp::Group {
+            key: "time".into(),
+            func: atena_dataframe::AggFunc::Count,
+            agg: "time".into(),
+        }];
+        let nb = Notebook::replay(&d.spec.name, &d.frame, &ops);
+        let s = score_notebook(&nb, &d);
+        assert!(s.precision < 0.5);
+        assert!(s.t_bleu_2 < 0.2);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let rows = vec![
+            AedaScores { precision: 0.2, ..Default::default() },
+            AedaScores { precision: 0.6, ..Default::default() },
+        ];
+        let m = AedaScores::mean(&rows);
+        assert!((m.precision - 0.4).abs() < 1e-12);
+        assert_eq!(AedaScores::mean(&[]), AedaScores::default());
+    }
+}

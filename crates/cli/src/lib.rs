@@ -1,0 +1,478 @@
+//! # atena-cli
+//!
+//! Argument parsing and command dispatch for the `atena` binary:
+//!
+//! ```text
+//! atena generate <data.csv> [--focal col1,col2] [--steps N] [--episode-len N]
+//!                           [--strategy atena|atn-io|ots-drl|ots-drl-b|greedy-cr|greedy-io]
+//!                           [--seed N] [--out notebook.md] [--json notebook.json]
+//! atena demo <dataset-id>   [same options]   # cyber1..cyber4, flights1..flights4
+//! atena datasets                              # list the built-in datasets
+//! atena help
+//! ```
+//!
+//! Parsing is hand-rolled (the option surface is tiny) and fully unit
+//! tested; the binary is a thin `main` over [`run`].
+
+#![warn(missing_docs)]
+
+use atena_core::{Atena, AtenaConfig, Strategy};
+use atena_dataframe::DataFrame;
+use std::fmt;
+
+/// CLI errors, rendered to stderr by the binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad usage; the message explains what was wrong.
+    Usage(String),
+    /// Runtime failure (I/O, parse, unknown dataset).
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Runtime(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+atena — auto-generate EDA notebooks (SIGMOD'20 ATENA)
+
+USAGE:
+  atena generate <data.csv> [OPTIONS]   generate a notebook for a CSV file
+  atena demo <dataset-id>   [OPTIONS]   run on a built-in experimental dataset
+  atena datasets                        list built-in datasets
+  atena export <dataset-id> <file.csv>  write a built-in dataset as CSV
+  atena help                            show this help
+
+OPTIONS:
+  --focal <c1,c2>     focal attributes (columns of particular interest)
+  --steps <N>         training steps                     [default: 8000]
+  --episode-len <N>   operations per notebook            [default: 12]
+  --strategy <S>      atena | atn-io | ots-drl | ots-drl-b |
+                      greedy-cr | greedy-io              [default: atena]
+  --seed <N>          random seed                        [default: 0]
+  --out <file.md>     write the notebook as Markdown (default: stdout)
+  --json <file.json>  also write the notebook summary as JSON
+";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate from a CSV path.
+    Generate {
+        /// CSV path.
+        path: String,
+        /// Common options.
+        opts: GenerateOpts,
+    },
+    /// Generate for a built-in dataset.
+    Demo {
+        /// Dataset id (`cyber1` … `flights4`).
+        id: String,
+        /// Common options.
+        opts: GenerateOpts,
+    },
+    /// List built-in datasets.
+    Datasets,
+    /// Export a built-in dataset as CSV.
+    Export {
+        /// Dataset id.
+        id: String,
+        /// Output path.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by `generate` and `demo`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateOpts {
+    /// Focal attributes.
+    pub focal: Vec<String>,
+    /// Training steps.
+    pub steps: usize,
+    /// Episode length.
+    pub episode_len: usize,
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Seed.
+    pub seed: u64,
+    /// Markdown output path (stdout when `None`).
+    pub out: Option<String>,
+    /// JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for GenerateOpts {
+    fn default() -> Self {
+        Self {
+            focal: Vec::new(),
+            steps: 8_000,
+            episode_len: 12,
+            strategy: Strategy::Atena,
+            seed: 0,
+            out: None,
+            json: None,
+        }
+    }
+}
+
+/// Parse a strategy name.
+pub fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "atena" => Ok(Strategy::Atena),
+        "atn-io" | "atnio" => Ok(Strategy::AtnIo),
+        "ots-drl" | "otsdrl" => Ok(Strategy::OtsDrl),
+        "ots-drl-b" | "otsdrlb" => Ok(Strategy::OtsDrlB),
+        "greedy-cr" | "greedycr" => Ok(Strategy::GreedyCr),
+        "greedy-io" | "greedyio" => Ok(Strategy::GreedyIo),
+        other => Err(CliError::Usage(format!("unknown strategy {other:?}"))),
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<GenerateOpts, CliError> {
+    let mut opts = GenerateOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, CliError> {
+            args.get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+        };
+        match flag {
+            "--focal" => {
+                opts.focal = value(i)?.split(',').map(|s| s.trim().to_string()).collect();
+                i += 2;
+            }
+            "--steps" => {
+                opts.steps = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--steps expects an integer".into()))?;
+                i += 2;
+            }
+            "--episode-len" => {
+                opts.episode_len = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--episode-len expects an integer".into()))?;
+                if opts.episode_len == 0 {
+                    return Err(CliError::Usage("--episode-len must be positive".into()));
+                }
+                i += 2;
+            }
+            "--strategy" => {
+                opts.strategy = parse_strategy(value(i)?)?;
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed expects an integer".into()))?;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--json" => {
+                opts.json = Some(value(i)?.clone());
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("datasets") => Ok(Command::Datasets),
+        Some("export") => {
+            let id = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("export requires a dataset id".into()))?
+                .clone();
+            let path = args
+                .get(2)
+                .ok_or_else(|| CliError::Usage("export requires an output path".into()))?
+                .clone();
+            Ok(Command::Export { id, path })
+        }
+        Some("generate") => {
+            let path = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("generate requires a CSV path".into()))?
+                .clone();
+            Ok(Command::Generate { path, opts: parse_opts(&args[2..])? })
+        }
+        Some("demo") => {
+            let id = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("demo requires a dataset id".into()))?
+                .clone();
+            Ok(Command::Demo { id, opts: parse_opts(&args[2..])? })
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn config_for(opts: &GenerateOpts) -> AtenaConfig {
+    let mut config = AtenaConfig { train_steps: opts.steps, ..AtenaConfig::default() };
+    config.env.episode_len = opts.episode_len;
+    config.env.seed = opts.seed;
+    config.trainer.seed = opts.seed;
+    config
+}
+
+fn generate(name: &str, frame: DataFrame, opts: &GenerateOpts) -> Result<String, CliError> {
+    eprintln!(
+        "[atena] strategy {}, {} steps, {}-op notebook ...",
+        opts.strategy.name(),
+        if opts.strategy.is_learned() { opts.steps } else { 0 },
+        opts.episode_len
+    );
+    let result = Atena::new(name, frame)
+        .with_focal_attrs(opts.focal.clone())
+        .with_config(config_for(opts))
+        .with_strategy(opts.strategy)
+        .generate();
+    eprintln!("[atena] best episode reward: {:.3}", result.best_reward);
+
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, result.notebook.to_json())
+            .map_err(|e| CliError::Runtime(format!("cannot write {json_path}: {e}")))?;
+        eprintln!("[atena] JSON summary written to {json_path}");
+    }
+    let md = result.notebook.to_markdown();
+    if let Some(out) = &opts.out {
+        std::fs::write(out, &md)
+            .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+        eprintln!("[atena] notebook written to {out}");
+        Ok(String::new())
+    } else {
+        Ok(md)
+    }
+}
+
+/// Execute a parsed command; returns what should be printed to stdout.
+pub fn run(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Datasets => {
+            let mut out = String::from("built-in experimental datasets (Table 1):\n");
+            for d in atena_data::all_datasets() {
+                out.push_str(&format!(
+                    "  {:<9} {:<11} {:>6} rows  {}\n",
+                    d.spec.id, d.spec.name, d.spec.rows, d.spec.description
+                ));
+            }
+            Ok(out)
+        }
+        Command::Export { id, path } => {
+            let dataset = atena_data::dataset_by_id(&id).ok_or_else(|| {
+                CliError::Runtime(format!(
+                    "unknown dataset {id:?}; run `atena datasets` for the list"
+                ))
+            })?;
+            std::fs::write(&path, dataset.frame.to_csv_string())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "{} ({} rows × {} columns) written to {path}",
+                dataset.spec.name,
+                dataset.frame.n_rows(),
+                dataset.frame.n_cols()
+            ))
+        }
+        Command::Generate { path, opts } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+            let frame = DataFrame::from_csv_str(&text)
+                .map_err(|e| CliError::Runtime(format!("cannot parse {path}: {e}")))?;
+            generate(&path, frame, &opts)
+        }
+        Command::Demo { id, opts } => {
+            let dataset = atena_data::dataset_by_id(&id).ok_or_else(|| {
+                CliError::Runtime(format!(
+                    "unknown dataset {id:?}; run `atena datasets` for the list"
+                ))
+            })?;
+            let mut opts = opts;
+            if opts.focal.is_empty() {
+                opts.focal = dataset.focal_attrs();
+            }
+            generate(&dataset.spec.name.clone(), dataset.frame, &opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_datasets() {
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["datasets"])).unwrap(), Command::Datasets);
+    }
+
+    #[test]
+    fn parses_generate_with_options() {
+        let cmd = parse(&args(&[
+            "generate",
+            "data.csv",
+            "--focal",
+            "delay,airline",
+            "--steps",
+            "123",
+            "--episode-len",
+            "7",
+            "--strategy",
+            "greedy-cr",
+            "--seed",
+            "9",
+            "--out",
+            "nb.md",
+            "--json",
+            "nb.json",
+        ]))
+        .unwrap();
+        let Command::Generate { path, opts } = cmd else { panic!() };
+        assert_eq!(path, "data.csv");
+        assert_eq!(opts.focal, vec!["delay", "airline"]);
+        assert_eq!(opts.steps, 123);
+        assert_eq!(opts.episode_len, 7);
+        assert_eq!(opts.strategy, Strategy::GreedyCr);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.out.as_deref(), Some("nb.md"));
+        assert_eq!(opts.json.as_deref(), Some("nb.json"));
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(matches!(parse(&args(&["generate"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&args(&["demo", "--steps"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["generate", "f.csv", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["generate", "f.csv", "--steps", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["generate", "f.csv", "--episode-len", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_all_strategies() {
+        for (name, expected) in [
+            ("atena", Strategy::Atena),
+            ("ATN-IO", Strategy::AtnIo),
+            ("ots-drl", Strategy::OtsDrl),
+            ("OTS-DRL-B", Strategy::OtsDrlB),
+            ("greedy-cr", Strategy::GreedyCr),
+            ("greedyio", Strategy::GreedyIo),
+        ] {
+            assert_eq!(parse_strategy(name).unwrap(), expected);
+        }
+        assert!(parse_strategy("dqn").is_err());
+    }
+
+    #[test]
+    fn datasets_command_lists_all_eight() {
+        let out = run(Command::Datasets).unwrap();
+        for id in ["cyber1", "cyber4", "flights1", "flights4"] {
+            assert!(out.contains(id), "missing {id} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_csv() {
+        let dir = std::env::temp_dir().join("atena-cli-export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cyber2.csv");
+        let out = run(Command::Export {
+            id: "cyber2".into(),
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("348 rows"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let df = DataFrame::from_csv_str(&text).unwrap();
+        assert_eq!(df.n_rows(), 348);
+        assert!(matches!(
+            run(Command::Export { id: "zzz".into(), path: "x.csv".into() }),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["export", "cyber1"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_demo_dataset_is_runtime_error() {
+        let err = run(Command::Demo {
+            id: "nope".into(),
+            opts: GenerateOpts::default(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+    }
+
+    #[test]
+    fn generate_from_missing_file_is_runtime_error() {
+        let err = run(Command::Generate {
+            path: "/definitely/not/here.csv".into(),
+            opts: GenerateOpts::default(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+    }
+
+    #[test]
+    fn end_to_end_generate_tiny() {
+        let dir = std::env::temp_dir().join("atena-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("tiny.csv");
+        std::fs::write(&csv, "cat,val\na,1\nb,2\na,3\nb,4\na,5\n").unwrap();
+        let md_path = dir.join("nb.md");
+        let json_path = dir.join("nb.json");
+        let cmd = Command::Generate {
+            path: csv.to_string_lossy().into_owned(),
+            opts: GenerateOpts {
+                steps: 200,
+                episode_len: 3,
+                strategy: Strategy::GreedyCr,
+                out: Some(md_path.to_string_lossy().into_owned()),
+                json: Some(json_path.to_string_lossy().into_owned()),
+                ..Default::default()
+            },
+        };
+        let stdout = run(cmd).unwrap();
+        assert!(stdout.is_empty());
+        let md = std::fs::read_to_string(&md_path).unwrap();
+        assert!(md.contains("# Auto-EDA for"));
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(json["cells"].as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! The `atena` command-line binary. All logic lives in the library crate
+//! (`atena_cli`) so it is unit-testable; this is only the process shell.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match atena_cli::parse(&args).and_then(atena_cli::run) {
+        Ok(stdout) => {
+            if !stdout.is_empty() {
+                println!("{stdout}");
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

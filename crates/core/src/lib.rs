@@ -1,0 +1,32 @@
+//! # atena-core
+//!
+//! The public ATENA API (paper §3): give it a tabular dataset and optional
+//! focal attributes; it shapes EDA into a control problem, trains a DRL
+//! agent against the compound reward, and renders the best exploratory
+//! session as an EDA notebook.
+//!
+//! ```no_run
+//! use atena_core::{Atena, AtenaConfig};
+//! use atena_dataframe::DataFrame;
+//!
+//! let df = DataFrame::from_csv_str("airline,delay\nAA,12\nDL,3\n").unwrap();
+//! let result = Atena::new("flights", df)
+//!     .with_focal_attrs(["delay"])
+//!     .with_config(AtenaConfig::quick())
+//!     .generate();
+//! println!("{}", result.notebook.to_markdown());
+//! ```
+//!
+//! The paper's evaluation baselines (§6.1) are selectable via
+//! [`Strategy`], so every Table 2 / Figure 4 / Figure 5 system is generated
+//! through the same entry point.
+
+#![warn(missing_docs)]
+
+mod atena;
+mod notebook;
+mod viz;
+
+pub use atena::{Atena, AtenaConfig, GenerationResult, Strategy};
+pub use notebook::{CellSummary, Notebook, NotebookEntry, NotebookSummary};
+pub use viz::{suggest_chart, ChartSpec};

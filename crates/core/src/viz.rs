@@ -1,0 +1,162 @@
+//! Visualization suggestions — the extension direction the paper names in
+//! §3 ("our EDA environment … can be extended to support, e.g.,
+//! visualizations"). Each display is mapped to the chart a notebook UI
+//! would render next to it, following standard visualization-recommendation
+//! heuristics (categorical key + aggregate → bar; temporal key → line;
+//! ungrouped numeric → histogram).
+
+use atena_dataframe::{AttrRole, DType};
+use atena_env::Display;
+use serde::{Deserialize, Serialize};
+
+/// A declarative chart recommendation for one display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChartSpec {
+    /// Bar chart of an aggregate per group.
+    Bar {
+        /// Category axis (the group-by key).
+        x: String,
+        /// Value axis (the aggregate column).
+        y: String,
+    },
+    /// Line chart (temporal or ordinal key).
+    Line {
+        /// Ordered axis.
+        x: String,
+        /// Value axis.
+        y: String,
+    },
+    /// Histogram of one numeric column.
+    Histogram {
+        /// The column.
+        column: String,
+    },
+    /// Plain table (no chart adds value).
+    Table,
+}
+
+impl ChartSpec {
+    /// Human-readable caption, e.g. `bar chart of AVG(delay) by airline`.
+    pub fn caption(&self) -> String {
+        match self {
+            ChartSpec::Bar { x, y } => format!("bar chart of {y} by {x}"),
+            ChartSpec::Line { x, y } => format!("line chart of {y} over {x}"),
+            ChartSpec::Histogram { column } => format!("histogram of {column}"),
+            ChartSpec::Table => "table view".to_string(),
+        }
+    }
+}
+
+/// Recommend a chart for a display.
+pub fn suggest_chart(display: &Display) -> ChartSpec {
+    if let Some(grouping) = &display.grouping {
+        // Too many groups: a chart would be unreadable.
+        if grouping.n_groups == 0 || grouping.n_groups > 50 {
+            return ChartSpec::Table;
+        }
+        let key = match display.spec.group_keys.last() {
+            Some(k) => k.clone(),
+            None => return ChartSpec::Table,
+        };
+        // Prefer the most recent explicit aggregate; fall back to count.
+        let y = display
+            .spec
+            .aggregations
+            .last()
+            .map(|(f, a)| format!("{f}({a})"))
+            .unwrap_or_else(|| "count".to_string());
+        let key_role = display.frame.schema().field(&key).map(|f| f.role).ok();
+        return match key_role {
+            Some(AttrRole::Temporal) => ChartSpec::Line { x: key, y },
+            _ => ChartSpec::Bar { x: key, y },
+        };
+    }
+    // Ungrouped: histogram the first high-variance numeric column, if any.
+    let numeric = display.frame.schema().fields().iter().find(|f| {
+        (f.dtype == DType::Int || f.dtype == DType::Float) && f.role == AttrRole::Numeric
+    });
+    match numeric {
+        Some(f) if display.frame.n_rows() >= 10 => {
+            ChartSpec::Histogram { column: f.name.clone() }
+        }
+        _ => ChartSpec::Table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_dataframe::{AggFunc, DataFrame};
+    use atena_env::DisplaySpec;
+
+    fn base() -> DataFrame {
+        DataFrame::builder()
+            .str(
+                "airline",
+                AttrRole::Categorical,
+                (0..40).map(|i| Some(["AA", "DL"][i % 2])),
+            )
+            .int("time", AttrRole::Temporal, (0..40).map(|i| Some(i as i64)))
+            .int("delay", AttrRole::Numeric, (0..40).map(|i| Some((i * 3 % 50) as i64)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_categorical_gets_bar() {
+        let d = Display::materialize(
+            &base(),
+            DisplaySpec::default().with_grouping("airline".into(), AggFunc::Avg, "delay".into()),
+        )
+        .unwrap();
+        let spec = suggest_chart(&d);
+        assert_eq!(
+            spec,
+            ChartSpec::Bar { x: "airline".into(), y: "AVG(delay)".into() }
+        );
+        assert_eq!(spec.caption(), "bar chart of AVG(delay) by airline");
+    }
+
+    #[test]
+    fn temporal_key_gets_line() {
+        let d = Display::materialize(
+            &base(),
+            DisplaySpec::default().with_grouping("time".into(), AggFunc::Count, "delay".into()),
+        )
+        .unwrap();
+        assert!(matches!(suggest_chart(&d), ChartSpec::Line { .. }));
+    }
+
+    #[test]
+    fn ungrouped_numeric_gets_histogram() {
+        let d = Display::root(&base());
+        assert_eq!(suggest_chart(&d), ChartSpec::Histogram { column: "delay".into() });
+    }
+
+    #[test]
+    fn too_many_groups_falls_back_to_table() {
+        // 40 distinct time values grouped after filtering to >50 groups? Use
+        // a wider frame.
+        let wide = DataFrame::builder()
+            .int("id", AttrRole::Categorical, (0..200).map(|i| Some(i as i64)))
+            .int("v", AttrRole::Numeric, (0..200).map(|i| Some(i as i64)))
+            .build()
+            .unwrap();
+        let d = Display::materialize(
+            &wide,
+            DisplaySpec::default().with_grouping("id".into(), AggFunc::Count, "v".into()),
+        )
+        .unwrap();
+        assert_eq!(suggest_chart(&d), ChartSpec::Table);
+    }
+
+    #[test]
+    fn tiny_ungrouped_table() {
+        let small = DataFrame::builder()
+            .int("v", AttrRole::Numeric, (0..3).map(|i| Some(i as i64)))
+            .build()
+            .unwrap();
+        let d = Display::root(&small);
+        assert_eq!(suggest_chart(&d), ChartSpec::Table);
+    }
+}

@@ -1,0 +1,954 @@
+//! The four cyber-security datasets (Table 1): synthetic honeynet-style
+//! captures, each conveying one underlying attack, with the attack's
+//! "official solution" planted as machine-checkable insights and 5–7
+//! hand-authored gold-standard notebooks per dataset.
+
+use crate::insights::{Insight, InsightCheck};
+use crate::opdsl::{b, f, g};
+use crate::packets::{background_traffic, build_frame, internal_host, Packet};
+use crate::spec::{Collection, DatasetSpec, ExperimentalDataset};
+use atena_dataframe::{AggFunc, CmpOp, Value};
+use atena_env::ResolvedOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ATTACKER: &str = "203.0.113.66";
+const VICTIM: &str = "10.0.0.7";
+
+fn spec(id: &str, name: &str, description: &str, rows: usize) -> DatasetSpec {
+    DatasetSpec {
+        id: id.into(),
+        name: name.into(),
+        description: description.into(),
+        rows,
+        collection: Collection::Cyber,
+    }
+}
+
+/// Cyber #1 — 8648 rows: an ICMP scan on an IP range.
+///
+/// The attacker pings every address of `10.0.1.0/24` plus the internal
+/// hosts; a handful of live hosts answer (the victim organization's exposed
+/// addresses). Background web traffic fills the rest.
+pub fn cyber1() -> ExperimentalDataset {
+    const ROWS: usize = 8648;
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    let mut packets = Vec::with_capacity(ROWS);
+
+    // The sweep: 254 range addresses × ~22 probes spread over 20 minutes.
+    let n_scan = 5600usize;
+    for i in 0..n_scan {
+        let dst = format!("10.0.1.{}", (i % 254) + 1);
+        packets.push(Packet {
+            time: 1800 + (i as i64) / 5,
+            source_ip: ATTACKER.to_string(),
+            destination_ip: dst,
+            protocol: "icmp",
+            source_port: None,
+            destination_port: None,
+            length: 74,
+            tcp_flags: None,
+            info: "Echo (ping) request".to_string(),
+        });
+    }
+    // Replies from the 12 live (exposed) hosts.
+    let n_replies = 648usize;
+    for i in 0..n_replies {
+        let live = format!("10.0.1.{}", [4, 9, 17, 23, 42, 57, 88, 101, 137, 180, 201, 230][i % 12]);
+        packets.push(Packet {
+            time: 1801 + (i as i64) / 2,
+            source_ip: live,
+            destination_ip: ATTACKER.to_string(),
+            protocol: "icmp",
+            source_port: None,
+            destination_port: None,
+            length: 74,
+            tcp_flags: None,
+            info: "Echo (ping) reply".to_string(),
+        });
+    }
+    packets.extend(background_traffic(ROWS - n_scan - n_replies, 0, 7200, &mut rng));
+    let frame = build_frame(packets);
+    debug_assert_eq!(frame.n_rows(), ROWS);
+
+    let insights = vec![
+        Insight::new(
+            "cyber1.icmp-dominates",
+            "The capture is dominated by ICMP traffic — unusual for an office network.",
+            InsightCheck::DominantGroup {
+                key: "protocol".into(),
+                value: Value::Str("icmp".into()),
+                min_share: 0.5,
+            },
+        ),
+        Insight::new(
+            "cyber1.attacker-ip",
+            "A single external source, 203.0.113.66, issues most of the traffic (the attacker).",
+            InsightCheck::DominantGroup {
+                key: "source_ip".into(),
+                value: Value::Str(ATTACKER.into()),
+                min_share: 0.5,
+            },
+        ),
+        Insight::new(
+            "cyber1.drill-attacker",
+            "Isolating the attacker's packets reveals the scan.",
+            InsightCheck::DrilledInto {
+                attr: "source_ip".into(),
+                value: Value::Str(ATTACKER.into()),
+            },
+        ),
+        Insight::new(
+            "cyber1.range-sweep",
+            "The attacker touches hundreds of destination addresses — a range sweep of 10.0.1.0/24.",
+            InsightCheck::ManyGroups {
+                key: "destination_ip".into(),
+                min_groups: 200,
+                context_attr: Some(("source_ip".into(), Value::Str(ATTACKER.into()))),
+            },
+        ),
+        Insight::new(
+            "cyber1.echo-requests",
+            "The scan consists of ICMP echo (ping) requests.",
+            InsightCheck::DominantGroup {
+                key: "info".into(),
+                value: Value::Str("Echo (ping) request".into()),
+                min_share: 0.5,
+            },
+        ),
+        Insight::new(
+            "cyber1.exposed-hosts",
+            "Only about a dozen hosts reply — the organization's exposed addresses.",
+            InsightCheck::AtMostGroups {
+                key: "source_ip".into(),
+                max_groups: 13,
+                context_attr: Some(("destination_ip".into(), Value::Str(ATTACKER.into()))),
+            },
+        ),
+        Insight::new(
+            "cyber1.drill-icmp",
+            "Filtering to ICMP isolates the scan traffic.",
+            InsightCheck::DrilledInto {
+                attr: "protocol".into(),
+                value: Value::Str("icmp".into()),
+            },
+        ),
+        Insight::new(
+            "cyber1.timing",
+            "The temporal dimension of the capture is examined (the sweep is a burst).",
+            InsightCheck::Examined { attr: "time".into() },
+        ),
+        Insight::new(
+            "cyber1.packet-size",
+            "Packet lengths are examined (scan probes are uniform 74-byte frames).",
+            InsightCheck::Examined { attr: "length".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        // G1: protocol overview -> drill into icmp -> who sends it -> sweep.
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "icmp"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_ip", AggFunc::Count, "length"),
+            b(),
+            g("info", AggFunc::Count, "time"),
+        ],
+        // G2: source-first path.
+        vec![
+            g("source_ip", AggFunc::Count, "length"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("protocol", AggFunc::Count, "length"),
+            g("destination_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            b(),
+            f("destination_ip", CmpOp::Eq, ATTACKER),
+            g("source_ip", AggFunc::Count, "length"),
+        ],
+        // G3: info-text first.
+        vec![
+            g("info", AggFunc::Count, "length"),
+            f("info", CmpOp::Contains, "Echo"),
+            g("source_ip", AggFunc::Count, "length"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_ip", AggFunc::Count, "time"),
+        ],
+        // G4: replies path (exposed hosts).
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "icmp"),
+            f("destination_ip", CmpOp::Eq, ATTACKER),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            g("info", AggFunc::Count, "length"),
+        ],
+        // G5: sizes and timing flavour.
+        vec![
+            g("protocol", AggFunc::Avg, "length"),
+            f("protocol", CmpOp::Eq, "icmp"),
+            g("source_ip", AggFunc::Count, "time"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_ip", AggFunc::Count, "length"),
+            b(),
+            f("time", CmpOp::Ge, 1800i64),
+            g("protocol", AggFunc::Count, "length"),
+        ],
+        // G6: compact essential path.
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_ip", AggFunc::Count, "length"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("cyber1", "Cyber #1", "ICMP scan on IP range", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "reveal the underlying network attack".into(),
+    }
+}
+
+/// Cyber #2 — 348 rows: a remote-code-execution attack over HTTP/SMB.
+pub fn cyber2() -> ExperimentalDataset {
+    const ROWS: usize = 348;
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    let mut packets = Vec::with_capacity(ROWS);
+
+    // Exploit session: attacker probes the victim's web server, then sends
+    // the RCE payload against port 445 and spawns a reverse shell on 4444.
+    for i in 0..60 {
+        packets.push(Packet {
+            time: 900 + i,
+            source_ip: ATTACKER.to_string(),
+            destination_ip: VICTIM.to_string(),
+            protocol: "http",
+            source_port: Some(51000 + (i % 4)),
+            destination_port: Some(80),
+            length: 420 + (i % 7) * 13,
+            tcp_flags: Some("PSH-ACK"),
+            info: if i % 3 == 0 {
+                "GET /cgi-bin/../../windows/system32/cmd.exe?/c+whoami HTTP/1.1".to_string()
+            } else {
+                "GET /admin/login.php HTTP/1.1".to_string()
+            },
+        });
+    }
+    for i in 0..50 {
+        packets.push(Packet {
+            time: 980 + i,
+            source_ip: ATTACKER.to_string(),
+            destination_ip: VICTIM.to_string(),
+            protocol: "tcp",
+            source_port: Some(51900),
+            destination_port: Some(445),
+            length: 1460,
+            tcp_flags: Some("PSH-ACK"),
+            info: "SMB exploit payload (EternalBlue-style overflow)".to_string(),
+        });
+    }
+    for i in 0..38 {
+        packets.push(Packet {
+            time: 1040 + i,
+            source_ip: VICTIM.to_string(),
+            destination_ip: ATTACKER.to_string(),
+            protocol: "tcp",
+            source_port: Some(49321),
+            destination_port: Some(4444),
+            length: 180 + (i % 9) * 21,
+            tcp_flags: Some("PSH-ACK"),
+            info: "reverse shell channel".to_string(),
+        });
+    }
+    packets.extend(background_traffic(ROWS - 60 - 50 - 38, 0, 2400, &mut rng));
+    let frame = build_frame(packets);
+    debug_assert_eq!(frame.n_rows(), ROWS);
+
+    let insights = vec![
+        Insight::new(
+            "cyber2.attacker-ip",
+            "203.0.113.66 originates the bulk of the traffic (the attacker).",
+            InsightCheck::DominantGroup {
+                key: "source_ip".into(),
+                value: Value::Str(ATTACKER.into()),
+                min_share: 0.3,
+            },
+        ),
+        Insight::new(
+            "cyber2.victim-targeted",
+            "The attack targets a single host, 10.0.0.7.",
+            InsightCheck::DominantGroup {
+                key: "destination_ip".into(),
+                value: Value::Str(VICTIM.into()),
+                min_share: 0.3,
+            },
+        ),
+        Insight::new(
+            "cyber2.drill-attacker",
+            "Drilling into the attacker isolates the exploitation session.",
+            InsightCheck::DrilledInto {
+                attr: "source_ip".into(),
+                value: Value::Str(ATTACKER.into()),
+            },
+        ),
+        Insight::new(
+            "cyber2.cmd-exe",
+            "HTTP requests carry a command-execution payload (cmd.exe path traversal).",
+            InsightCheck::DrilledInto {
+                attr: "info".into(),
+                value: Value::Str("cmd.exe".into()),
+            },
+        ),
+        Insight::new(
+            "cyber2.smb-port",
+            "The exploit is delivered to port 445 (SMB).",
+            InsightCheck::DrilledInto {
+                attr: "destination_port".into(),
+                value: Value::Int(445),
+            },
+        ),
+        Insight::new(
+            "cyber2.reverse-shell",
+            "The victim opens an outbound channel to the attacker on port 4444 (reverse shell).",
+            InsightCheck::DrilledInto {
+                attr: "destination_port".into(),
+                value: Value::Int(4444),
+            },
+        ),
+        Insight::new(
+            "cyber2.victim-drill",
+            "Traffic from the victim is inspected (the compromise evidence).",
+            InsightCheck::DrilledInto {
+                attr: "source_ip".into(),
+                value: Value::Str(VICTIM.into()),
+            },
+        ),
+        Insight::new(
+            "cyber2.ports-overview",
+            "Destination ports are surveyed, revealing the unusual 445/4444 pair.",
+            InsightCheck::Examined { attr: "destination_port".into() },
+        ),
+        Insight::new(
+            "cyber2.payload-size",
+            "The exploit packets are maximal-size frames (payload delivery).",
+            InsightCheck::ExtremeGroup {
+                key: "destination_port".into(),
+                agg: "length".into(),
+                value: Value::Int(445),
+            },
+        ),
+        Insight::new(
+            "cyber2.protocols",
+            "The protocol mix (http + tcp) of the attack is examined.",
+            InsightCheck::Examined { attr: "protocol".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("source_ip", AggFunc::Count, "length"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_port", AggFunc::Count, "length"),
+            f("destination_port", CmpOp::Eq, 445i64),
+            b(),
+            f("info", CmpOp::Contains, "cmd.exe"),
+        ],
+        vec![
+            g("destination_ip", AggFunc::Count, "length"),
+            f("destination_ip", CmpOp::Eq, VICTIM),
+            g("protocol", AggFunc::Count, "length"),
+            g("destination_port", AggFunc::Avg, "length"),
+            b(),
+            b(),
+            b(),
+            f("source_ip", CmpOp::Eq, VICTIM),
+            g("destination_port", AggFunc::Count, "length"),
+            f("destination_port", CmpOp::Eq, 4444i64),
+        ],
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "http"),
+            f("info", CmpOp::Contains, "cmd.exe"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            b(),
+            f("destination_port", CmpOp::Eq, 4444i64),
+        ],
+        vec![
+            g("destination_port", AggFunc::Count, "length"),
+            f("destination_port", CmpOp::Eq, 445i64),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            g("length", AggFunc::Count, "time"),
+            b(),
+            b(),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_port", AggFunc::Count, "length"),
+        ],
+        vec![
+            g("source_ip", AggFunc::Count, "length"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "http"),
+            g("info", AggFunc::Count, "length"),
+            b(),
+            b(),
+            b(),
+            b(),
+            f("destination_ip", CmpOp::Eq, VICTIM),
+            g("destination_port", AggFunc::Count, "length"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("cyber2", "Cyber #2", "Remote code execution attack", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "reveal the underlying network attack".into(),
+    }
+}
+
+/// Cyber #3 — 745 rows: a web-based phishing attack.
+pub fn cyber3() -> ExperimentalDataset {
+    const ROWS: usize = 745;
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    let mut packets = Vec::with_capacity(ROWS);
+    let phish_host = "198.51.100.23";
+
+    // Phishing mail blast, DNS lookups of the lookalike domain, credential
+    // POSTs from the victims who clicked.
+    for i in 0..90 {
+        packets.push(Packet {
+            time: 300 + i * 2,
+            source_ip: phish_host.to_string(),
+            destination_ip: internal_host(i as usize),
+            protocol: "smtp",
+            source_port: Some(25),
+            destination_port: Some(25),
+            length: 800 + (i % 13) * 31,
+            tcp_flags: Some("PSH-ACK"),
+            info: "Subject: Urgent - verify your payroll account".to_string(),
+        });
+    }
+    for i in 0..170 {
+        packets.push(Packet {
+            time: 700 + i,
+            source_ip: internal_host(i as usize % 9),
+            destination_ip: "10.0.0.53".to_string(),
+            protocol: "dns",
+            source_port: Some(52000 + (i % 30)),
+            destination_port: Some(53),
+            length: 78,
+            tcp_flags: None,
+            info: "Standard query A paypa1-secure-login.com".to_string(),
+        });
+    }
+    for i in 0..120 {
+        packets.push(Packet {
+            time: 900 + i,
+            source_ip: internal_host(i as usize % 9),
+            destination_ip: phish_host.to_string(),
+            protocol: "http",
+            source_port: Some(53000 + (i % 40)),
+            destination_port: Some(80),
+            length: 350 + (i % 11) * 17,
+            tcp_flags: Some("PSH-ACK"),
+            info: if i % 2 == 0 {
+                "POST /login.php (username&password) HTTP/1.1".to_string()
+            } else {
+                "GET /account/verify HTTP/1.1".to_string()
+            },
+        });
+    }
+    packets.extend(background_traffic(ROWS - 90 - 170 - 120, 0, 3000, &mut rng));
+    let frame = build_frame(packets);
+    debug_assert_eq!(frame.n_rows(), ROWS);
+
+    let insights = vec![
+        Insight::new(
+            "cyber3.phish-host",
+            "198.51.100.23 both sends the mail blast and receives the stolen credentials.",
+            InsightCheck::DrilledInto {
+                attr: "source_ip".into(),
+                value: Value::Str(phish_host.into()),
+            },
+        ),
+        Insight::new(
+            "cyber3.mail-blast",
+            "An SMTP blast with an 'urgent payroll' subject hits many employees.",
+            InsightCheck::DrilledInto {
+                attr: "protocol".into(),
+                value: Value::Str("smtp".into()),
+            },
+        ),
+        Insight::new(
+            "cyber3.lookalike-domain",
+            "DNS shows lookups of the typosquatted domain paypa1-secure-login.com.",
+            InsightCheck::DrilledInto {
+                attr: "info".into(),
+                value: Value::Str("paypa1".into()),
+            },
+        ),
+        Insight::new(
+            "cyber3.credential-posts",
+            "Several victims POST credentials to the phishing site.",
+            InsightCheck::DrilledInto {
+                attr: "info".into(),
+                value: Value::Str("POST".into()),
+            },
+        ),
+        Insight::new(
+            "cyber3.victims",
+            "Roughly nine internal hosts interact with the phishing infrastructure.",
+            InsightCheck::AtMostGroups {
+                key: "source_ip".into(),
+                max_groups: 10,
+                context_attr: Some((
+                    "destination_ip".into(),
+                    Value::Str(phish_host.into()),
+                )),
+            },
+        ),
+        Insight::new(
+            "cyber3.protocol-mix",
+            "The smtp→dns→http protocol sequence of the campaign is surveyed.",
+            InsightCheck::Examined { attr: "protocol".into() },
+        ),
+        Insight::new(
+            "cyber3.drill-phish-dst",
+            "Traffic toward the phishing host is isolated.",
+            InsightCheck::DrilledInto {
+                attr: "destination_ip".into(),
+                value: Value::Str(phish_host.into()),
+            },
+        ),
+        Insight::new(
+            "cyber3.dns-volume",
+            "DNS activity is examined (the click wave).",
+            InsightCheck::DrilledInto {
+                attr: "protocol".into(),
+                value: Value::Str("dns".into()),
+            },
+        ),
+        Insight::new(
+            "cyber3.timeline",
+            "The mail → lookup → credential-post timeline is examined.",
+            InsightCheck::Examined { attr: "time".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "smtp"),
+            g("source_ip", AggFunc::Count, "time"),
+            f("source_ip", CmpOp::Eq, phish_host),
+            b(),
+            b(),
+            b(),
+            b(),
+            f("destination_ip", CmpOp::Eq, phish_host),
+            g("source_ip", AggFunc::Count, "length"),
+            f("info", CmpOp::Contains, "POST"),
+        ],
+        vec![
+            g("destination_ip", AggFunc::Count, "length"),
+            f("destination_ip", CmpOp::Eq, phish_host),
+            g("source_ip", AggFunc::Count, "time"),
+            g("info", AggFunc::Count, "length"),
+            b(),
+            b(),
+            b(),
+            f("info", CmpOp::Contains, "POST"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            f("protocol", CmpOp::Eq, "smtp"),
+        ],
+        vec![
+            g("info", AggFunc::Count, "length"),
+            f("info", CmpOp::Contains, "paypa1"),
+            g("source_ip", AggFunc::Count, "time"),
+            b(),
+            b(),
+            f("info", CmpOp::Contains, "POST"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            f("protocol", CmpOp::Eq, "dns"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            f("source_ip", CmpOp::Eq, phish_host),
+        ],
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "http"),
+            f("info", CmpOp::Contains, "POST"),
+            g("source_ip", AggFunc::Count, "time"),
+            b(),
+            b(),
+            b(),
+            b(),
+            f("destination_ip", CmpOp::Eq, phish_host),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            f("protocol", CmpOp::Eq, "smtp"),
+        ],
+        vec![
+            f("source_ip", CmpOp::Eq, phish_host),
+            g("protocol", AggFunc::Count, "length"),
+            g("destination_ip", AggFunc::Count, "time"),
+            b(),
+            b(),
+            b(),
+            f("destination_ip", CmpOp::Eq, phish_host),
+            g("source_ip", AggFunc::Count, "length"),
+            f("info", CmpOp::Contains, "POST"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("cyber3", "Cyber #3", "Web-based phishing attack", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "reveal the underlying network attack".into(),
+    }
+}
+
+/// Cyber #4 — 13625 rows: a TCP port scan against one host.
+pub fn cyber4() -> ExperimentalDataset {
+    const ROWS: usize = 13625;
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    let mut packets = Vec::with_capacity(ROWS);
+
+    // SYN scan: 9000 probes over ports 1..9000 against the victim, RST from
+    // closed ports, SYN-ACK from the few open services.
+    let n_syn = 9000usize;
+    for i in 0..n_syn {
+        packets.push(Packet {
+            time: 3600 + (i as i64) / 20,
+            source_ip: ATTACKER.to_string(),
+            destination_ip: VICTIM.to_string(),
+            protocol: "tcp",
+            source_port: Some(61000 + (i as i64 % 8)),
+            destination_port: Some((i as i64 % 9000) + 1),
+            length: 60,
+            tcp_flags: Some("SYN"),
+            info: "port probe".to_string(),
+        });
+    }
+    let open_ports = [22i64, 80, 443, 3306];
+    let n_synack = 400usize;
+    for i in 0..n_synack {
+        packets.push(Packet {
+            time: 3601 + (i as i64) / 4,
+            source_ip: VICTIM.to_string(),
+            destination_ip: ATTACKER.to_string(),
+            protocol: "tcp",
+            source_port: Some(open_ports[i % open_ports.len()]),
+            destination_port: Some(61000 + (i as i64 % 8)),
+            length: 60,
+            tcp_flags: Some("SYN-ACK"),
+            info: "open port response".to_string(),
+        });
+    }
+    let n_rst = 2200usize;
+    for i in 0..n_rst {
+        packets.push(Packet {
+            time: 3601 + (i as i64) / 10,
+            source_ip: VICTIM.to_string(),
+            destination_ip: ATTACKER.to_string(),
+            protocol: "tcp",
+            source_port: Some((i as i64 % 8999) + 2),
+            destination_port: Some(61000 + (i as i64 % 8)),
+            length: 54,
+            tcp_flags: Some("RST-ACK"),
+            info: "closed port".to_string(),
+        });
+    }
+    packets.extend(background_traffic(ROWS - n_syn - n_synack - n_rst, 0, 7200, &mut rng));
+    let frame = build_frame(packets);
+    debug_assert_eq!(frame.n_rows(), ROWS);
+
+    let insights = vec![
+        Insight::new(
+            "cyber4.syn-dominates",
+            "SYN-only segments dominate the capture — the signature of a SYN scan.",
+            InsightCheck::DominantGroup {
+                key: "tcp_flags".into(),
+                value: Value::Str("SYN".into()),
+                min_share: 0.5,
+            },
+        ),
+        Insight::new(
+            "cyber4.attacker-ip",
+            "The scan originates from 203.0.113.66.",
+            InsightCheck::DominantGroup {
+                key: "source_ip".into(),
+                value: Value::Str(ATTACKER.into()),
+                min_share: 0.5,
+            },
+        ),
+        Insight::new(
+            "cyber4.single-victim",
+            "All probes target one host, 10.0.0.7.",
+            InsightCheck::DominantGroup {
+                key: "destination_ip".into(),
+                value: Value::Str(VICTIM.into()),
+                min_share: 0.5,
+            },
+        ),
+        Insight::new(
+            "cyber4.port-sweep",
+            "Thousands of distinct destination ports are probed.",
+            InsightCheck::ManyGroups {
+                key: "destination_port".into(),
+                min_groups: 1000,
+                context_attr: Some(("source_ip".into(), Value::Str(ATTACKER.into()))),
+            },
+        ),
+        Insight::new(
+            "cyber4.drill-attacker",
+            "The attacker's traffic is isolated.",
+            InsightCheck::DrilledInto {
+                attr: "source_ip".into(),
+                value: Value::Str(ATTACKER.into()),
+            },
+        ),
+        Insight::new(
+            "cyber4.open-ports",
+            "The victim answers with SYN-ACK from only a few ports (the open services).",
+            InsightCheck::AtMostGroups {
+                key: "source_port".into(),
+                max_groups: 5,
+                context_attr: Some(("tcp_flags".into(), Value::Str("SYN-ACK".into()))),
+            },
+        ),
+        Insight::new(
+            "cyber4.rst-wall",
+            "Closed ports answer with RST-ACK segments.",
+            InsightCheck::DrilledInto {
+                attr: "tcp_flags".into(),
+                value: Value::Str("RST-ACK".into()),
+            },
+        ),
+        Insight::new(
+            "cyber4.flag-mix",
+            "The TCP flag distribution is surveyed.",
+            InsightCheck::Examined { attr: "tcp_flags".into() },
+        ),
+        Insight::new(
+            "cyber4.probe-size",
+            "The probes are minimal 60-byte segments.",
+            InsightCheck::Examined { attr: "length".into() },
+        ),
+        Insight::new(
+            "cyber4.timing",
+            "The scan's burst timing is examined.",
+            InsightCheck::Examined { attr: "time".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("tcp_flags", AggFunc::Count, "length"),
+            f("tcp_flags", CmpOp::Eq, "SYN"),
+            g("source_ip", AggFunc::Count, "length"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_port", AggFunc::Count, "length"),
+            b(),
+            b(),
+            b(),
+            b(),
+            f("tcp_flags", CmpOp::Eq, "SYN-ACK"),
+            g("source_port", AggFunc::Count, "length"),
+        ],
+        vec![
+            g("source_ip", AggFunc::Count, "length"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_ip", AggFunc::Count, "length"),
+            g("destination_port", AggFunc::Count, "length"),
+            b(),
+            b(),
+            b(),
+            f("source_ip", CmpOp::Eq, VICTIM),
+            g("tcp_flags", AggFunc::Count, "length"),
+        ],
+        vec![
+            g("destination_ip", AggFunc::Count, "length"),
+            f("destination_ip", CmpOp::Eq, VICTIM),
+            g("tcp_flags", AggFunc::Count, "length"),
+            g("destination_port", AggFunc::Count, "time"),
+            b(),
+            b(),
+            b(),
+            f("tcp_flags", CmpOp::Eq, "SYN-ACK"),
+            g("source_port", AggFunc::Count, "length"),
+        ],
+        vec![
+            g("protocol", AggFunc::Count, "length"),
+            f("protocol", CmpOp::Eq, "tcp"),
+            g("tcp_flags", AggFunc::Count, "length"),
+            f("tcp_flags", CmpOp::Eq, "RST-ACK"),
+            g("source_ip", AggFunc::Count, "length"),
+            b(),
+            b(),
+            f("tcp_flags", CmpOp::Eq, "SYN"),
+            g("source_ip", AggFunc::Count, "length"),
+        ],
+        vec![
+            g("tcp_flags", AggFunc::Avg, "length"),
+            f("tcp_flags", CmpOp::Eq, "SYN"),
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_port", AggFunc::Count, "length"),
+            b(),
+            g("time", AggFunc::Count, "length"),
+        ],
+        vec![
+            f("source_ip", CmpOp::Eq, ATTACKER),
+            g("destination_port", AggFunc::Count, "length"),
+            b(),
+            g("tcp_flags", AggFunc::Count, "length"),
+            b(),
+            b(),
+            f("tcp_flags", CmpOp::Eq, "SYN-ACK"),
+            g("source_port", AggFunc::Count, "length"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("cyber4", "Cyber #4", "TCP port scan", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "reveal the underlying network attack".into(),
+    }
+}
+
+/// All four cyber datasets.
+pub fn all_cyber() -> Vec<ExperimentalDataset> {
+    vec![cyber1(), cyber2(), cyber3(), cyber4()]
+}
+
+/// Resolve one op list (used in tests).
+#[allow(dead_code)]
+fn ops_len(ops: &[ResolvedOp]) -> usize {
+    ops.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insights::insight_coverage;
+    use atena_core::Notebook;
+
+    #[test]
+    fn row_counts_match_table1() {
+        assert_eq!(cyber1().frame.n_rows(), 8648);
+        assert_eq!(cyber2().frame.n_rows(), 348);
+        assert_eq!(cyber3().frame.n_rows(), 745);
+        assert_eq!(cyber4().frame.n_rows(), 13625);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = cyber2();
+        let b = cyber2();
+        assert_eq!(a.frame.to_csv_string(), b.frame.to_csv_string());
+    }
+
+    #[test]
+    fn insight_counts_in_paper_range() {
+        // Paper: solutions contain between 9 and 15 insights.
+        for d in all_cyber() {
+            assert!(
+                (9..=15).contains(&d.insights.len()),
+                "{} has {} insights",
+                d.spec.id,
+                d.insights.len()
+            );
+            assert!(
+                (5..=7).contains(&d.gold_standards.len()),
+                "{} has {} golds",
+                d.spec.id,
+                d.gold_standards.len()
+            );
+        }
+    }
+
+    #[test]
+    fn gold_notebooks_apply_cleanly_and_cover_insights() {
+        for d in all_cyber() {
+            let mut best = 0.0f64;
+            for (i, gold) in d.gold_standards.iter().enumerate() {
+                let nb = Notebook::replay(&d.spec.name, &d.frame, gold);
+                let n_invalid =
+                    nb.entries.iter().filter(|e| !e.outcome.is_applied()).count();
+                assert_eq!(
+                    n_invalid, 0,
+                    "{} gold #{i} has invalid ops: {:?}",
+                    d.spec.id,
+                    nb.entries
+                        .iter()
+                        .filter(|e| !e.outcome.is_applied())
+                        .map(|e| format!("{} ({:?})", e.op, e.outcome))
+                        .collect::<Vec<_>>()
+                );
+                best = best.max(insight_coverage(&nb, &d.insights));
+            }
+            assert!(
+                best >= 0.6,
+                "{}: best gold coverage only {best:.2}",
+                d.spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn union_of_golds_covers_nearly_all_insights() {
+        for d in all_cyber() {
+            let notebooks: Vec<Notebook> = d
+                .gold_standards
+                .iter()
+                .map(|g| Notebook::replay(&d.spec.name, &d.frame, g))
+                .collect();
+            let covered = d
+                .insights
+                .iter()
+                .filter(|i| notebooks.iter().any(|nb| i.check.satisfied_by(nb)))
+                .count();
+            assert!(
+                covered as f64 / d.insights.len() as f64 >= 0.85,
+                "{}: union coverage {covered}/{}",
+                d.spec.id,
+                d.insights.len()
+            );
+        }
+    }
+
+    #[test]
+    fn attack_structure_planted() {
+        let d = cyber1();
+        let protos = d.frame.column("protocol").unwrap().value_counts();
+        let icmp = protos[&atena_dataframe::ValueKey::Str("icmp".into())];
+        assert!(icmp as f64 / d.frame.n_rows() as f64 > 0.5);
+
+        let d4 = cyber4();
+        let flags = d4.frame.column("tcp_flags").unwrap().value_counts();
+        let syn = flags[&atena_dataframe::ValueKey::Str("SYN".into())];
+        assert!(syn as f64 / d4.frame.n_rows() as f64 > 0.5);
+    }
+}

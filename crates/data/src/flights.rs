@@ -1,0 +1,734 @@
+//! The four flight-delay datasets (Table 1): synthetic subsets shaped like
+//! the Kaggle 2015 flight-delays database, each with planted delay
+//! phenomena, gold-standard notebooks, and the shared exploration goal of
+//! characterizing flight delays.
+
+use crate::insights::{Insight, InsightCheck};
+use crate::opdsl::{b, f, g};
+use crate::spec::{Collection, DatasetSpec, ExperimentalDataset};
+use atena_dataframe::{AggFunc, AttrRole, CmpOp, DataFrame, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MONTHS: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+const DAYS: [&str; 7] =
+    ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"];
+
+/// One flight record.
+#[derive(Debug, Clone)]
+struct FlightRow {
+    month: &'static str,
+    day_of_week: &'static str,
+    airline: &'static str,
+    flight_number: i64,
+    origin: String,
+    destination: String,
+    scheduled_hour: i64,
+    departure_delay: i64,
+    arrival_delay: i64,
+    distance: i64,
+    air_time: i64,
+    cancelled: bool,
+}
+
+fn build_frame(rows: &[FlightRow]) -> DataFrame {
+    DataFrame::builder()
+        .str("month", AttrRole::Categorical, rows.iter().map(|r| Some(r.month)))
+        .str(
+            "day_of_week",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.day_of_week)),
+        )
+        .str("airline", AttrRole::Categorical, rows.iter().map(|r| Some(r.airline)))
+        .int(
+            "flight_number",
+            AttrRole::Identifier,
+            rows.iter().map(|r| Some(r.flight_number)),
+        )
+        .str_owned(
+            "origin_airport",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.origin.clone())),
+        )
+        .str_owned(
+            "destination_airport",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.destination.clone())),
+        )
+        .int(
+            "scheduled_departure",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.scheduled_hour)),
+        )
+        .int(
+            "departure_delay",
+            AttrRole::Numeric,
+            rows.iter().map(|r| Some(r.departure_delay)),
+        )
+        .int(
+            "arrival_delay",
+            AttrRole::Numeric,
+            rows.iter().map(|r| Some(r.arrival_delay)),
+        )
+        .int("distance", AttrRole::Numeric, rows.iter().map(|r| Some(r.distance)))
+        .int("air_time", AttrRole::Numeric, rows.iter().map(|r| Some(r.air_time)))
+        .bool("cancelled", AttrRole::Categorical, rows.iter().map(|r| Some(r.cancelled)))
+        .build()
+        .expect("flight schema is consistent")
+}
+
+fn spec(id: &str, name: &str, description: &str, rows: usize) -> DatasetSpec {
+    DatasetSpec {
+        id: id.into(),
+        name: name.into(),
+        description: description.into(),
+        rows,
+        collection: Collection::Flights,
+    }
+}
+
+/// Baseline delay noise in minutes.
+fn base_delay(rng: &mut StdRng) -> i64 {
+    // Mostly on time, occasionally late: a clipped exponential-ish tail.
+    let u: f64 = rng.gen();
+    if u < 0.55 {
+        rng.gen_range(-8..5)
+    } else if u < 0.9 {
+        rng.gen_range(5..30)
+    } else {
+        rng.gen_range(30..120)
+    }
+}
+
+/// Flights #1 — 5661 rows: American Airlines flights on Sundays.
+///
+/// Planted phenomena: June has the worst average departure delay; among
+/// origins, ORD is the delay hotspot; evening departures (hour 19) are worse
+/// than mornings.
+pub fn flights1() -> ExperimentalDataset {
+    const ROWS: usize = 5661;
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    let origins = ["DFW", "ORD", "MIA", "LAX", "JFK", "PHX", "CLT"];
+    let dests = ["DFW", "ORD", "MIA", "LAX", "JFK", "SEA", "BOS", "DEN"];
+    let mut rows = Vec::with_capacity(ROWS);
+    for i in 0..ROWS {
+        let month = MONTHS[rng.gen_range(0..12)];
+        let origin = origins[rng.gen_range(0..origins.len())].to_string();
+        let hour = rng.gen_range(6..23);
+        let mut dep = base_delay(&mut rng);
+        if month == "June" {
+            dep += rng.gen_range(25..45);
+        }
+        if origin == "ORD" {
+            dep += rng.gen_range(12..30);
+        }
+        if hour >= 18 {
+            dep += rng.gen_range(5..15);
+        }
+        let distance = rng.gen_range(300..2600);
+        rows.push(FlightRow {
+            month,
+            day_of_week: "Sunday",
+            airline: "AA",
+            flight_number: 1000 + (i as i64 % 900),
+            origin,
+            destination: dests[rng.gen_range(0..dests.len())].to_string(),
+            scheduled_hour: hour,
+            departure_delay: dep,
+            arrival_delay: dep + rng.gen_range(-12..8),
+            distance,
+            air_time: distance / 8 + rng.gen_range(-10..10),
+            cancelled: rng.gen_bool(0.015),
+        });
+    }
+    let frame = build_frame(&rows);
+
+    let insights = vec![
+        Insight::new(
+            "flights1.june-worst",
+            "June has the longest average departure delay of all months.",
+            InsightCheck::ExtremeGroup {
+                key: "month".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("June".into()),
+            },
+        ),
+        Insight::new(
+            "flights1.ord-hotspot",
+            "ORD departures suffer the worst delays among origin airports.",
+            InsightCheck::ExtremeGroup {
+                key: "origin_airport".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("ORD".into()),
+            },
+        ),
+        Insight::new(
+            "flights1.drill-june",
+            "The June subset is inspected in isolation.",
+            InsightCheck::DrilledInto { attr: "month".into(), value: Value::Str("June".into()) },
+        ),
+        Insight::new(
+            "flights1.hourly-pattern",
+            "Delays grow through the day (evening departures are worst).",
+            InsightCheck::Examined { attr: "scheduled_departure".into() },
+        ),
+        Insight::new(
+            "flights1.delay-focus",
+            "Departure delay is the quantity under study.",
+            InsightCheck::Examined { attr: "departure_delay".into() },
+        ),
+        Insight::new(
+            "flights1.drill-ord",
+            "ORD flights are inspected in isolation.",
+            InsightCheck::DrilledInto {
+                attr: "origin_airport".into(),
+                value: Value::Str("ORD".into()),
+            },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("month", AggFunc::Avg, "departure_delay"),
+            f("month", CmpOp::Eq, "June"),
+            g("origin_airport", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("origin_airport", AggFunc::Avg, "departure_delay"),
+            f("origin_airport", CmpOp::Eq, "ORD"),
+            g("month", AggFunc::Avg, "departure_delay"),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("month", AggFunc::Avg, "departure_delay"),
+            f("month", CmpOp::Eq, "June"),
+            f("origin_airport", CmpOp::Eq, "ORD"),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            g("destination_airport", AggFunc::Avg, "arrival_delay"),
+        ],
+        vec![
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+            f("scheduled_departure", CmpOp::Ge, 18i64),
+            g("origin_airport", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("month", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("month", AggFunc::Count, "departure_delay"),
+            g("month", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            f("departure_delay", CmpOp::Ge, 60i64),
+            g("origin_airport", AggFunc::Count, "departure_delay"),
+            g("month", AggFunc::Count, "departure_delay"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("flights1", "Flights #1", "AA Flights on Sundays", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "investigate the causes of flight delays".into(),
+    }
+}
+
+/// Flights #2 — 8172 rows: flights departing from Boston.
+///
+/// Planted phenomena: B6 (JetBlue) is the most delay-prone airline; winter
+/// months (January/February) are worst; cancellations cluster in February.
+pub fn flights2() -> ExperimentalDataset {
+    const ROWS: usize = 8172;
+    let mut rng = StdRng::seed_from_u64(0xF2);
+    let airlines = ["B6", "DL", "AA", "UA", "WN", "AS"];
+    let dests = ["JFK", "DCA", "ORD", "ATL", "SFO", "LAX", "MCO", "FLL", "DEN"];
+    let mut rows = Vec::with_capacity(ROWS);
+    for i in 0..ROWS {
+        let month = MONTHS[rng.gen_range(0..12)];
+        let airline = airlines[(rng.gen_range(0.0f64..1.0).powi(2) * airlines.len() as f64) as usize];
+        let mut dep = base_delay(&mut rng);
+        if airline == "B6" {
+            dep += rng.gen_range(15..35);
+        }
+        if month == "January" {
+            dep += rng.gen_range(22..38);
+        } else if month == "February" {
+            dep += rng.gen_range(10..20);
+        }
+        let cancelled = rng.gen_bool(if month == "February" { 0.08 } else { 0.01 });
+        let distance = rng.gen_range(180..2700);
+        rows.push(FlightRow {
+            month,
+            day_of_week: DAYS[rng.gen_range(0..7)],
+            airline,
+            flight_number: 2000 + (i as i64 % 1100),
+            origin: "BOS".to_string(),
+            destination: dests[rng.gen_range(0..dests.len())].to_string(),
+            scheduled_hour: rng.gen_range(5..23),
+            departure_delay: dep,
+            arrival_delay: dep + rng.gen_range(-10..10),
+            distance,
+            air_time: distance / 8 + rng.gen_range(-10..10),
+            cancelled,
+        });
+    }
+    let frame = build_frame(&rows);
+
+    let insights = vec![
+        Insight::new(
+            "flights2.b6-worst",
+            "JetBlue (B6) has the worst average departure delay.",
+            InsightCheck::ExtremeGroup {
+                key: "airline".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("B6".into()),
+            },
+        ),
+        Insight::new(
+            "flights2.winter",
+            "Winter months carry the longest delays.",
+            InsightCheck::ExtremeGroup {
+                key: "month".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("January".into()),
+            },
+        ),
+        Insight::new(
+            "flights2.drill-b6",
+            "The JetBlue subset is inspected in isolation.",
+            InsightCheck::DrilledInto { attr: "airline".into(), value: Value::Str("B6".into()) },
+        ),
+        Insight::new(
+            "flights2.cancellations",
+            "Cancellations are examined (they cluster in February).",
+            InsightCheck::Examined { attr: "cancelled".into() },
+        ),
+        Insight::new(
+            "flights2.delay-focus",
+            "Departure delay is the quantity under study.",
+            InsightCheck::Examined { attr: "departure_delay".into() },
+        ),
+        Insight::new(
+            "flights2.by-destination",
+            "Delays are broken down by destination.",
+            InsightCheck::Examined { attr: "destination_airport".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("airline", AggFunc::Avg, "departure_delay"),
+            f("airline", CmpOp::Eq, "B6"),
+            g("month", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            g("destination_airport", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("month", AggFunc::Avg, "departure_delay"),
+            f("month", CmpOp::Eq, "January"),
+            g("airline", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            f("cancelled", CmpOp::Eq, true),
+            g("month", AggFunc::Count, "departure_delay"),
+        ],
+        vec![
+            g("airline", AggFunc::Avg, "departure_delay"),
+            g("airline", AggFunc::Count, "departure_delay"),
+            b(),
+            b(),
+            f("departure_delay", CmpOp::Ge, 45i64),
+            g("airline", AggFunc::Count, "departure_delay"),
+            g("month", AggFunc::Count, "departure_delay"),
+        ],
+        vec![
+            g("destination_airport", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("day_of_week", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("airline", AggFunc::Avg, "arrival_delay"),
+            f("airline", CmpOp::Eq, "B6"),
+            g("destination_airport", AggFunc::Avg, "arrival_delay"),
+        ],
+        vec![
+            f("cancelled", CmpOp::Eq, true),
+            g("month", AggFunc::Count, "flight_number"),
+            g("airline", AggFunc::Count, "flight_number"),
+            b(),
+            b(),
+            b(),
+            g("month", AggFunc::Avg, "departure_delay"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("flights2", "Flights #2", "Flights departing from BOS", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "investigate the causes of flight delays".into(),
+    }
+}
+
+/// Flights #3 — 1082 rows: the SFO → LAX shuttle.
+///
+/// Planted phenomena: delays peak in the evening (hour 20); UA is the worst
+/// of the three carriers; Friday is the worst day.
+pub fn flights3() -> ExperimentalDataset {
+    const ROWS: usize = 1082;
+    let mut rng = StdRng::seed_from_u64(0xF3);
+    let airlines = ["UA", "WN", "AS"];
+    let mut rows = Vec::with_capacity(ROWS);
+    for i in 0..ROWS {
+        let airline = airlines[rng.gen_range(0..3)];
+        let day = DAYS[rng.gen_range(0..7)];
+        let hour = rng.gen_range(6..23);
+        let mut dep = base_delay(&mut rng);
+        if hour >= 18 {
+            dep += rng.gen_range(15..35);
+        }
+        if airline == "UA" {
+            dep += rng.gen_range(8..20);
+        }
+        if day == "Friday" {
+            dep += rng.gen_range(5..18);
+        }
+        rows.push(FlightRow {
+            month: MONTHS[rng.gen_range(0..12)],
+            day_of_week: day,
+            airline,
+            flight_number: 3000 + (i as i64 % 60),
+            origin: "SFO".to_string(),
+            destination: "LAX".to_string(),
+            scheduled_hour: hour,
+            departure_delay: dep,
+            arrival_delay: dep + rng.gen_range(-8..6),
+            distance: 337,
+            air_time: 55 + rng.gen_range(-6..10),
+            cancelled: rng.gen_bool(0.01),
+        });
+    }
+    let frame = build_frame(&rows);
+
+    let insights = vec![
+        Insight::new(
+            "flights3.evening-peak",
+            "Evening departures (hour 20+) carry the worst delays.",
+            InsightCheck::DrilledInto {
+                attr: "scheduled_departure".into(),
+                value: Value::Int(18),
+            },
+        ),
+        Insight::new(
+            "flights3.ua-worst",
+            "United (UA) is the most delayed carrier on the route.",
+            InsightCheck::ExtremeGroup {
+                key: "airline".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("UA".into()),
+            },
+        ),
+        Insight::new(
+            "flights3.friday",
+            "Friday is the worst day of the week.",
+            InsightCheck::ExtremeGroup {
+                key: "day_of_week".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("Friday".into()),
+            },
+        ),
+        Insight::new(
+            "flights3.hour-examined",
+            "The hourly pattern is examined.",
+            InsightCheck::Examined { attr: "scheduled_departure".into() },
+        ),
+        Insight::new(
+            "flights3.delay-focus",
+            "Departure delay is the quantity under study.",
+            InsightCheck::Examined { attr: "departure_delay".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+            f("scheduled_departure", CmpOp::Ge, 18i64),
+            g("airline", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            g("day_of_week", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("airline", AggFunc::Avg, "departure_delay"),
+            f("airline", CmpOp::Eq, "UA"),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("day_of_week", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("day_of_week", AggFunc::Avg, "departure_delay"),
+            f("day_of_week", CmpOp::Eq, "Friday"),
+            g("airline", AggFunc::Avg, "departure_delay"),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            f("departure_delay", CmpOp::Ge, 30i64),
+            g("scheduled_departure", AggFunc::Count, "flight_number"),
+            g("airline", AggFunc::Count, "flight_number"),
+            b(),
+            b(),
+            b(),
+            g("airline", AggFunc::Avg, "arrival_delay"),
+        ],
+        vec![
+            g("month", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+            f("scheduled_departure", CmpOp::Ge, 20i64),
+            g("airline", AggFunc::Avg, "departure_delay"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("flights3", "Flights #3", "From SFO to LAX", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "investigate the causes of flight delays".into(),
+    }
+}
+
+/// Flights #4 — 2175 rows: short, night-time flights.
+///
+/// Planted phenomena: Spirit (NK) is by far the most delayed; delays shrink
+/// after midnight; cancellations are rare.
+pub fn flights4() -> ExperimentalDataset {
+    const ROWS: usize = 2175;
+    let mut rng = StdRng::seed_from_u64(0xF4);
+    let airlines = ["NK", "WN", "DL", "AA", "F9"];
+    let pairs = [
+        ("LAS", "LAX"),
+        ("MDW", "STL"),
+        ("DAL", "HOU"),
+        ("PHX", "SAN"),
+        ("ATL", "BNA"),
+        ("DEN", "SLC"),
+    ];
+    let mut rows = Vec::with_capacity(ROWS);
+    for i in 0..ROWS {
+        let airline = airlines[rng.gen_range(0..airlines.len())];
+        // Night hours: 22, 23, 0..5.
+        let hour = *[22i64, 23, 0, 1, 2, 3, 4, 5].get(rng.gen_range(0..8)).unwrap();
+        let (o, d) = pairs[rng.gen_range(0..pairs.len())];
+        let mut dep = base_delay(&mut rng);
+        if airline == "NK" {
+            dep += rng.gen_range(20..45);
+        }
+        if hour <= 5 {
+            dep -= rng.gen_range(0..10);
+        }
+        let distance = rng.gen_range(150..500);
+        rows.push(FlightRow {
+            month: MONTHS[rng.gen_range(0..12)],
+            day_of_week: DAYS[rng.gen_range(0..7)],
+            airline,
+            flight_number: 4000 + (i as i64 % 500),
+            origin: o.to_string(),
+            destination: d.to_string(),
+            scheduled_hour: hour,
+            departure_delay: dep,
+            arrival_delay: dep + rng.gen_range(-10..5),
+            distance,
+            air_time: distance / 7 + rng.gen_range(-8..8),
+            cancelled: rng.gen_bool(0.008),
+        });
+    }
+    let frame = build_frame(&rows);
+
+    let insights = vec![
+        Insight::new(
+            "flights4.nk-worst",
+            "Spirit (NK) is by far the most delayed carrier.",
+            InsightCheck::ExtremeGroup {
+                key: "airline".into(),
+                agg: "departure_delay".into(),
+                value: Value::Str("NK".into()),
+            },
+        ),
+        Insight::new(
+            "flights4.drill-nk",
+            "The Spirit subset is inspected in isolation.",
+            InsightCheck::DrilledInto { attr: "airline".into(), value: Value::Str("NK".into()) },
+        ),
+        Insight::new(
+            "flights4.night-hours",
+            "The late-night hourly pattern is examined.",
+            InsightCheck::Examined { attr: "scheduled_departure".into() },
+        ),
+        Insight::new(
+            "flights4.routes",
+            "Delays are broken down by route (origin airport).",
+            InsightCheck::Examined { attr: "origin_airport".into() },
+        ),
+        Insight::new(
+            "flights4.delay-focus",
+            "Departure delay is the quantity under study.",
+            InsightCheck::Examined { attr: "departure_delay".into() },
+        ),
+    ];
+
+    let gold_standards = vec![
+        vec![
+            g("airline", AggFunc::Avg, "departure_delay"),
+            f("airline", CmpOp::Eq, "NK"),
+            g("origin_airport", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("airline", AggFunc::Avg, "departure_delay"),
+            f("airline", CmpOp::Eq, "NK"),
+            g("scheduled_departure", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("origin_airport", AggFunc::Avg, "departure_delay"),
+            f("departure_delay", CmpOp::Ge, 30i64),
+            g("airline", AggFunc::Count, "flight_number"),
+            b(),
+            g("origin_airport", AggFunc::Count, "flight_number"),
+        ],
+        vec![
+            g("airline", AggFunc::Avg, "arrival_delay"),
+            g("airline", AggFunc::Avg, "departure_delay"),
+            b(),
+            b(),
+            f("airline", CmpOp::Eq, "NK"),
+            g("day_of_week", AggFunc::Avg, "departure_delay"),
+        ],
+        vec![
+            g("day_of_week", AggFunc::Avg, "departure_delay"),
+            b(),
+            g("airline", AggFunc::Avg, "departure_delay"),
+            f("airline", CmpOp::Eq, "NK"),
+            g("origin_airport", AggFunc::Count, "departure_delay"),
+        ],
+    ];
+
+    ExperimentalDataset {
+        spec: spec("flights4", "Flights #4", "Short, night-time flights", ROWS),
+        frame,
+        insights,
+        gold_standards,
+        goal: "investigate the causes of flight delays".into(),
+    }
+}
+
+/// All four flight datasets.
+pub fn all_flights() -> Vec<ExperimentalDataset> {
+    vec![flights1(), flights2(), flights3(), flights4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insights::insight_coverage;
+    use atena_core::Notebook;
+
+    #[test]
+    fn row_counts_match_table1() {
+        assert_eq!(flights1().frame.n_rows(), 5661);
+        assert_eq!(flights2().frame.n_rows(), 8172);
+        assert_eq!(flights3().frame.n_rows(), 1082);
+        assert_eq!(flights4().frame.n_rows(), 2175);
+    }
+
+    #[test]
+    fn subset_constraints_hold() {
+        let f1 = flights1();
+        let days = f1.frame.column("day_of_week").unwrap().value_counts();
+        assert_eq!(days.len(), 1, "Flights #1 is Sundays only");
+        let airlines = f1.frame.column("airline").unwrap().value_counts();
+        assert_eq!(airlines.len(), 1, "Flights #1 is AA only");
+
+        let f2 = flights2();
+        assert_eq!(f2.frame.column("origin_airport").unwrap().n_distinct(), 1);
+
+        let f3 = flights3();
+        assert_eq!(f3.frame.column("origin_airport").unwrap().n_distinct(), 1);
+        assert_eq!(f3.frame.column("destination_airport").unwrap().n_distinct(), 1);
+
+        let f4 = flights4();
+        let dist = f4.frame.numeric_summary("distance").unwrap().unwrap();
+        assert!(dist.max < 500.0, "Flights #4 is short-haul");
+        let hours = f4.frame.column("scheduled_departure").unwrap().value_counts();
+        for k in hours.keys() {
+            let atena_dataframe::ValueKey::Int(h) = k else { panic!() };
+            assert!(*h >= 22 || *h <= 5, "night hours only, got {h}");
+        }
+    }
+
+    #[test]
+    fn planted_effects_measurable() {
+        let f1 = flights1();
+        let by_month = f1
+            .frame
+            .group_aggregate(&["month"], AggFunc::Avg, "departure_delay")
+            .unwrap();
+        let mut june = f64::NAN;
+        let mut others_max = f64::MIN;
+        for r in 0..by_month.n_rows() {
+            let m = by_month.value(r, "month").unwrap().as_str().unwrap().to_string();
+            let v = by_month.value(r, "AVG(departure_delay)").unwrap().as_f64().unwrap();
+            if m == "June" {
+                june = v;
+            } else {
+                others_max = others_max.max(v);
+            }
+        }
+        assert!(june > others_max, "June {june} should exceed all others ({others_max})");
+    }
+
+    #[test]
+    fn golds_apply_and_cover() {
+        for d in all_flights() {
+            let mut best = 0.0f64;
+            for (i, gold) in d.gold_standards.iter().enumerate() {
+                let nb = Notebook::replay(&d.spec.name, &d.frame, gold);
+                assert!(
+                    nb.entries.iter().all(|e| e.outcome.is_applied()),
+                    "{} gold #{i} has invalid ops",
+                    d.spec.id
+                );
+                best = best.max(insight_coverage(&nb, &d.insights));
+            }
+            assert!(best >= 0.6, "{}: best gold coverage {best:.2}", d.spec.id);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(flights3().frame.to_csv_string(), flights3().frame.to_csv_string());
+    }
+}

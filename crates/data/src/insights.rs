@@ -1,0 +1,357 @@
+//! Planted insights with machine-checkable predicates.
+//!
+//! The paper's cyber datasets come with official challenge solutions listing
+//! 9–15 relevant insights each; the user study (Figure 4b) counts how many
+//! a viewer gathers from a notebook. Our synthetic datasets plant the
+//! phenomena *and* encode each insight as a predicate over notebook views,
+//! so insight coverage is measured automatically.
+
+use atena_core::{Notebook, NotebookEntry};
+use atena_dataframe::{Value, ValueKey};
+use serde::{Deserialize, Serialize};
+
+/// A machine-checkable condition over a single notebook view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InsightCheck {
+    /// A view grouped by `key` exists in which the largest group is `value`
+    /// and holds at least `min_share` of the underlying rows — e.g. "the
+    /// traffic is dominated by ICMP".
+    DominantGroup {
+        /// Group-by attribute.
+        key: String,
+        /// Expected top group.
+        value: Value,
+        /// Minimum share of underlying rows.
+        min_share: f64,
+    },
+    /// A view exists whose filters include `attr == value` — the notebook
+    /// drilled into the entity (e.g. the attacker's IP address).
+    DrilledInto {
+        /// Filtered attribute.
+        attr: String,
+        /// The value drilled into (matched against the predicate term).
+        value: Value,
+    },
+    /// A view grouped by `key` (possibly after filters) shows at least
+    /// `min_groups` distinct groups — e.g. "the scan touches many
+    /// destination addresses".
+    ManyGroups {
+        /// Group-by attribute.
+        key: String,
+        /// Minimum number of groups.
+        min_groups: usize,
+        /// Only count views whose filters mention this attribute=value
+        /// context (None = any view).
+        context_attr: Option<(String, Value)>,
+    },
+    /// A view grouped by `key` with an aggregate column over `agg` exists in
+    /// which `value` attains the extreme (max) aggregate — e.g. "June has
+    /// the longest average delay".
+    ExtremeGroup {
+        /// Group-by attribute.
+        key: String,
+        /// Aggregated attribute (any aggregate function counts).
+        agg: String,
+        /// The group expected to attain the maximum.
+        value: Value,
+    },
+    /// A view grouped by `key` under a filter context shows at most
+    /// `max_groups` groups — e.g. "only a handful of hosts replied to the
+    /// scan (the exposed addresses)".
+    AtMostGroups {
+        /// Group-by attribute.
+        key: String,
+        /// Maximum number of groups.
+        max_groups: usize,
+        /// Required filter context `attr == value`.
+        context_attr: Option<(String, Value)>,
+    },
+    /// Some view examines `attr` at all — grouped by it or filtered on it.
+    Examined {
+        /// The attribute.
+        attr: String,
+    },
+}
+
+impl InsightCheck {
+    /// True if a single notebook view satisfies the check.
+    pub fn satisfied_by_entry(&self, entry: &NotebookEntry) -> bool {
+        if !entry.outcome.is_applied() {
+            return false;
+        }
+        let display = &entry.display;
+        match self {
+            InsightCheck::DominantGroup { key, value, min_share } => {
+                if !display.spec.group_keys.contains(key) {
+                    return false;
+                }
+                let result = &display.result;
+                let Ok(key_col) = result.column(key) else { return false };
+                let Ok(count_col) = result.column("count") else { return false };
+                let total: f64 = count_col.iter().filter_map(|v| v.as_f64()).sum();
+                if total <= 0.0 {
+                    return false;
+                }
+                let mut best: Option<(f64, ValueKey)> = None;
+                for r in 0..result.n_rows() {
+                    let c = count_col.get(r).as_f64().unwrap_or(0.0);
+                    if best.as_ref().is_none_or(|(b, _)| c > *b) {
+                        best = Some((c, key_col.get(r).key()));
+                    }
+                }
+                match best {
+                    Some((c, k)) => {
+                        k == value.as_ref().key() && c / total >= *min_share
+                    }
+                    None => false,
+                }
+            }
+            InsightCheck::DrilledInto { attr, value } => display
+                .spec
+                .predicates
+                .iter()
+                .any(|p| &p.attr == attr && p.term == *value),
+            InsightCheck::ManyGroups { key, min_groups, context_attr } => {
+                if !display.spec.group_keys.contains(key) {
+                    return false;
+                }
+                if let Some((ca, cv)) = context_attr {
+                    let in_context = display
+                        .spec
+                        .predicates
+                        .iter()
+                        .any(|p| &p.attr == ca && p.term == *cv);
+                    if !in_context {
+                        return false;
+                    }
+                }
+                display.grouping.as_ref().is_some_and(|g| g.n_groups >= *min_groups)
+            }
+            InsightCheck::ExtremeGroup { key, agg, value } => {
+                if !display.spec.group_keys.contains(key) {
+                    return false;
+                }
+                let result = &display.result;
+                let Ok(key_col) = result.column(key) else { return false };
+                // Find any aggregate column over `agg`.
+                let agg_col = result
+                    .schema()
+                    .fields()
+                    .iter()
+                    .find(|f| {
+                        f.name.ends_with(&format!("({agg})"))
+                            && f.name != "count"
+                    })
+                    .and_then(|f| result.column(&f.name).ok());
+                let Some(agg_col) = agg_col else { return false };
+                let mut best: Option<(f64, ValueKey)> = None;
+                for r in 0..result.n_rows() {
+                    let Some(v) = agg_col.get(r).as_f64() else { continue };
+                    if best.as_ref().is_none_or(|(b, _)| v > *b) {
+                        best = Some((v, key_col.get(r).key()));
+                    }
+                }
+                best.is_some_and(|(_, k)| k == value.as_ref().key())
+            }
+            InsightCheck::AtMostGroups { key, max_groups, context_attr } => {
+                if !display.spec.group_keys.contains(key) {
+                    return false;
+                }
+                if let Some((ca, cv)) = context_attr {
+                    let in_context = display
+                        .spec
+                        .predicates
+                        .iter()
+                        .any(|p| &p.attr == ca && p.term == *cv);
+                    if !in_context {
+                        return false;
+                    }
+                }
+                display
+                    .grouping
+                    .as_ref()
+                    .is_some_and(|g| g.n_groups > 0 && g.n_groups <= *max_groups)
+            }
+            InsightCheck::Examined { attr } => {
+                display.spec.group_keys.contains(attr)
+                    || display.spec.predicates.iter().any(|p| &p.attr == attr)
+                    || display.spec.aggregations.iter().any(|(_, a)| a == attr)
+            }
+        }
+    }
+
+    /// True if any view of the notebook satisfies the check.
+    pub fn satisfied_by(&self, notebook: &Notebook) -> bool {
+        notebook.entries.iter().any(|e| self.satisfied_by_entry(e))
+    }
+}
+
+/// A planted insight: description plus its predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Insight {
+    /// Stable identifier, e.g. `cyber1.attacker-ip`.
+    pub id: String,
+    /// Human-readable statement (what the challenge solution would list).
+    pub description: String,
+    /// The predicate.
+    pub check: InsightCheck,
+}
+
+impl Insight {
+    /// Construct an insight.
+    pub fn new(id: &str, description: &str, check: InsightCheck) -> Self {
+        Self { id: id.to_string(), description: description.to_string(), check }
+    }
+}
+
+/// Fraction of `insights` a notebook surfaces (Figure 4b's measure).
+pub fn insight_coverage(notebook: &Notebook, insights: &[Insight]) -> f64 {
+    if insights.is_empty() {
+        return 0.0;
+    }
+    let hits = insights.iter().filter(|i| i.check.satisfied_by(notebook)).count();
+    hits as f64 / insights.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_dataframe::{AggFunc, AttrRole, CmpOp, DataFrame, Predicate};
+    use atena_env::ResolvedOp;
+
+    fn base() -> DataFrame {
+        DataFrame::builder()
+            .str(
+                "proto",
+                AttrRole::Categorical,
+                (0..100).map(|i| Some(if i < 70 { "icmp" } else { "tcp" })),
+            )
+            .str(
+                "src",
+                AttrRole::Categorical,
+                (0..100).map(|i| Some(if i < 70 { "attacker" } else { "normal" })),
+            )
+            .int("len", AttrRole::Numeric, (0..100).map(|i| Some(if i < 70 { 64 } else { 1200 })))
+            .build()
+            .unwrap()
+    }
+
+    fn notebook() -> Notebook {
+        Notebook::replay(
+            "t",
+            &base(),
+            &[
+                ResolvedOp::Group { key: "proto".into(), func: AggFunc::Count, agg: "len".into() },
+                ResolvedOp::Filter(Predicate::new("src", CmpOp::Eq, "attacker")),
+                ResolvedOp::Group { key: "src".into(), func: AggFunc::Avg, agg: "len".into() },
+            ],
+        )
+    }
+
+    #[test]
+    fn dominant_group_detected() {
+        let nb = notebook();
+        let check = InsightCheck::DominantGroup {
+            key: "proto".into(),
+            value: Value::Str("icmp".into()),
+            min_share: 0.6,
+        };
+        assert!(check.satisfied_by(&nb));
+        let wrong = InsightCheck::DominantGroup {
+            key: "proto".into(),
+            value: Value::Str("tcp".into()),
+            min_share: 0.6,
+        };
+        assert!(!wrong.satisfied_by(&nb));
+        // Within the attacker-filtered views icmp reaches 100%, so the
+        // share test must be evaluated against the unfiltered overview only.
+        let overview = Notebook::replay(
+            "t",
+            &base(),
+            &[ResolvedOp::Group { key: "proto".into(), func: AggFunc::Count, agg: "len".into() }],
+        );
+        let too_high = InsightCheck::DominantGroup {
+            key: "proto".into(),
+            value: Value::Str("icmp".into()),
+            min_share: 0.9,
+        };
+        assert!(!too_high.satisfied_by(&overview));
+    }
+
+    #[test]
+    fn drilled_into_detected() {
+        let nb = notebook();
+        let check = InsightCheck::DrilledInto {
+            attr: "src".into(),
+            value: Value::Str("attacker".into()),
+        };
+        assert!(check.satisfied_by(&nb));
+        let miss = InsightCheck::DrilledInto {
+            attr: "src".into(),
+            value: Value::Str("nobody".into()),
+        };
+        assert!(!miss.satisfied_by(&nb));
+    }
+
+    #[test]
+    fn extreme_group_detected() {
+        let nb = notebook();
+        // After the filter, the grouped AVG(len) view only has "attacker";
+        // its avg (64) attains the max trivially.
+        let check = InsightCheck::ExtremeGroup {
+            key: "src".into(),
+            agg: "len".into(),
+            value: Value::Str("attacker".into()),
+        };
+        assert!(check.satisfied_by(&nb));
+    }
+
+    #[test]
+    fn examined_detected() {
+        let nb = notebook();
+        assert!(InsightCheck::Examined { attr: "proto".into() }.satisfied_by(&nb));
+        assert!(InsightCheck::Examined { attr: "len".into() }.satisfied_by(&nb));
+        // No view touches a nonexistent column.
+        assert!(!InsightCheck::Examined { attr: "zzz".into() }.satisfied_by(&nb));
+    }
+
+    #[test]
+    fn many_groups_with_context() {
+        let nb = notebook();
+        let check = InsightCheck::ManyGroups {
+            key: "src".into(),
+            min_groups: 1,
+            context_attr: Some(("src".into(), Value::Str("attacker".into()))),
+        };
+        assert!(check.satisfied_by(&nb));
+        let wrong_ctx = InsightCheck::ManyGroups {
+            key: "src".into(),
+            min_groups: 1,
+            context_attr: Some(("src".into(), Value::Str("normal".into()))),
+        };
+        assert!(!wrong_ctx.satisfied_by(&nb));
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let nb = notebook();
+        let insights = vec![
+            Insight::new(
+                "a",
+                "icmp dominates",
+                InsightCheck::DominantGroup {
+                    key: "proto".into(),
+                    value: Value::Str("icmp".into()),
+                    min_share: 0.5,
+                },
+            ),
+            Insight::new(
+                "b",
+                "never found",
+                InsightCheck::Examined { attr: "missing".into() },
+            ),
+        ];
+        assert!((insight_coverage(&nb, &insights) - 0.5).abs() < 1e-12);
+        assert_eq!(insight_coverage(&nb, &[]), 0.0);
+    }
+}

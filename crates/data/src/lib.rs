@@ -1,0 +1,82 @@
+//! # atena-data
+//!
+//! The experimental datasets of the paper's evaluation (§6.1, Table 1),
+//! rebuilt as deterministic synthetic generators (see DESIGN.md §3 for the
+//! substitution rationale):
+//!
+//! - four **cyber-security captures** (ICMP range scan, remote code
+//!   execution, phishing, TCP port scan) over a honeynet-style packet
+//!   schema, with the challenge "official solutions" planted as
+//!   machine-checkable [`Insight`]s;
+//! - four **flight-delay subsets** over a Kaggle-2015-style schema with
+//!   planted delay phenomena;
+//! - hand-authored **gold-standard notebooks** (5–7 per dataset) expressed
+//!   in the supported operation set;
+//! - a **simulated analyst-trace** generator reproducing the
+//!   goal-directed-but-uncurated character of the recorded sessions the
+//!   paper replays.
+
+#![warn(missing_docs)]
+
+pub mod cyber;
+pub mod flights;
+mod insights;
+mod opdsl;
+mod packets;
+mod spec;
+mod traces;
+
+pub use cyber::{all_cyber, cyber1, cyber2, cyber3, cyber4};
+pub use flights::{all_flights, flights1, flights2, flights3, flights4};
+pub use insights::{insight_coverage, Insight, InsightCheck};
+pub use opdsl::{b, f, g};
+pub use packets::{background_traffic, build_frame, internal_host, Packet};
+pub use spec::{Collection, DatasetSpec, ExperimentalDataset};
+pub use traces::{simulate_traces, TraceConfig};
+
+/// All eight experimental datasets, in Table 1 order.
+pub fn all_datasets() -> Vec<ExperimentalDataset> {
+    let mut v = all_cyber();
+    v.extend(all_flights());
+    v
+}
+
+/// Look up a dataset by its stable id (`cyber1` … `flights4`).
+pub fn dataset_by_id(id: &str) -> Option<ExperimentalDataset> {
+    all_datasets().into_iter().find(|d| d.spec.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_datasets_in_table1_order() {
+        let all = all_datasets();
+        assert_eq!(all.len(), 8);
+        let ids: Vec<&str> = all.iter().map(|d| d.spec.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec!["cyber1", "cyber2", "cyber3", "cyber4", "flights1", "flights2", "flights3", "flights4"]
+        );
+        let rows: Vec<usize> = all.iter().map(|d| d.spec.rows).collect();
+        assert_eq!(rows, vec![8648, 348, 745, 13625, 5661, 8172, 1082, 2175]);
+        for d in &all {
+            assert_eq!(d.frame.n_rows(), d.spec.rows, "{}", d.spec.id);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(dataset_by_id("cyber3").is_some());
+        assert!(dataset_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn focal_attrs_match_paper() {
+        let c = dataset_by_id("cyber1").unwrap();
+        assert_eq!(c.focal_attrs(), vec!["source_ip", "destination_ip"]);
+        let f = dataset_by_id("flights2").unwrap();
+        assert_eq!(f.focal_attrs(), vec!["departure_delay", "arrival_delay"]);
+    }
+}

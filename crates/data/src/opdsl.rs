@@ -1,0 +1,32 @@
+//! Tiny helpers for hand-authoring gold-standard operation sequences.
+
+use atena_dataframe::{AggFunc, CmpOp, Predicate, Value};
+use atena_env::ResolvedOp;
+
+/// `FILTER(attr op term)`.
+pub fn f(attr: &str, op: CmpOp, term: impl Into<Value>) -> ResolvedOp {
+    ResolvedOp::Filter(Predicate::new(attr, op, term))
+}
+
+/// `GROUP(key, func, agg)`.
+pub fn g(key: &str, func: AggFunc, agg: &str) -> ResolvedOp {
+    ResolvedOp::Group { key: key.to_string(), func, agg: agg.to_string() }
+}
+
+/// `BACK()`.
+pub fn b() -> ResolvedOp {
+    ResolvedOp::Back
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_env::OpType;
+
+    #[test]
+    fn dsl_builds_ops() {
+        assert_eq!(f("x", CmpOp::Eq, 1i64).op_type(), OpType::Filter);
+        assert_eq!(g("x", AggFunc::Count, "y").op_type(), OpType::Group);
+        assert_eq!(b().op_type(), OpType::Back);
+    }
+}

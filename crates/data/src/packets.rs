@@ -1,0 +1,206 @@
+//! Shared packet-capture machinery for the cyber-security dataset
+//! generators: a honeynet-style schema and a background-traffic generator
+//! with heavy-tailed (Zipf-like) token frequencies — the structure the
+//! logarithmic term binning exploits.
+
+use atena_dataframe::{AttrRole, DataFrame};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One packet row of the capture schema.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Seconds offset from capture start.
+    pub time: i64,
+    /// Source IP address.
+    pub source_ip: String,
+    /// Destination IP address.
+    pub destination_ip: String,
+    /// Protocol label (tcp/udp/icmp/http/dns/smtp).
+    pub protocol: &'static str,
+    /// Source port (null for icmp).
+    pub source_port: Option<i64>,
+    /// Destination port (null for icmp).
+    pub destination_port: Option<i64>,
+    /// Frame length in bytes.
+    pub length: i64,
+    /// TCP flags (null for non-tcp).
+    pub tcp_flags: Option<&'static str>,
+    /// Free-text info column (wireshark-style).
+    pub info: String,
+}
+
+/// Build the capture dataframe from packets, sorted by time.
+pub fn build_frame(mut packets: Vec<Packet>) -> DataFrame {
+    packets.sort_by_key(|p| p.time);
+    DataFrame::builder()
+        .int("time", AttrRole::Temporal, packets.iter().map(|p| Some(p.time)))
+        .str_owned(
+            "source_ip",
+            AttrRole::Categorical,
+            packets.iter().map(|p| Some(p.source_ip.clone())),
+        )
+        .str_owned(
+            "destination_ip",
+            AttrRole::Categorical,
+            packets.iter().map(|p| Some(p.destination_ip.clone())),
+        )
+        .str(
+            "protocol",
+            AttrRole::Categorical,
+            packets.iter().map(|p| Some(p.protocol)),
+        )
+        .int(
+            "source_port",
+            AttrRole::Categorical,
+            packets.iter().map(|p| p.source_port),
+        )
+        .int(
+            "destination_port",
+            AttrRole::Categorical,
+            packets.iter().map(|p| p.destination_port),
+        )
+        .int("length", AttrRole::Numeric, packets.iter().map(|p| Some(p.length)))
+        .str(
+            "tcp_flags",
+            AttrRole::Categorical,
+            packets.iter().map(|p| p.tcp_flags),
+        )
+        .str_owned("info", AttrRole::Text, packets.iter().map(|p| Some(p.info.clone())))
+        .build()
+        .expect("capture schema is consistent")
+}
+
+/// Internal hosts of the simulated network.
+pub fn internal_host(i: usize) -> String {
+    format!("10.0.0.{}", (i % 20) + 1)
+}
+
+/// Generate `n` packets of plausible background traffic: web-heavy TCP with
+/// DNS lookups and the occasional SMTP, Zipf-skewed host activity.
+pub fn background_traffic(n: usize, t0: i64, duration: i64, rng: &mut StdRng) -> Vec<Packet> {
+    let external = [
+        "93.184.216.34",
+        "142.250.74.78",
+        "151.101.1.140",
+        "104.16.132.229",
+        "40.97.153.146",
+    ];
+    let mut packets = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Zipf-ish host selection: low indices far more active.
+        let host_rank = (rng.gen_range(0.0f64..1.0).powi(3) * 20.0) as usize;
+        let host = internal_host(host_rank);
+        let ext = external[(rng.gen_range(0.0f64..1.0).powi(2) * external.len() as f64) as usize]
+            .to_string();
+        let t = t0 + rng.gen_range(0..duration.max(1));
+        let roll: f64 = rng.gen();
+        let outbound = rng.gen_bool(0.6);
+        let (src, dst) = if outbound { (host, ext) } else { (ext, host) };
+        let p = if roll < 0.45 {
+            Packet {
+                time: t,
+                source_ip: src,
+                destination_ip: dst,
+                protocol: "tcp",
+                source_port: Some(rng.gen_range(49152..65535)),
+                destination_port: Some(*[443i64, 443, 80, 22, 8080].get(rng.gen_range(0..5)).unwrap()),
+                length: 60 + rng.gen_range(0..1400),
+                tcp_flags: Some(["ACK", "PSH-ACK", "SYN", "FIN-ACK"][rng.gen_range(0..4)]),
+                info: "tcp segment".to_string(),
+            }
+        } else if roll < 0.70 {
+            Packet {
+                time: t,
+                source_ip: src,
+                destination_ip: dst,
+                protocol: "http",
+                source_port: Some(rng.gen_range(49152..65535)),
+                destination_port: Some(80),
+                length: 200 + rng.gen_range(0..1200),
+                tcp_flags: Some("PSH-ACK"),
+                info: format!(
+                    "GET /{} HTTP/1.1",
+                    ["index.html", "news", "api/v1/items", "images/logo.png", "search?q=rust"]
+                        [rng.gen_range(0..5)]
+                ),
+            }
+        } else if roll < 0.90 {
+            Packet {
+                time: t,
+                source_ip: src,
+                destination_ip: dst,
+                protocol: "dns",
+                source_port: Some(rng.gen_range(49152..65535)),
+                destination_port: Some(53),
+                length: 60 + rng.gen_range(0..120),
+                tcp_flags: None,
+                info: format!(
+                    "Standard query A {}",
+                    ["example.com", "google.com", "github.com", "cdn.site.net", "mail.corp.local"]
+                        [rng.gen_range(0..5)]
+                ),
+            }
+        } else {
+            Packet {
+                time: t,
+                source_ip: src,
+                destination_ip: dst,
+                protocol: "smtp",
+                source_port: Some(rng.gen_range(49152..65535)),
+                destination_port: Some(25),
+                length: 100 + rng.gen_range(0..800),
+                tcp_flags: Some("PSH-ACK"),
+                info: "MAIL FROM".to_string(),
+            }
+        };
+        packets.push(p);
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn background_traffic_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let packets = background_traffic(500, 0, 3600, &mut rng);
+        assert_eq!(packets.len(), 500);
+        let frame = build_frame(packets);
+        assert_eq!(frame.n_rows(), 500);
+        assert_eq!(frame.n_cols(), 9);
+        // TCP/HTTP dominate; ICMP absent from background.
+        let protos = frame.column("protocol").unwrap().value_counts();
+        assert!(protos.len() >= 3);
+        assert!(!protos.contains_key(&atena_dataframe::ValueKey::Str("icmp".into())));
+        // ICMP-free background has ports everywhere.
+        assert_eq!(frame.column("source_port").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn host_activity_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let packets = background_traffic(2000, 0, 3600, &mut rng);
+        let frame = build_frame(packets);
+        let counts = frame.column("source_ip").unwrap().value_counts();
+        let max = counts.values().copied().max().unwrap();
+        let min = counts.values().copied().min().unwrap();
+        assert!(max > min * 3, "expected skew, got max {max} min {min}");
+    }
+
+    #[test]
+    fn frame_is_time_sorted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let frame = build_frame(background_traffic(300, 100, 500, &mut rng));
+        let col = frame.column("time").unwrap();
+        let mut prev = i64::MIN;
+        for v in col.iter() {
+            let t = v.as_f64().unwrap() as i64;
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Dataset specifications and the bundled experimental artifacts.
+
+use crate::insights::Insight;
+use atena_dataframe::DataFrame;
+use atena_env::ResolvedOp;
+use serde::{Deserialize, Serialize};
+
+/// Which collection a dataset belongs to (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collection {
+    /// Cyber-security challenge captures (Table 1, Cyber #1–#4).
+    Cyber,
+    /// Flight-delay subsets (Table 1, Flights #1–#4).
+    Flights,
+}
+
+impl Collection {
+    /// The focal attributes used in the paper's experiments (§6.1):
+    /// `source_ip`/`destination_ip` for cyber, the delay columns for
+    /// flights.
+    pub fn focal_attrs(&self) -> Vec<String> {
+        match self {
+            Collection::Cyber => vec!["source_ip".into(), "destination_ip".into()],
+            Collection::Flights => {
+                vec!["departure_delay".into(), "arrival_delay".into()]
+            }
+        }
+    }
+}
+
+/// Metadata of an experimental dataset (one Table 1 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Stable id, e.g. `cyber1`.
+    pub id: String,
+    /// Display name, e.g. `Cyber #1`.
+    pub name: String,
+    /// Table 1 description.
+    pub description: String,
+    /// Row count (matches Table 1 exactly).
+    pub rows: usize,
+    /// Collection.
+    pub collection: Collection,
+}
+
+/// A fully materialized experimental dataset: data, planted insights,
+/// gold-standard notebooks, and simulated analyst traces.
+pub struct ExperimentalDataset {
+    /// Metadata.
+    pub spec: DatasetSpec,
+    /// The data.
+    pub frame: DataFrame,
+    /// The planted insight list (the "official solution").
+    pub insights: Vec<Insight>,
+    /// Gold-standard notebooks: curated operation sequences authored to
+    /// guide a reader through the planted phenomena (5–7 per dataset).
+    pub gold_standards: Vec<Vec<ResolvedOp>>,
+    /// The exploration goal shown to analysts (and used by the trace
+    /// simulator).
+    pub goal: String,
+}
+
+impl ExperimentalDataset {
+    /// Focal attributes for this dataset.
+    pub fn focal_attrs(&self) -> Vec<String> {
+        self.spec.collection.focal_attrs()
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports RFC-4180-style quoting (`"a,b"`, doubled quotes) — enough to
+//! round-trip the synthetic experimental datasets and ingest user CSVs in
+//! the examples.
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::schema::{AttrRole, Field};
+use crate::value::DType;
+
+/// Parse one CSV line into fields, honoring quotes.
+fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(DataFrameError::Csv {
+                    line: line_no,
+                    message: "unexpected quote inside unquoted field".into(),
+                })
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DataFrameError::Csv { line: line_no, message: "unterminated quote".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Infer the narrowest type that fits every non-empty cell in a column.
+fn infer_dtype(cells: &[&str]) -> DType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    let mut saw_value = false;
+    for &c in cells {
+        if c.is_empty() {
+            continue;
+        }
+        saw_value = true;
+        if c.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if c.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if !matches!(c, "true" | "false" | "True" | "False") {
+            all_bool = false;
+        }
+    }
+    if !saw_value {
+        return DType::Str;
+    }
+    if all_bool {
+        DType::Bool
+    } else if all_int {
+        DType::Int
+    } else if all_float {
+        DType::Float
+    } else {
+        DType::Str
+    }
+}
+
+impl DataFrame {
+    /// Parse a CSV string (first line is the header). Empty cells become
+    /// nulls; column types are inferred, semantic roles via
+    /// [`AttrRole::infer`].
+    pub fn from_csv_str(text: &str) -> Result<DataFrame> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines
+            .next()
+            .ok_or(DataFrameError::Csv { line: 1, message: "empty input".into() })?;
+        let names = parse_line(header, 1)?;
+        let n_cols = names.len();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, line) in lines {
+            let fields = parse_line(line, i + 1)?;
+            if fields.len() != n_cols {
+                return Err(DataFrameError::Csv {
+                    line: i + 1,
+                    message: format!("expected {n_cols} fields, found {}", fields.len()),
+                });
+            }
+            rows.push(fields);
+        }
+
+        let mut pairs = Vec::with_capacity(n_cols);
+        for (c, name) in names.iter().enumerate() {
+            let cells: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
+            let dtype = infer_dtype(&cells);
+            let column = build_column(dtype, &cells);
+            let role = AttrRole::infer(dtype, column.n_distinct(), column.len());
+            pairs.push((Field::new(name.clone(), dtype, role), column));
+        }
+        DataFrame::new(pairs)
+    }
+
+    /// Serialize the frame to a CSV string (nulls as empty cells).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        let names = self.schema().names();
+        out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in 0..self.n_rows() {
+            let row: Vec<String> = (0..self.n_cols())
+                .map(|c| {
+                    let v = self.column_at(c).get(r);
+                    if v.is_null() {
+                        String::new()
+                    } else {
+                        quote(&v.to_string())
+                    }
+                })
+                .collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn build_column(dtype: DType, cells: &[&str]) -> Column {
+    match dtype {
+        DType::Int => Column::from_ints(cells.iter().map(|c| c.parse::<i64>().ok())),
+        DType::Float => Column::from_floats(cells.iter().map(|c| c.parse::<f64>().ok())),
+        DType::Bool => Column::from_bools(
+            cells.iter().map(|c| match *c {
+                "true" | "True" => Some(true),
+                "false" | "False" => Some(false),
+                _ => None,
+            }),
+        ),
+        DType::Str => {
+            Column::from_strs(cells.iter().map(|c| if c.is_empty() { None } else { Some(*c) }))
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueRef;
+
+    #[test]
+    fn round_trip() {
+        let csv = "name,age,score\nalice,30,1.5\nbob,,2.0\n\"x,y\",7,\n";
+        let df = DataFrame::from_csv_str(csv).unwrap();
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(df.schema().field("age").unwrap().dtype, DType::Int);
+        assert_eq!(df.schema().field("score").unwrap().dtype, DType::Float);
+        assert_eq!(df.value(2, "name").unwrap(), ValueRef::Str("x,y"));
+        assert!(df.value(1, "age").unwrap().is_null());
+        let back = DataFrame::from_csv_str(&df.to_csv_string()).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.value(2, "name").unwrap(), ValueRef::Str("x,y"));
+    }
+
+    #[test]
+    fn type_inference() {
+        assert_eq!(infer_dtype(&["1", "2", ""]), DType::Int);
+        assert_eq!(infer_dtype(&["1", "2.5"]), DType::Float);
+        assert_eq!(infer_dtype(&["true", "False"]), DType::Bool);
+        assert_eq!(infer_dtype(&["1", "x"]), DType::Str);
+        assert_eq!(infer_dtype(&["", ""]), DType::Str);
+    }
+
+    #[test]
+    fn quoting_edge_cases() {
+        let fields = parse_line("a,\"b,\"\"c\"\"\",d", 1).unwrap();
+        assert_eq!(fields, vec!["a", "b,\"c\"", "d"]);
+        assert!(parse_line("\"unterminated", 1).is_err());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = DataFrame::from_csv_str("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, DataFrameError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(DataFrame::from_csv_str("").is_err());
+        assert!(DataFrame::from_csv_str("  \n \n").is_err());
+    }
+
+    #[test]
+    fn bool_parsing() {
+        let df = DataFrame::from_csv_str("flag\ntrue\nFalse\n\n").unwrap();
+        assert_eq!(df.value(0, "flag").unwrap(), ValueRef::Bool(true));
+        assert_eq!(df.value(1, "flag").unwrap(), ValueRef::Bool(false));
+    }
+}

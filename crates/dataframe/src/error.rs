@@ -1,0 +1,87 @@
+//! Error types for the dataframe engine.
+
+use std::fmt;
+
+/// Errors produced by dataframe operations.
+///
+/// The EDA environment intentionally lets an RL agent compose operations that
+/// may be ill-typed (e.g. `contains` on an integer column); those surface as
+/// [`DataFrameError::IncompatibleOp`] and are converted by the environment
+/// into a penalized no-op rather than a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataFrameError {
+    /// Referenced a column that does not exist in the schema.
+    ColumnNotFound(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// The operation is not defined for the column's data type.
+    IncompatibleOp {
+        /// Column the operation was applied to.
+        column: String,
+        /// Human-readable description of the offending operation.
+        op: String,
+        /// Data type of the column.
+        dtype: &'static str,
+    },
+    /// Columns of differing lengths were combined into one frame.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Actual number of rows in the offending column.
+        actual: usize,
+        /// Name of the offending column.
+        column: String,
+    },
+    /// A value of the wrong type was pushed into a column.
+    TypeMismatch {
+        /// Column data type.
+        expected: &'static str,
+        /// Type of the pushed value.
+        actual: &'static str,
+    },
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        index: usize,
+        /// Number of rows in the frame.
+        len: usize,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An aggregation was requested over an empty or incompatible input.
+    InvalidAggregate(String),
+}
+
+impl fmt::Display for DataFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            Self::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            Self::IncompatibleOp { column, op, dtype } => {
+                write!(f, "operation {op} is not defined for column {column:?} of type {dtype}")
+            }
+            Self::LengthMismatch { expected, actual, column } => write!(
+                f,
+                "column {column:?} has {actual} rows but the frame has {expected}"
+            ),
+            Self::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            Self::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for frame of {len} rows")
+            }
+            Self::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            Self::InvalidAggregate(msg) => write!(f, "invalid aggregate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataFrameError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataFrameError>;

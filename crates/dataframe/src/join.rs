@@ -1,0 +1,174 @@
+//! Hash joins — the operation the paper lists as the natural next
+//! extension of the EDA action space (§3, §7: "can be extended to support,
+//! e.g., visualizations and joins").
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::schema::Field;
+use crate::value::ValueKey;
+use std::collections::HashMap;
+
+/// Join variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Keep only matching key pairs.
+    Inner,
+    /// Keep every left row; unmatched right columns become null.
+    Left,
+}
+
+impl DataFrame {
+    /// Hash-join `self` with `other` on `left_key == right_key`.
+    ///
+    /// Null keys never match (SQL semantics). Output columns: all of
+    /// `self`'s, then `other`'s minus its key column; name collisions on the
+    /// right side are suffixed with `_right`.
+    pub fn join(
+        &self,
+        other: &DataFrame,
+        left_key: &str,
+        right_key: &str,
+        kind: JoinKind,
+    ) -> Result<DataFrame> {
+        let left_col = self.column(left_key)?;
+        let right_col = other.column(right_key)?;
+        if left_col.dtype() != right_col.dtype() {
+            return Err(DataFrameError::TypeMismatch {
+                expected: left_col.dtype().name(),
+                actual: right_col.dtype().name(),
+            });
+        }
+
+        // Build the hash index over the right side.
+        let mut index: HashMap<ValueKey, Vec<usize>> = HashMap::new();
+        for r in 0..other.n_rows() {
+            let v = right_col.get(r);
+            if !v.is_null() {
+                index.entry(v.key()).or_default().push(r);
+            }
+        }
+
+        // Probe.
+        let mut left_rows: Vec<usize> = Vec::new();
+        let mut right_rows: Vec<Option<usize>> = Vec::new();
+        for l in 0..self.n_rows() {
+            let v = left_col.get(l);
+            let matches = if v.is_null() { None } else { index.get(&v.key()) };
+            match matches {
+                Some(rs) => {
+                    for &r in rs {
+                        left_rows.push(l);
+                        right_rows.push(Some(r));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_rows.push(l);
+                        right_rows.push(None);
+                    }
+                }
+            }
+        }
+
+        // Assemble output.
+        let mut pairs: Vec<(Field, Column)> = Vec::new();
+        for (i, field) in self.schema().fields().iter().enumerate() {
+            pairs.push((field.clone(), self.column_at(i).take(&left_rows)));
+        }
+        let left_names: Vec<&str> = self.schema().names();
+        for (i, field) in other.schema().fields().iter().enumerate() {
+            if field.name == right_key {
+                continue;
+            }
+            let mut field = field.clone();
+            if left_names.contains(&field.name.as_str()) {
+                field.name = format!("{}_right", field.name);
+            }
+            let src = other.column_at(i);
+            let mut out = Column::empty(src.dtype());
+            for r in &right_rows {
+                let value = match r {
+                    Some(r) => src.get(*r).to_owned(),
+                    None => crate::value::Value::Null,
+                };
+                out.push(value).expect("column types align");
+            }
+            pairs.push((field, out));
+        }
+        DataFrame::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrRole;
+    use crate::value::ValueRef;
+
+    fn flights() -> DataFrame {
+        DataFrame::builder()
+            .str("airline", AttrRole::Categorical, vec![Some("AA"), Some("DL"), Some("ZZ"), None])
+            .int("delay", AttrRole::Numeric, vec![Some(10), Some(20), Some(30), Some(40)])
+            .build()
+            .unwrap()
+    }
+
+    fn carriers() -> DataFrame {
+        DataFrame::builder()
+            .str("code", AttrRole::Categorical, vec![Some("AA"), Some("DL"), Some("UA")])
+            .str(
+                "carrier_name",
+                AttrRole::Text,
+                vec![Some("American"), Some("Delta"), Some("United")],
+            )
+            .int("delay", AttrRole::Numeric, vec![Some(1), Some(2), Some(3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_only() {
+        let out = flights().join(&carriers(), "airline", "code", JoinKind::Inner).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.value(0, "carrier_name").unwrap(), ValueRef::Str("American"));
+        // Right-side "delay" collides and is suffixed.
+        assert_eq!(out.schema().names(), vec!["airline", "delay", "carrier_name", "delay_right"]);
+        assert_eq!(out.value(1, "delay_right").unwrap(), ValueRef::Int(2));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let out = flights().join(&carriers(), "airline", "code", JoinKind::Left).unwrap();
+        assert_eq!(out.n_rows(), 4);
+        assert!(out.value(2, "carrier_name").unwrap().is_null()); // ZZ
+        assert!(out.value(3, "carrier_name").unwrap().is_null()); // null key
+        assert_eq!(out.value(3, "delay").unwrap(), ValueRef::Int(40));
+    }
+
+    #[test]
+    fn one_to_many_fanout() {
+        let many = DataFrame::builder()
+            .str("k", AttrRole::Categorical, vec![Some("AA"), Some("AA")])
+            .int("x", AttrRole::Numeric, vec![Some(1), Some(2)])
+            .build()
+            .unwrap();
+        let out = flights().join(&many, "airline", "k", JoinKind::Inner).unwrap();
+        // The single AA flight matches both right rows.
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.value(0, "airline").unwrap(), ValueRef::Str("AA"));
+        assert_eq!(out.value(1, "airline").unwrap(), ValueRef::Str("AA"));
+    }
+
+    #[test]
+    fn key_type_mismatch_rejected() {
+        let err = flights().join(&carriers(), "delay", "code", JoinKind::Inner).unwrap_err();
+        assert!(matches!(err, DataFrameError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_key_rejected() {
+        let err = flights().join(&carriers(), "nope", "code", JoinKind::Inner).unwrap_err();
+        assert!(matches!(err, DataFrameError::ColumnNotFound(_)));
+    }
+}

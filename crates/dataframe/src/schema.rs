@@ -1,0 +1,181 @@
+//! Schema: named, typed fields with semantic roles.
+
+use crate::error::{DataFrameError, Result};
+use crate::value::DType;
+use serde::{Deserialize, Serialize};
+
+/// Semantic role of an attribute, used by the coherency rules of the reward
+/// signal (e.g. "group-by on a continuous numerical attribute is incoherent",
+/// "aggregating an identifier column is incoherent").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrRole {
+    /// Continuous numeric measurement (delay minutes, packet length, ...).
+    Numeric,
+    /// Low-cardinality category (airline, protocol, day-of-week, ...).
+    Categorical,
+    /// Free-form text (URLs, info strings, ...).
+    Text,
+    /// Row or entity identifier (flight number, packet id, ...).
+    Identifier,
+    /// Timestamp-like ordinal.
+    Temporal,
+}
+
+impl AttrRole {
+    /// Heuristic role inference from physical type and cardinality, used when
+    /// the caller does not annotate roles (e.g. CSV ingestion).
+    pub fn infer(dtype: DType, n_distinct: usize, n_rows: usize) -> AttrRole {
+        match dtype {
+            DType::Bool => AttrRole::Categorical,
+            DType::Str => {
+                if n_rows > 0 && n_distinct * 2 >= n_rows && n_distinct > 20 {
+                    AttrRole::Text
+                } else {
+                    AttrRole::Categorical
+                }
+            }
+            DType::Int | DType::Float => {
+                if n_rows > 0 && n_distinct * 2 >= n_rows && n_distinct > 20 {
+                    AttrRole::Numeric
+                } else if n_distinct <= 50 {
+                    AttrRole::Categorical
+                } else {
+                    AttrRole::Numeric
+                }
+            }
+        }
+    }
+}
+
+/// A named, typed field of a dataframe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Physical data type.
+    pub dtype: DType,
+    /// Semantic role for coherency rules.
+    pub role: AttrRole,
+}
+
+impl Field {
+    /// Create a field with an explicit role.
+    pub fn new(name: impl Into<String>, dtype: DType, role: AttrRole) -> Self {
+        Self { name: name.into(), dtype, role }
+    }
+}
+
+/// Ordered collection of fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from fields, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.as_str()) {
+                return Err(DataFrameError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Self { fields })
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Positional index of a field by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DataFrameError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Field by position.
+    pub fn field_at(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Append a field, rejecting duplicates.
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.fields.iter().any(|f| f.name == field.name) {
+            return Err(DataFrameError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DType::Int, AttrRole::Numeric),
+            Field::new("b", DType::Str, AttrRole::Categorical),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.field("a").unwrap().dtype, DType::Int);
+        assert!(matches!(s.index_of("zzz"), Err(DataFrameError::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("x", DType::Int, AttrRole::Numeric),
+            Field::new("x", DType::Str, AttrRole::Text),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DataFrameError::DuplicateColumn(_)));
+
+        let mut s = sample();
+        assert!(s.push(Field::new("a", DType::Bool, AttrRole::Categorical)).is_err());
+        assert!(s.push(Field::new("c", DType::Bool, AttrRole::Categorical)).is_ok());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn role_inference() {
+        // High-cardinality string -> Text
+        assert_eq!(AttrRole::infer(DType::Str, 900, 1000), AttrRole::Text);
+        // Low-cardinality string -> Categorical
+        assert_eq!(AttrRole::infer(DType::Str, 5, 1000), AttrRole::Categorical);
+        // High-cardinality float -> Numeric
+        assert_eq!(AttrRole::infer(DType::Float, 800, 1000), AttrRole::Numeric);
+        // Small-domain int -> Categorical
+        assert_eq!(AttrRole::infer(DType::Int, 7, 1000), AttrRole::Categorical);
+        assert_eq!(AttrRole::infer(DType::Bool, 2, 10), AttrRole::Categorical);
+    }
+}

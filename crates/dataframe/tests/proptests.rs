@@ -1,0 +1,177 @@
+//! Property-based tests for the dataframe engine's core invariants.
+
+use atena_dataframe::{
+    entropy_of_counts, AggFunc, AttrRole, CmpOp, DataFrame, Predicate, Value, ValueDistribution,
+    ValueKey,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn int_frame(values: Vec<Option<i64>>, cats: Vec<u8>) -> DataFrame {
+    let n = values.len().min(cats.len());
+    let cat_strs: Vec<Option<String>> =
+        cats.iter().take(n).map(|c| Some(format!("c{}", c % 5))).collect();
+    DataFrame::builder()
+        .int("x", AttrRole::Numeric, values.into_iter().take(n))
+        .str_owned("cat", AttrRole::Categorical, cat_strs)
+        .build()
+        .expect("valid frame")
+}
+
+proptest! {
+    /// Filtering never invents rows, and filter + complement partition the frame.
+    #[test]
+    fn filter_partitions_rows(
+        values in prop::collection::vec(prop::option::of(-50i64..50), 1..200),
+        cats in prop::collection::vec(any::<u8>(), 1..200),
+        term in -50i64..50,
+    ) {
+        let df = int_frame(values, cats);
+        let gt = df.filter(&Predicate::new("x", CmpOp::Gt, term)).unwrap();
+        let le = df.filter(&Predicate::new("x", CmpOp::Le, term)).unwrap();
+        let nulls = df.filter(&Predicate::new("x", CmpOp::Eq, Value::Null)).unwrap();
+        prop_assert_eq!(gt.n_rows() + le.n_rows() + nulls.n_rows(), df.n_rows());
+    }
+
+    /// Eq and Neq are complementary for non-null values.
+    #[test]
+    fn eq_neq_complementary(
+        values in prop::collection::vec(prop::option::of(-10i64..10), 1..100),
+        cats in prop::collection::vec(any::<u8>(), 1..100),
+        term in -10i64..10,
+    ) {
+        let df = int_frame(values, cats);
+        let eq = df.filter(&Predicate::new("x", CmpOp::Eq, term)).unwrap();
+        let neq = df.filter(&Predicate::new("x", CmpOp::Neq, term)).unwrap();
+        // Neq includes nulls under our semantics; Eq excludes them.
+        prop_assert_eq!(eq.n_rows() + neq.n_rows(), df.n_rows());
+    }
+
+    /// Group sizes always sum to the number of source rows.
+    #[test]
+    fn group_sizes_sum_to_rows(
+        values in prop::collection::vec(prop::option::of(-5i64..5), 1..150),
+        cats in prop::collection::vec(any::<u8>(), 1..150),
+    ) {
+        let df = int_frame(values, cats);
+        let g = df.group_by(&["cat"]).unwrap();
+        let total: usize = g.group_sizes().iter().sum();
+        prop_assert_eq!(total, df.n_rows());
+        prop_assert!(g.n_groups() <= 5);
+    }
+
+    /// COUNT aggregates sum to the number of non-null aggregated values.
+    #[test]
+    fn count_aggregate_conservation(
+        values in prop::collection::vec(prop::option::of(-5i64..5), 1..150),
+        cats in prop::collection::vec(any::<u8>(), 1..150),
+    ) {
+        let df = int_frame(values, cats);
+        let out = df.group_aggregate(&["cat"], AggFunc::Count, "x").unwrap();
+        let col = out.column("COUNT(x)").unwrap();
+        let total: i64 = col.iter().filter_map(|v| v.as_f64()).sum::<f64>() as i64;
+        let non_null = df.n_rows() - df.column("x").unwrap().null_count();
+        prop_assert_eq!(total, non_null as i64);
+    }
+
+    /// AVG of each group lies between the group's MIN and MAX.
+    #[test]
+    fn avg_bounded_by_min_max(
+        values in prop::collection::vec(-100i64..100, 2..100),
+        cats in prop::collection::vec(any::<u8>(), 2..100),
+    ) {
+        let df = int_frame(values.into_iter().map(Some).collect(), cats);
+        let avg = df.group_aggregate(&["cat"], AggFunc::Avg, "x").unwrap();
+        let min = df.group_aggregate(&["cat"], AggFunc::Min, "x").unwrap();
+        let max = df.group_aggregate(&["cat"], AggFunc::Max, "x").unwrap();
+        for r in 0..avg.n_rows() {
+            let a = avg.value(r, "AVG(x)").unwrap().as_f64().unwrap();
+            let lo = min.value(r, "MIN(x)").unwrap().as_f64().unwrap();
+            let hi = max.value(r, "MAX(x)").unwrap().as_f64().unwrap();
+            prop_assert!(lo - 1e-9 <= a && a <= hi + 1e-9, "{lo} <= {a} <= {hi}");
+        }
+    }
+
+    /// `take` preserves values at the gathered indices.
+    #[test]
+    fn take_preserves_values(
+        values in prop::collection::vec(prop::option::of(-50i64..50), 1..100),
+        cats in prop::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let df = int_frame(values, cats);
+        let idx: Vec<usize> = (0..df.n_rows()).rev().collect();
+        let rev = df.take(&idx);
+        for (new_row, &old_row) in idx.iter().enumerate() {
+            prop_assert_eq!(
+                rev.value(new_row, "x").unwrap().to_owned(),
+                df.value(old_row, "x").unwrap().to_owned()
+            );
+        }
+    }
+
+    /// Entropy is non-negative and bounded by log2 of support size.
+    #[test]
+    fn entropy_bounds(counts in prop::collection::vec(1usize..1000, 1..30)) {
+        let h = entropy_of_counts(counts.iter());
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9);
+    }
+
+    /// KL divergence is non-negative (Gibbs' inequality) and zero on self.
+    #[test]
+    fn kl_nonnegative(counts_p in prop::collection::vec(1usize..100, 1..20),
+                      counts_q in prop::collection::vec(1usize..100, 1..20)) {
+        let to_dist = |cs: &[usize]| {
+            let map: HashMap<ValueKey, usize> =
+                cs.iter().enumerate().map(|(i, &c)| (ValueKey::Int(i as i64), c)).collect();
+            ValueDistribution::from_counts(&map)
+        };
+        let p = to_dist(&counts_p);
+        let q = to_dist(&counts_q);
+        prop_assert!(p.kl_divergence(&q) >= 0.0);
+        prop_assert!(p.kl_divergence(&p) < 1e-9);
+    }
+
+    /// CSV round-trips preserve shape and values.
+    #[test]
+    fn csv_round_trip(
+        values in prop::collection::vec(prop::option::of(-1000i64..1000), 1..50),
+        cats in prop::collection::vec(any::<u8>(), 1..50),
+    ) {
+        let df = int_frame(values, cats);
+        let back = DataFrame::from_csv_str(&df.to_csv_string()).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        prop_assert_eq!(back.n_cols(), df.n_cols());
+        for r in 0..df.n_rows() {
+            prop_assert_eq!(
+                back.value(r, "x").unwrap().to_owned(),
+                df.value(r, "x").unwrap().to_owned()
+            );
+        }
+    }
+
+    /// Sorting is a permutation and is ordered on the sort key.
+    #[test]
+    fn sort_is_ordered_permutation(
+        values in prop::collection::vec(prop::option::of(-50i64..50), 1..100),
+        cats in prop::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let df = int_frame(values, cats);
+        let sorted = df.sort_by("x", false).unwrap();
+        prop_assert_eq!(sorted.n_rows(), df.n_rows());
+        let mut prev: Option<f64> = None;
+        let mut seen_null = false;
+        for r in 0..sorted.n_rows() {
+            match sorted.value(r, "x").unwrap().as_f64() {
+                Some(v) => {
+                    prop_assert!(!seen_null, "non-null after null");
+                    if let Some(p) = prev {
+                        prop_assert!(p <= v);
+                    }
+                    prev = Some(v);
+                }
+                None => seen_null = true,
+            }
+        }
+    }
+}

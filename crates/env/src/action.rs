@@ -1,0 +1,400 @@
+//! The parameterized EDA action space (paper §4.1).
+//!
+//! `OP = {FILTER, GROUP, BACK}`. FILTER takes an attribute, a comparison
+//! operator, and a term (chosen indirectly through a frequency bin, §5);
+//! GROUP takes a group-by attribute, an aggregation function, and an
+//! attribute to aggregate.
+
+use atena_dataframe::{AggFunc, CmpOp, DataFrame, Predicate, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation types of the action space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpType {
+    /// Select a data subset.
+    Filter,
+    /// Group and aggregate.
+    Group,
+    /// Backtrack to the previous display.
+    Back,
+}
+
+impl OpType {
+    /// Canonical order of the operation-type parameter domain.
+    pub const ALL: [OpType; 3] = [OpType::Filter, OpType::Group, OpType::Back];
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpType::Filter => f.write_str("FILTER"),
+            OpType::Group => f.write_str("GROUP"),
+            OpType::Back => f.write_str("BACK"),
+        }
+    }
+}
+
+/// An action expressed in parameter-domain *indices* — the form the policy
+/// network emits (one index per softmax segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdaAction {
+    /// `FILTER(attrs[attr], CmpOp::ALL[op], bin)`.
+    Filter {
+        /// Index into the attribute domain.
+        attr: usize,
+        /// Index into [`CmpOp::ALL`].
+        op: usize,
+        /// Frequency-bin index in `0..n_bins`.
+        bin: usize,
+    },
+    /// `GROUP(attrs[key], AggFunc::ALL[func], attrs[agg])`.
+    Group {
+        /// Index of the group-by attribute.
+        key: usize,
+        /// Index into [`AggFunc::ALL`].
+        func: usize,
+        /// Index of the aggregated attribute.
+        agg: usize,
+    },
+    /// Backtrack.
+    Back,
+}
+
+impl EdaAction {
+    /// Operation type of the action.
+    pub fn op_type(&self) -> OpType {
+        match self {
+            EdaAction::Filter { .. } => OpType::Filter,
+            EdaAction::Group { .. } => OpType::Group,
+            EdaAction::Back => OpType::Back,
+        }
+    }
+}
+
+/// A fully resolved operation: indices mapped to names, and the filter term
+/// materialized from its frequency bin. This is what notebooks show and
+/// what coherency rules inspect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResolvedOp {
+    /// A concrete filter predicate.
+    Filter(Predicate),
+    /// A concrete grouping.
+    Group {
+        /// Group-by attribute name.
+        key: String,
+        /// Aggregation function.
+        func: AggFunc,
+        /// Aggregated attribute name.
+        agg: String,
+    },
+    /// Backtrack.
+    Back,
+}
+
+impl ResolvedOp {
+    /// Operation type of the resolved op.
+    pub fn op_type(&self) -> OpType {
+        match self {
+            ResolvedOp::Filter(_) => OpType::Filter,
+            ResolvedOp::Group { .. } => OpType::Group,
+            ResolvedOp::Back => OpType::Back,
+        }
+    }
+
+    /// The simple verbal description shown next to each notebook entry
+    /// (paper §3: "each operation is accompanied by a simple verbal
+    /// description").
+    pub fn caption(&self) -> String {
+        match self {
+            ResolvedOp::Filter(p) => format!("Filter by {p}"),
+            ResolvedOp::Group { key, func, agg } => {
+                format!("Group by '{key}', show {func}({agg})")
+            }
+            ResolvedOp::Back => "Go back to the previous display".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ResolvedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolvedOp::Filter(p) => write!(f, "FILTER({p})"),
+            ResolvedOp::Group { key, func, agg } => write!(f, "GROUP('{key}', {func}, '{agg}')"),
+            ResolvedOp::Back => f.write_str("BACK()"),
+        }
+    }
+}
+
+/// Sizes of every softmax segment of the twofold output layer, in the
+/// canonical order: op-type, filter-attr, filter-op, filter-bin, group-key,
+/// agg-func, agg-attr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadSizes {
+    /// |OP| = 3.
+    pub op: usize,
+    /// |Attr| — filter attribute domain.
+    pub filter_attr: usize,
+    /// |CmpOp| = 8.
+    pub filter_op: usize,
+    /// B — number of frequency bins.
+    pub filter_bin: usize,
+    /// |Attr| — group-by attribute domain.
+    pub group_key: usize,
+    /// |AggFunc| = 5.
+    pub agg_func: usize,
+    /// |Attr| — aggregated attribute domain.
+    pub agg_attr: usize,
+}
+
+impl HeadSizes {
+    /// All head sizes in canonical order.
+    pub fn as_array(&self) -> [usize; 7] {
+        [
+            self.op,
+            self.filter_attr,
+            self.filter_op,
+            self.filter_bin,
+            self.group_key,
+            self.agg_func,
+            self.agg_attr,
+        ]
+    }
+
+    /// Size of the pre-output layer: `|OP| + Σ |V(p)|` (paper §5).
+    pub fn pre_output_size(&self) -> usize {
+        self.as_array().iter().sum()
+    }
+}
+
+/// The parameter domains of the action space for one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActionSpace {
+    attrs: Vec<String>,
+    n_bins: usize,
+}
+
+impl ActionSpace {
+    /// Build the action space from a dataset's schema.
+    pub fn from_frame(df: &DataFrame, n_bins: usize) -> Self {
+        Self {
+            attrs: df.schema().fields().iter().map(|f| f.name.clone()).collect(),
+            n_bins,
+        }
+    }
+
+    /// Attribute domain (column names).
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of frequency bins for the filter term parameter.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Sizes of all policy heads.
+    pub fn head_sizes(&self) -> HeadSizes {
+        HeadSizes {
+            op: OpType::ALL.len(),
+            filter_attr: self.attrs.len(),
+            filter_op: CmpOp::ALL.len(),
+            filter_bin: self.n_bins,
+            group_key: self.attrs.len(),
+            agg_func: AggFunc::ALL.len(),
+            agg_attr: self.attrs.len(),
+        }
+    }
+
+    /// Number of distinct actions in the *flat* (standard softmax)
+    /// enumeration with binned filter terms — the OTS-DRL-B baseline.
+    pub fn flat_size_binned(&self) -> usize {
+        let a = self.attrs.len();
+        a * CmpOp::ALL.len() * self.n_bins + a * AggFunc::ALL.len() * a + 1
+    }
+
+    /// Enumerate every action with binned filter terms, in a deterministic
+    /// order (BACK first, then filters, then groups).
+    pub fn enumerate_binned(&self) -> Vec<EdaAction> {
+        let a = self.attrs.len();
+        let mut out = Vec::with_capacity(self.flat_size_binned());
+        out.push(EdaAction::Back);
+        for attr in 0..a {
+            for op in 0..CmpOp::ALL.len() {
+                for bin in 0..self.n_bins {
+                    out.push(EdaAction::Filter { attr, op, bin });
+                }
+            }
+        }
+        for key in 0..a {
+            for func in 0..AggFunc::ALL.len() {
+                for agg in 0..a {
+                    out.push(EdaAction::Group { key, func, agg });
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerate actions with *explicit* filter terms restricted to the `k`
+    /// most frequent tokens of each column of `df` — the OTS-DRL baseline
+    /// (paper footnote 2: "we restricted the number of filter terms to the
+    /// ten most common tokens in each column").
+    pub fn enumerate_with_terms(&self, df: &DataFrame, k: usize) -> Vec<FlatTermAction> {
+        let mut out = Vec::new();
+        out.push(FlatTermAction::Back);
+        for (attr_idx, attr) in self.attrs.iter().enumerate() {
+            let Ok(col) = df.column(attr) else { continue };
+            let mut counts: Vec<(Value, usize)> = col
+                .value_counts()
+                .into_iter()
+                .map(|(key, c)| (key.to_value(), c))
+                .collect();
+            counts.sort_by(|a, b| {
+                b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+            });
+            counts.truncate(k);
+            for (op_idx, op) in CmpOp::ALL.iter().enumerate() {
+                if !op.supports(col.dtype()) {
+                    continue;
+                }
+                for (term, _) in &counts {
+                    out.push(FlatTermAction::Filter {
+                        attr: attr_idx,
+                        op: op_idx,
+                        term: term.clone(),
+                    });
+                }
+            }
+        }
+        for key in 0..self.attrs.len() {
+            for func in 0..AggFunc::ALL.len() {
+                for agg in 0..self.attrs.len() {
+                    out.push(FlatTermAction::Group { key, func, agg });
+                }
+            }
+        }
+        out
+    }
+
+    /// Attribute name by domain index.
+    pub fn attr_name(&self, idx: usize) -> Option<&str> {
+        self.attrs.get(idx).map(String::as_str)
+    }
+}
+
+/// An action from the flat enumeration with explicit filter terms (used by
+/// the OTS-DRL baseline only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlatTermAction {
+    /// Filter with a concrete term.
+    Filter {
+        /// Attribute domain index.
+        attr: usize,
+        /// Index into [`CmpOp::ALL`].
+        op: usize,
+        /// Concrete term value.
+        term: Value,
+    },
+    /// Group (same indices as [`EdaAction::Group`]).
+    Group {
+        /// Group-by attribute index.
+        key: usize,
+        /// Index into [`AggFunc::ALL`].
+        func: usize,
+        /// Aggregated attribute index.
+        agg: usize,
+    },
+    /// Backtrack.
+    Back,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_dataframe::AttrRole;
+
+    fn df() -> DataFrame {
+        DataFrame::builder()
+            .str("a", AttrRole::Categorical, vec![Some("x"), Some("x"), Some("y")])
+            .int("b", AttrRole::Numeric, vec![Some(1), Some(2), Some(2)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn head_sizes_and_pre_output() {
+        let space = ActionSpace::from_frame(&df(), 10);
+        let h = space.head_sizes();
+        assert_eq!(h.op, 3);
+        assert_eq!(h.filter_attr, 2);
+        assert_eq!(h.filter_op, 8);
+        assert_eq!(h.filter_bin, 10);
+        assert_eq!(h.agg_func, 5);
+        // |OP| + Σ|V(p)| = 3 + 2 + 8 + 10 + 2 + 5 + 2 = 32
+        assert_eq!(h.pre_output_size(), 32);
+    }
+
+    #[test]
+    fn flat_enumeration_size_matches() {
+        let space = ActionSpace::from_frame(&df(), 10);
+        let all = space.enumerate_binned();
+        assert_eq!(all.len(), space.flat_size_binned());
+        // 2*8*10 + 2*5*2 + 1 = 160 + 20 + 1
+        assert_eq!(all.len(), 181);
+        assert_eq!(all[0], EdaAction::Back);
+    }
+
+    #[test]
+    fn term_enumeration_respects_type_support() {
+        let space = ActionSpace::from_frame(&df(), 10);
+        let all = space.enumerate_with_terms(&df(), 10);
+        // No Contains on the int column.
+        for a in &all {
+            if let FlatTermAction::Filter { attr, op, .. } = a {
+                let dtype = if *attr == 0 {
+                    atena_dataframe::DType::Str
+                } else {
+                    atena_dataframe::DType::Int
+                };
+                assert!(CmpOp::ALL[*op].supports(dtype));
+            }
+        }
+        // Str column: 4 supported ops × 2 tokens; Int column: 6 ops × 2 tokens.
+        let n_filters =
+            all.iter().filter(|a| matches!(a, FlatTermAction::Filter { .. })).count();
+        assert_eq!(n_filters, 4 * 2 + 6 * 2);
+    }
+
+    #[test]
+    fn term_enumeration_takes_top_k() {
+        let space = ActionSpace::from_frame(&df(), 10);
+        let all = space.enumerate_with_terms(&df(), 1);
+        // Top token of "a" is "x" (2 occurrences), of "b" is 2.
+        let has_x = all.iter().any(|a| {
+            matches!(a, FlatTermAction::Filter { attr: 0, term: Value::Str(s), .. } if s == "x")
+        });
+        let has_y = all.iter().any(|a| {
+            matches!(a, FlatTermAction::Filter { attr: 0, term: Value::Str(s), .. } if s == "y")
+        });
+        assert!(has_x && !has_y);
+    }
+
+    #[test]
+    fn captions() {
+        let op = ResolvedOp::Filter(Predicate::new("month", CmpOp::Eq, "January"));
+        assert!(op.caption().contains("month"));
+        let g = ResolvedOp::Group {
+            key: "airline".into(),
+            func: AggFunc::Avg,
+            agg: "delay".into(),
+        };
+        assert_eq!(g.to_string(), "GROUP('airline', AVG, 'delay')");
+        assert_eq!(ResolvedOp::Back.op_type(), OpType::Back);
+    }
+}

@@ -1,0 +1,378 @@
+//! Results displays and their numeric encodings.
+//!
+//! A *display* is what the analyst sees after an operation: either a data
+//! subset (after filters) or a grouped/aggregated table. Its [`DisplaySpec`]
+//! records how it was derived from the base dataset; the materialized
+//! frames and the fixed-size [`DisplayVector`] encoding are cached on it.
+
+use atena_dataframe::{AggFunc, DataFrame, Predicate, Result};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a display: filters applied to the base
+/// dataset, plus the (possibly stacked) grouping state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisplaySpec {
+    /// Conjunctive filter predicates applied to the base dataset.
+    pub predicates: Vec<Predicate>,
+    /// Group-by keys, in the order they were stacked.
+    pub group_keys: Vec<String>,
+    /// Aggregations `(func, attr)`, in the order they were added.
+    pub aggregations: Vec<(AggFunc, String)>,
+}
+
+impl DisplaySpec {
+    /// True if the display is grouped.
+    pub fn is_grouped(&self) -> bool {
+        !self.group_keys.is_empty()
+    }
+
+    /// Spec extended with one more predicate. Grouping is preserved: a
+    /// filter on a grouped display narrows the underlying data and the
+    /// grouping is recomputed (the UI behaviour the REACT traces exhibit).
+    pub fn with_predicate(&self, pred: Predicate) -> DisplaySpec {
+        let mut s = self.clone();
+        s.predicates.push(pred);
+        s
+    }
+
+    /// Spec extended with one more grouping level.
+    pub fn with_grouping(&self, key: String, func: AggFunc, agg: String) -> DisplaySpec {
+        let mut s = self.clone();
+        if !s.group_keys.contains(&key) {
+            s.group_keys.push(key);
+        }
+        if !s.aggregations.contains(&(func, agg.clone())) {
+            s.aggregations.push((func, agg));
+        }
+        s
+    }
+
+    /// Canonical single-line form, used for view identity in the A-EDA
+    /// benchmark (order-insensitive in the predicates).
+    pub fn canonical(&self) -> String {
+        let mut preds: Vec<String> = self.predicates.iter().map(|p| p.to_string()).collect();
+        preds.sort();
+        let mut keys = self.group_keys.clone();
+        keys.sort();
+        let mut aggs: Vec<String> =
+            self.aggregations.iter().map(|(f, a)| format!("{f}({a})")).collect();
+        aggs.sort();
+        format!("σ[{}] γ[{}] α[{}]", preds.join(" ∧ "), keys.join(","), aggs.join(","))
+    }
+}
+
+/// Shape statistics of a grouped display.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupingInfo {
+    /// Number of groups.
+    pub n_groups: usize,
+    /// Mean group size (rows per group).
+    pub size_mean: f64,
+    /// Population variance of the group sizes.
+    pub size_variance: f64,
+    /// Number of stacked group-by attributes.
+    pub n_group_attrs: usize,
+}
+
+/// A materialized display.
+#[derive(Debug, Clone)]
+pub struct Display {
+    /// How the display was derived.
+    pub spec: DisplaySpec,
+    /// The filtered (ungrouped) data view underlying the display.
+    pub frame: DataFrame,
+    /// What the user sees: `frame` itself, or the aggregate table when
+    /// grouped.
+    pub result: DataFrame,
+    /// Group-shape statistics, when grouped.
+    pub grouping: Option<GroupingInfo>,
+    /// Fixed-size numeric encoding (see [`DisplayVector`]).
+    pub vector: DisplayVector,
+}
+
+impl Display {
+    /// Materialize a spec against the base dataset.
+    pub fn materialize(base: &DataFrame, spec: DisplaySpec) -> Result<Display> {
+        let mut frame = base.clone();
+        for pred in &spec.predicates {
+            frame = frame.filter(pred)?;
+        }
+        Self::from_parts(base, spec, frame)
+    }
+
+    /// Materialize a spec whose filtered data view has already been
+    /// computed — the incremental path the environment uses: filters are
+    /// conjunctive, so a child display's frame is its parent's frame
+    /// narrowed by one predicate, avoiding a rescan of the base dataset.
+    ///
+    /// # Contract
+    /// `frame` must equal `base` filtered by `spec.predicates`.
+    pub fn from_parts(base: &DataFrame, spec: DisplaySpec, frame: DataFrame) -> Result<Display> {
+        let (result, grouping) = if spec.is_grouped() {
+            let keys: Vec<&str> = spec.group_keys.iter().map(String::as_str).collect();
+            let aggs: Vec<(AggFunc, &str)> =
+                spec.aggregations.iter().map(|(f, a)| (*f, a.as_str())).collect();
+            let table = frame.group_aggregate_multi(&keys, &aggs)?;
+            let sizes: Vec<f64> = (0..table.n_rows())
+                .map(|r| {
+                    table
+                        .value(r, "count")
+                        .ok()
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            let n = sizes.len();
+            let mean = if n == 0 { 0.0 } else { sizes.iter().sum::<f64>() / n as f64 };
+            let var = if n == 0 {
+                0.0
+            } else {
+                sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64
+            };
+            (
+                table,
+                Some(GroupingInfo {
+                    n_groups: n,
+                    size_mean: mean,
+                    size_variance: var,
+                    n_group_attrs: spec.group_keys.len(),
+                }),
+            )
+        } else {
+            (frame.clone(), None)
+        };
+        let vector = DisplayVector::encode(base, &frame, &spec, grouping.as_ref());
+        Ok(Display { spec, frame, result, grouping, vector })
+    }
+
+    /// The root display of a session: the raw dataset, unfiltered and
+    /// ungrouped.
+    pub fn root(base: &DataFrame) -> Display {
+        Self::materialize(base, DisplaySpec::default()).expect("empty spec always materializes")
+    }
+
+    /// Number of rows in the underlying data view.
+    pub fn n_data_rows(&self) -> usize {
+        self.frame.n_rows()
+    }
+}
+
+/// The fixed-size numeric encoding of a display (paper §4.1):
+/// per attribute `[normalized entropy, distinct ratio, null ratio,
+/// grouped/aggregated flag]`, then global features
+/// `[n_groups, group-size mean, group-size variance, data-rows ratio]`
+/// (all squashed to `[0, 1]`).
+///
+/// The fourth global (the fraction of base rows surviving the filters) is an
+/// addition over the paper's three — it exposes filter selectivity to the
+/// diversity reward and the policy; documented in DESIGN.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisplayVector(Vec<f64>);
+
+impl DisplayVector {
+    /// Features per attribute.
+    pub const PER_ATTR: usize = 4;
+    /// Number of global features.
+    pub const GLOBALS: usize = 4;
+
+    /// Dimensionality for a dataset with `n_attrs` attributes.
+    pub fn dim_for(n_attrs: usize) -> usize {
+        n_attrs * Self::PER_ATTR + Self::GLOBALS
+    }
+
+    /// Encode a display.
+    pub fn encode(
+        base: &DataFrame,
+        frame: &DataFrame,
+        spec: &DisplaySpec,
+        grouping: Option<&GroupingInfo>,
+    ) -> DisplayVector {
+        let n_attrs = base.n_cols();
+        let mut v = Vec::with_capacity(Self::dim_for(n_attrs));
+        let stats = frame.all_column_stats();
+        for (i, st) in stats.iter().enumerate() {
+            let name = &base.schema().field_at(i).name;
+            v.push(st.normalized_entropy());
+            v.push(st.distinct_ratio());
+            v.push(st.null_ratio());
+            // Aggregated attributes get a small flag: swapping the
+            // aggregate is a cosmetic change and must not register as a
+            // large display-vector movement (diversity would over-credit
+            // it).
+            let flag = if spec.group_keys.contains(name) {
+                1.0
+            } else if spec.aggregations.iter().any(|(_, a)| a == name) {
+                0.2
+            } else {
+                0.0
+            };
+            v.push(flag);
+        }
+        let base_rows = base.n_rows().max(1) as f64;
+        match grouping {
+            Some(g) => {
+                v.push(((1.0 + g.n_groups as f64).ln() / (1.0 + base_rows).ln()).min(1.0));
+                v.push((g.size_mean / base_rows).min(1.0));
+                // Squash the variance via x/(1+x) of the coefficient of variation.
+                let cv2 = if g.size_mean > 0.0 { g.size_variance / (g.size_mean * g.size_mean) } else { 0.0 };
+                v.push(cv2 / (1.0 + cv2));
+            }
+            None => {
+                v.push(0.0);
+                v.push(0.0);
+                v.push(0.0);
+            }
+        }
+        v.push(frame.n_rows() as f64 / base_rows);
+        DisplayVector(v)
+    }
+
+    /// An all-zeros vector (used to pad observations early in an episode).
+    pub fn zeros(n_attrs: usize) -> DisplayVector {
+        DisplayVector(vec![0.0; Self::dim_for(n_attrs)])
+    }
+
+    /// The raw feature values.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Euclidean distance to another display vector.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn euclidean_distance(&self, other: &DisplayVector) -> f64 {
+        assert_eq!(self.0.len(), other.0.len(), "display vector dim mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_dataframe::{AttrRole, CmpOp};
+
+    fn base() -> DataFrame {
+        DataFrame::builder()
+            .str(
+                "airline",
+                AttrRole::Categorical,
+                vec![Some("AA"), Some("DL"), Some("AA"), Some("UA"), Some("AA"), Some("DL")],
+            )
+            .int(
+                "delay",
+                AttrRole::Numeric,
+                vec![Some(10), Some(20), Some(30), Some(40), None, Some(60)],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn root_display_shape() {
+        let b = base();
+        let d = Display::root(&b);
+        assert_eq!(d.n_data_rows(), 6);
+        assert!(d.grouping.is_none());
+        assert_eq!(d.vector.dim(), DisplayVector::dim_for(2));
+        // Rows ratio global is 1.0 at the root.
+        assert_eq!(*d.vector.as_slice().last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn filtered_display() {
+        let b = base();
+        let spec = DisplaySpec::default()
+            .with_predicate(Predicate::new("airline", CmpOp::Eq, "AA"));
+        let d = Display::materialize(&b, spec).unwrap();
+        assert_eq!(d.n_data_rows(), 3);
+        assert_eq!(d.result.n_rows(), 3);
+        assert!((d.vector.as_slice().last().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_display_and_info() {
+        let b = base();
+        let spec =
+            DisplaySpec::default().with_grouping("airline".into(), AggFunc::Avg, "delay".into());
+        let d = Display::materialize(&b, spec).unwrap();
+        let g = d.grouping.as_ref().unwrap();
+        assert_eq!(g.n_groups, 3);
+        assert_eq!(g.n_group_attrs, 1);
+        assert!((g.size_mean - 2.0).abs() < 1e-12);
+        assert_eq!(d.result.schema().names(), vec!["airline", "count", "AVG(delay)"]);
+        // Grouped flag on airline = 1.0 (index 3), agg flag on delay = 0.2 (index 7).
+        assert_eq!(d.vector.as_slice()[3], 1.0);
+        assert_eq!(d.vector.as_slice()[7], 0.2);
+    }
+
+    #[test]
+    fn stacked_grouping_dedups_keys() {
+        let spec = DisplaySpec::default()
+            .with_grouping("a".into(), AggFunc::Count, "b".into())
+            .with_grouping("a".into(), AggFunc::Count, "b".into())
+            .with_grouping("c".into(), AggFunc::Avg, "b".into());
+        assert_eq!(spec.group_keys, vec!["a", "c"]);
+        assert_eq!(spec.aggregations.len(), 2);
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let p1 = Predicate::new("x", CmpOp::Eq, 1i64);
+        let p2 = Predicate::new("y", CmpOp::Gt, 2i64);
+        let a = DisplaySpec::default().with_predicate(p1.clone()).with_predicate(p2.clone());
+        let b = DisplaySpec::default().with_predicate(p2).with_predicate(p1);
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn filter_then_group_recomputes() {
+        let b = base();
+        let spec = DisplaySpec::default()
+            .with_grouping("airline".into(), AggFunc::Avg, "delay".into())
+            .with_predicate(Predicate::new("delay", CmpOp::Ge, 20i64));
+        let d = Display::materialize(&b, spec).unwrap();
+        // Underlying rows: delays 20,30,40,60 -> 4 rows; groups AA, DL, UA.
+        assert_eq!(d.n_data_rows(), 4);
+        assert_eq!(d.grouping.as_ref().unwrap().n_groups, 3);
+    }
+
+    #[test]
+    fn euclidean_distance_zero_on_self() {
+        let b = base();
+        let d = Display::root(&b);
+        assert_eq!(d.vector.euclidean_distance(&d.vector), 0.0);
+        let z = DisplayVector::zeros(2);
+        assert!(d.vector.euclidean_distance(&z) > 0.0);
+    }
+
+    #[test]
+    fn empty_filter_result_is_valid_display() {
+        let b = base();
+        let spec = DisplaySpec::default()
+            .with_predicate(Predicate::new("delay", CmpOp::Gt, 1000i64));
+        let d = Display::materialize(&b, spec).unwrap();
+        assert_eq!(d.n_data_rows(), 0);
+        assert_eq!(*d.vector.as_slice().last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn grouped_empty_frame() {
+        let b = base();
+        let spec = DisplaySpec::default()
+            .with_predicate(Predicate::new("delay", CmpOp::Gt, 1000i64))
+            .with_grouping("airline".into(), AggFunc::Count, "delay".into());
+        let d = Display::materialize(&b, spec).unwrap();
+        assert_eq!(d.grouping.as_ref().unwrap().n_groups, 0);
+    }
+}

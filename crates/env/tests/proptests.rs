@@ -1,0 +1,145 @@
+//! Property-based tests for the EDA environment: arbitrary action
+//! sequences must never corrupt the session state.
+
+use atena_dataframe::{AttrRole, DataFrame};
+use atena_env::{DisplayVector, EdaAction, EdaEnv, EnvConfig, FrequencyBins, OpOutcome};
+use proptest::prelude::*;
+
+/// A small dataset with mixed types and nulls.
+fn base(n: usize) -> DataFrame {
+    DataFrame::builder()
+        .str(
+            "cat",
+            AttrRole::Categorical,
+            (0..n).map(|i| if i % 11 == 0 { None } else { Some(["a", "b", "c", "d"][i % 4]) }),
+        )
+        .int("num", AttrRole::Numeric, (0..n).map(|i| Some((i as i64 * 7) % 23)))
+        .bool("flag", AttrRole::Categorical, (0..n).map(|i| Some(i % 3 == 0)))
+        .build()
+        .unwrap()
+}
+
+/// Strategy generating arbitrary (possibly invalid) actions.
+fn action_strategy() -> impl Strategy<Value = EdaAction> {
+    prop_oneof![
+        (0usize..4, 0usize..10, 0usize..8)
+            .prop_map(|(attr, op, bin)| EdaAction::Filter { attr, op: op % 8, bin }),
+        (0usize..4, 0usize..6, 0usize..4)
+            .prop_map(|(key, func, agg)| EdaAction::Group { key, func: func % 5, agg }),
+        Just(EdaAction::Back),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any action sequence completes the episode without panicking, with
+    /// step counts, observation dimensions, and history lengths consistent.
+    #[test]
+    fn arbitrary_episodes_are_safe(
+        actions in prop::collection::vec(action_strategy(), 1..20),
+        seed in 0u64..1000,
+    ) {
+        let mut env = EdaEnv::new(
+            base(60),
+            EnvConfig { episode_len: actions.len(), n_bins: 6, history_window: 3, seed },
+        );
+        let obs = env.reset();
+        let dim = env.observation_dim();
+        prop_assert_eq!(obs.len(), dim);
+        for (i, action) in actions.iter().enumerate() {
+            let t = env.step(action);
+            prop_assert_eq!(t.step, i);
+            prop_assert_eq!(t.observation.len(), dim);
+            prop_assert!(t.observation.iter().all(|v| v.is_finite()));
+            prop_assert_eq!(t.done, i + 1 == actions.len());
+        }
+        prop_assert!(env.done());
+        prop_assert_eq!(env.session().ops().len(), actions.len());
+        prop_assert_eq!(env.session().history().len(), actions.len() + 1);
+    }
+
+    /// The session tree's parent links always form a rooted forest: every
+    /// non-root display has a parent with a smaller id.
+    #[test]
+    fn session_tree_is_well_formed(
+        actions in prop::collection::vec(action_strategy(), 1..25),
+    ) {
+        let mut env = EdaEnv::new(
+            base(40),
+            EnvConfig { episode_len: actions.len(), n_bins: 4, history_window: 3, seed: 1 },
+        );
+        env.reset();
+        for action in &actions {
+            env.step(action);
+        }
+        let session = env.session();
+        prop_assert_eq!(session.parent_of(0), None);
+        for id in 1..session.n_displays() {
+            let parent = session.parent_of(id);
+            prop_assert!(parent.is_some());
+            prop_assert!(parent.unwrap() < id);
+        }
+        // Current display is a valid node.
+        prop_assert!(session.current_id() < session.n_displays());
+    }
+
+    /// BACK never creates displays; filters/groups create at most one each.
+    #[test]
+    fn display_count_is_bounded_by_ops(
+        actions in prop::collection::vec(action_strategy(), 1..25),
+    ) {
+        let mut env = EdaEnv::new(
+            base(40),
+            EnvConfig { episode_len: actions.len(), n_bins: 4, history_window: 3, seed: 2 },
+        );
+        env.reset();
+        let mut creating_ops = 0usize;
+        for action in &actions {
+            let t = env.step(action);
+            if !matches!(action, EdaAction::Back)
+                && matches!(t.outcome, OpOutcome::Applied)
+            {
+                creating_ops += 1;
+            }
+        }
+        prop_assert_eq!(env.session().n_displays(), 1 + creating_ops);
+    }
+
+    /// Display vectors always have the advertised dimension and stay in
+    /// sane numeric ranges.
+    #[test]
+    fn display_vectors_are_bounded(
+        actions in prop::collection::vec(action_strategy(), 1..15),
+    ) {
+        let mut env = EdaEnv::new(
+            base(80),
+            EnvConfig { episode_len: actions.len(), n_bins: 5, history_window: 3, seed: 3 },
+        );
+        env.reset();
+        for action in &actions {
+            env.step(action);
+        }
+        let dim = DisplayVector::dim_for(3);
+        for id in 0..env.session().n_displays() {
+            let v = &env.session().display(id).vector;
+            prop_assert_eq!(v.dim(), dim);
+            for &x in v.as_slice() {
+                prop_assert!(x.is_finite());
+                prop_assert!((-0.001..=1.001).contains(&x), "feature out of range: {}", x);
+            }
+        }
+    }
+
+    /// Frequency bins partition the distinct tokens of any column.
+    #[test]
+    fn bins_partition_tokens(
+        values in prop::collection::vec(prop::option::of(0i64..30), 1..200),
+        n_bins in 1usize..12,
+    ) {
+        let col = atena_dataframe::Column::from_ints(values.clone());
+        let bins = FrequencyBins::build(&col, n_bins);
+        let total: usize = (0..bins.n_bins()).map(|i| bins.bin(i).len()).sum();
+        prop_assert_eq!(total, col.n_distinct());
+    }
+}

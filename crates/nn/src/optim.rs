@@ -1,0 +1,215 @@
+//! First-order optimizers: SGD and Adam.
+
+use crate::param::ParamSet;
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer for the given parameters.
+    pub fn new(params: &ParamSet, lr: f32, momentum: f32) -> Self {
+        let velocity = params
+            .params()
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Tensor::zeros(r, c)
+            })
+            .collect();
+        Self { lr, momentum, velocity }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Set the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Apply one update step from the accumulated gradients.
+    pub fn step(&mut self, params: &ParamSet) {
+        for (p, v) in params.params().iter().zip(self.velocity.iter_mut()) {
+            let lr = self.lr;
+            let momentum = self.momentum;
+            p.update(|value, grad| {
+                for ((v, g), x) in v.data_mut().iter_mut().zip(grad.data()).zip(value.data_mut()) {
+                    *v = momentum * *v + g;
+                    *x -= lr * *v;
+                }
+            });
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the default for the policy networks.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with standard betas (0.9 / 0.999).
+    pub fn new(params: &ParamSet, lr: f32) -> Self {
+        Self::with_betas(params, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Create with explicit hyperparameters.
+    pub fn with_betas(params: &ParamSet, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        let zeros = |p: &crate::param::Param| {
+            let (r, c) = p.shape();
+            Tensor::zeros(r, c)
+        };
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: params.params().iter().map(zeros).collect(),
+            v: params.params().iter().map(zeros).collect(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Set the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Apply one update step from the accumulated gradients.
+    pub fn step(&mut self, params: &ParamSet) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        for ((p, m), v) in params.params().iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            p.update(|value, grad| {
+                for (((x, g), m), v) in value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(m.data_mut())
+                    .zip(v.data_mut())
+                {
+                    *m = b1 * *m + (1.0 - b1) * g;
+                    *v = b2 * *v + (1.0 - b2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *x -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::param::Param;
+
+    /// Minimize f(w) = (w - 3)^2 and check convergence to w = 3.
+    fn quadratic_descent(step: impl Fn(&ParamSet)) -> f32 {
+        let p = Param::new("w", Tensor::full(1, 1, 0.0));
+        let mut set = ParamSet::new();
+        set.register(p.clone());
+        for _ in 0..300 {
+            set.zero_grads();
+            let mut g = Graph::new();
+            let w = g.param(&p);
+            let c = g.constant(Tensor::full(1, 1, 3.0));
+            let d = g.sub(w, c);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            step(&set);
+        }
+        p.value().scalar()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let p = Param::new("w", Tensor::full(1, 1, 0.0));
+        let mut set = ParamSet::new();
+        set.register(p.clone());
+        let mut opt = Sgd::new(&set, 0.1, 0.0);
+        let w = quadratic_descent_with(&p, &set, |s| opt.step(s));
+        assert!((w - 3.0).abs() < 1e-3, "sgd converged to {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let p = Param::new("w", Tensor::full(1, 1, 0.0));
+        let mut set = ParamSet::new();
+        set.register(p.clone());
+        let mut opt = Sgd::new(&set, 0.02, 0.9);
+        let w = quadratic_descent_with(&p, &set, |s| opt.step(s));
+        assert!((w - 3.0).abs() < 1e-2, "sgd+momentum converged to {w}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let p = Param::new("w", Tensor::full(1, 1, 0.0));
+        let mut set = ParamSet::new();
+        set.register(p.clone());
+        let mut opt = Adam::new(&set, 0.1);
+        let w = quadratic_descent_with(&p, &set, |s| opt.step(s));
+        assert!((w - 3.0).abs() < 1e-2, "adam converged to {w}");
+    }
+
+    fn quadratic_descent_with(
+        p: &Param,
+        set: &ParamSet,
+        mut step: impl FnMut(&ParamSet),
+    ) -> f32 {
+        for _ in 0..300 {
+            set.zero_grads();
+            let mut g = Graph::new();
+            let w = g.param(p);
+            let c = g.constant(Tensor::full(1, 1, 3.0));
+            let d = g.sub(w, c);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            step(set);
+        }
+        p.value().scalar()
+    }
+
+    #[test]
+    fn lr_setters() {
+        let set = ParamSet::new();
+        let mut sgd = Sgd::new(&set, 0.1, 0.0);
+        sgd.set_lr(0.5);
+        assert_eq!(sgd.lr(), 0.5);
+        let mut adam = Adam::new(&set, 0.1);
+        adam.set_lr(0.01);
+        assert_eq!(adam.lr(), 0.01);
+    }
+
+    // Silence dead-code path: keep the standalone helper exercised.
+    #[test]
+    fn quadratic_descent_noop_does_not_move() {
+        let w = quadratic_descent(|_| {});
+        assert_eq!(w, 0.0);
+    }
+}

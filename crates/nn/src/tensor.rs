@@ -1,0 +1,303 @@
+//! Dense 2-D `f32` tensors (row-major) with the handful of BLAS-like
+//! operations the policy networks need.
+//!
+//! ATENA's networks are small MLPs (observation ≈ 150 dims, two hidden
+//! layers), so a straightforward row-major implementation is more than fast
+//! enough and keeps the crate dependency-free.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major matrix of `f32`. Vectors are 1×n or n×1 tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self { data, rows: 1, cols }
+    }
+
+    /// An n×1 column vector.
+    pub fn col_vector(data: Vec<f32>) -> Self {
+        let rows = data.len();
+        Self { data, rows, cols: 1 }
+    }
+
+    /// Gaussian-initialized tensor with the given standard deviation.
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Self {
+        // Box-Muller; avoids needing rand_distr.
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < rows * cols {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams through `other` rows for cache locality.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), rows: self.rows, cols: self.cols }
+    }
+
+    /// Elementwise binary combination into a new tensor.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Tensor {
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sum_squares(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Set all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Scalar value of a 1×1 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 1×1.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar() on non-1x1 tensor");
+        self.data[0]
+    }
+}
+
+/// Numerically stable row-wise log-softmax.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for (c, &v) in row.iter().enumerate() {
+            out.set(r, c, v - lse);
+        }
+    }
+    out
+}
+
+/// Row-wise softmax (probabilities).
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    log_softmax_rows(x).map(f32::exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn log_softmax_rows_sums_to_one() {
+        let x = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1000.]);
+        let p = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+        // Huge logits stay finite (stability check).
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!((p.get(1, 2) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn randn_has_roughly_right_std() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(100, 100, 0.5, &mut rng);
+        let mean = t.sum() / t.len() as f32;
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn map_zip_sum() {
+        let a = Tensor::from_vec(1, 3, vec![1., -2., 3.]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.data(), &[1., 2., 3.]);
+        let c = a.zip(&b, |x, y| x + y);
+        assert_eq!(c.data(), &[2., 0., 6.]);
+        assert_eq!(c.sum(), 8.0);
+        assert_eq!(a.sum_squares(), 14.0);
+    }
+
+    #[test]
+    fn vectors_and_scalar() {
+        let r = Tensor::row_vector(vec![1., 2.]);
+        assert_eq!(r.shape(), (1, 2));
+        let c = Tensor::col_vector(vec![1., 2.]);
+        assert_eq!(c.shape(), (2, 1));
+        let s = Tensor::full(1, 1, 5.0);
+        assert_eq!(s.scalar(), 5.0);
+    }
+}

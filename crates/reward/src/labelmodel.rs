@@ -1,0 +1,279 @@
+//! A from-scratch weak-supervision label model in the spirit of Snorkel
+//! (paper §4.2 cites [35]): labeling functions vote
+//! coherent / incoherent / abstain on unlabeled operations; a generative
+//! model estimates per-function accuracies by expectation–maximization and
+//! produces a probabilistic coherency label.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeling-function vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// The operation looks coherent.
+    Coherent,
+    /// The operation looks incoherent.
+    Incoherent,
+    /// The rule does not apply.
+    Abstain,
+}
+
+impl Vote {
+    /// +1 / -1 / 0 encoding.
+    pub fn signed(self) -> i8 {
+        match self {
+            Vote::Coherent => 1,
+            Vote::Incoherent => -1,
+            Vote::Abstain => 0,
+        }
+    }
+}
+
+/// Generative label model over `m` labeling functions.
+///
+/// Model: a latent label `y ∈ {coherent, incoherent}` with prior `π`;
+/// labeling function `j`, when it does not abstain, agrees with `y` with
+/// accuracy `θ_j`. Accuracies and the prior are fit by EM on unlabeled vote
+/// matrices; the posterior `P(y = coherent | votes)` is the coherency
+/// confidence the reward uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelModel {
+    accuracies: Vec<f64>,
+    prior: f64,
+}
+
+impl LabelModel {
+    /// Number of EM iterations used by [`LabelModel::fit`].
+    pub const EM_ITERS: usize = 30;
+    /// Accuracies are clamped to this range to keep the model identifiable
+    /// and posteriors bounded away from 0/1.
+    pub const ACC_RANGE: (f64, f64) = (0.55, 0.98);
+
+    /// An untrained model: every function at the initial accuracy, prior
+    /// 0.5. Usable as-is (it degenerates to a majority vote).
+    pub fn untrained(n_functions: usize) -> Self {
+        Self { accuracies: vec![0.7; n_functions], prior: 0.5 }
+    }
+
+    /// Fit by EM on a matrix of votes (`rows` = unlabeled operations,
+    /// `cols` = labeling functions).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn fit(votes: &[Vec<Vote>]) -> Self {
+        let n_functions = votes.first().map_or(0, Vec::len);
+        let mut model = Self::untrained(n_functions);
+        if votes.is_empty() || n_functions == 0 {
+            return model;
+        }
+        for row in votes {
+            assert_eq!(row.len(), n_functions, "ragged vote matrix");
+        }
+
+        for _ in 0..Self::EM_ITERS {
+            // E-step: posterior P(y = coherent | votes_i).
+            let posteriors: Vec<f64> =
+                votes.iter().map(|row| model.posterior_coherent(row)).collect();
+
+            // M-step: re-estimate accuracies and prior.
+            let mut new_acc = Vec::with_capacity(n_functions);
+            for j in 0..n_functions {
+                let mut agree = 1.0; // Laplace smoothing
+                let mut total = 2.0;
+                for (row, &p) in votes.iter().zip(&posteriors) {
+                    match row[j] {
+                        Vote::Abstain => {}
+                        Vote::Coherent => {
+                            agree += p;
+                            total += 1.0;
+                        }
+                        Vote::Incoherent => {
+                            agree += 1.0 - p;
+                            total += 1.0;
+                        }
+                    }
+                }
+                let (lo, hi) = Self::ACC_RANGE;
+                new_acc.push((agree / total).clamp(lo, hi));
+            }
+            // The prior stays at the neutral 1/2: the unlabeled sample comes
+            // from a *random* policy whose steps are mostly incoherent, and
+            // inheriting that skew would pin every posterior low. The rules'
+            // design polarity (a Coherent vote is evidence for coherent) is
+            // what grounds the latent, not the probe's class balance.
+            model = Self { accuracies: new_acc, prior: model.prior };
+        }
+        model
+    }
+
+    /// Posterior probability that the operation is coherent given one vote
+    /// row. With all abstains, returns the prior.
+    pub fn posterior_coherent(&self, votes: &[Vote]) -> f64 {
+        assert_eq!(votes.len(), self.accuracies.len(), "vote arity mismatch");
+        // Work in log space for numerical robustness.
+        let mut log_pos = self.prior.ln();
+        let mut log_neg = (1.0 - self.prior).ln();
+        for (v, &acc) in votes.iter().zip(&self.accuracies) {
+            match v {
+                Vote::Abstain => {}
+                Vote::Coherent => {
+                    log_pos += acc.ln();
+                    log_neg += (1.0 - acc).ln();
+                }
+                Vote::Incoherent => {
+                    log_pos += (1.0 - acc).ln();
+                    log_neg += acc.ln();
+                }
+            }
+        }
+        let m = log_pos.max(log_neg);
+        let pos = (log_pos - m).exp();
+        let neg = (log_neg - m).exp();
+        pos / (pos + neg)
+    }
+
+    /// Fitted per-function accuracies.
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// Fitted prior P(coherent).
+    pub fn prior(&self) -> f64 {
+        self.prior
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesize votes from a known generative process, fit, and verify the
+    /// model separates reliable from unreliable functions.
+    fn synth_votes(
+        n: usize,
+        accs: &[f64],
+        abstain: f64,
+        seed: u64,
+    ) -> (Vec<Vec<Vote>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut votes = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.gen_bool(0.5);
+            truth.push(y);
+            let row = accs
+                .iter()
+                .map(|&acc| {
+                    if rng.gen_bool(abstain) {
+                        Vote::Abstain
+                    } else {
+                        let correct = rng.gen_bool(acc);
+                        let says_coherent = y == correct;
+                        if says_coherent {
+                            Vote::Coherent
+                        } else {
+                            Vote::Incoherent
+                        }
+                    }
+                })
+                .collect();
+            votes.push(row);
+        }
+        (votes, truth)
+    }
+
+    #[test]
+    fn em_recovers_relative_accuracies() {
+        let true_accs = [0.95, 0.9, 0.6];
+        let (votes, _) = synth_votes(3000, &true_accs, 0.2, 1);
+        let model = LabelModel::fit(&votes);
+        let fitted = model.accuracies();
+        assert!(fitted[0] > fitted[2] + 0.1, "fitted: {fitted:?}");
+        assert!(fitted[1] > fitted[2], "fitted: {fitted:?}");
+    }
+
+    #[test]
+    fn posterior_beats_single_noisy_rule() {
+        let true_accs = [0.9, 0.85, 0.8, 0.55];
+        let (votes, truth) = synth_votes(4000, &true_accs, 0.25, 2);
+        let model = LabelModel::fit(&votes);
+        let mut correct_model = 0usize;
+        let mut correct_noisy = 0usize;
+        for (row, &y) in votes.iter().zip(&truth) {
+            let pred = model.posterior_coherent(row) > 0.5;
+            if pred == y {
+                correct_model += 1;
+            }
+            // Baseline: trust the noisiest rule alone (abstain -> coin flip
+            // counts as wrong half the time; approximate by prior 0.5).
+            let noisy_pred = match row[3] {
+                Vote::Coherent => true,
+                Vote::Incoherent => false,
+                Vote::Abstain => y, // be generous to the baseline
+            };
+            if noisy_pred == y {
+                correct_noisy += 1;
+            }
+        }
+        assert!(
+            correct_model > correct_noisy,
+            "model {correct_model} vs noisy-rule {correct_noisy}"
+        );
+        assert!(correct_model as f64 / truth.len() as f64 > 0.85);
+    }
+
+    #[test]
+    fn all_abstain_returns_prior() {
+        let model = LabelModel::untrained(3);
+        let p = model.posterior_coherent(&[Vote::Abstain, Vote::Abstain, Vote::Abstain]);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanimous_votes_move_posterior() {
+        let model = LabelModel::untrained(3);
+        let pos = model.posterior_coherent(&[Vote::Coherent; 3]);
+        let neg = model.posterior_coherent(&[Vote::Incoherent; 3]);
+        assert!(pos > 0.9);
+        assert!(neg < 0.1);
+    }
+
+    #[test]
+    fn conflicting_votes_land_in_middle() {
+        let model = LabelModel::untrained(2);
+        let p = model.posterior_coherent(&[Vote::Coherent, Vote::Incoherent]);
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let model = LabelModel::fit(&[]);
+        assert_eq!(model.accuracies().len(), 0);
+        assert!((model.prior() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracies_stay_clamped() {
+        // Perfectly correlated rules would push accuracies to 1 without the
+        // clamp.
+        let votes: Vec<Vec<Vote>> = (0..200)
+            .map(|i| {
+                let v = if i % 2 == 0 { Vote::Coherent } else { Vote::Incoherent };
+                vec![v; 4]
+            })
+            .collect();
+        let model = LabelModel::fit(&votes);
+        for &a in model.accuracies() {
+            assert!(a <= LabelModel::ACC_RANGE.1 + 1e-12);
+            assert!(a >= LabelModel::ACC_RANGE.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn signed_encoding() {
+        assert_eq!(Vote::Coherent.signed(), 1);
+        assert_eq!(Vote::Incoherent.signed(), -1);
+        assert_eq!(Vote::Abstain.signed(), 0);
+    }
+}

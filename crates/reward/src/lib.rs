@@ -1,0 +1,40 @@
+//! # atena-reward
+//!
+//! The compound reward signal of ATENA (paper §4.2):
+//!
+//! - **Interestingness** — a conciseness measure for group-by displays
+//!   (`h₁(g/r)·h₂(a)` with normalized sigmoids) and a KL-divergence
+//!   deviation measure for filter displays;
+//! - **Diversity** — the minimal Euclidean distance between the new display
+//!   vector and every previously seen one;
+//! - **Coherency** — a weak-supervision classifier: heuristic labeling
+//!   rules (general + data-dependent + focal-attribute) combined by a
+//!   from-scratch Snorkel-style generative [`LabelModel`] fit with EM.
+//!
+//! [`CompoundReward`] implements the environment's `RewardModel` trait and
+//! auto-balances component weights on a random-policy probe so that no
+//! component contributes less than 10% of the total (paper §6.1).
+
+#![warn(missing_docs)]
+
+mod coherency;
+mod compound;
+mod diversity;
+mod interestingness;
+mod labelmodel;
+mod sigmoid;
+
+pub use coherency::{
+    AggregateCategoricalRule, AggregateIdentifierRule, BackAfterBackRule, CoherencyClassifier, CoherencyConfig,
+    CoherencyRule, DrillDownRule, DrillIntoExtremeRule, EmptyResultRule, FocalAttrRule, GroupAfterFilterRule,
+    GroupOnContinuousRule, GroupOnIdentifierRule, NoNovelViewRule, RefilterSameAttrRule, RegroupSameKeyRule, HighCardinalityKeyRule, InvalidOpRule, RepeatedOpRule,
+    SingletonGroupsRule, TooManyGroupAttrsRule, UselessFilterRule,
+};
+pub use compound::{random_action, CompoundReward, PenaltyConfig, RewardComponents, RewardWeights};
+pub use diversity::{min_distance, step_diversity, DiversityConfig};
+pub use interestingness::{
+    display_interestingness, filter_interestingness, group_interestingness,
+    step_interestingness, InterestingnessConfig,
+};
+pub use labelmodel::{LabelModel, Vote};
+pub use sigmoid::NormalizedSigmoid;

@@ -1,0 +1,65 @@
+//! Normalized sigmoid utilities (paper §4.2 cites [26]): squashing functions
+//! with a predefined center and width, used by the interestingness measures.
+
+use serde::{Deserialize, Serialize};
+
+/// A logistic sigmoid `h(x) = 1 / (1 + exp(-(x - center)/width))`.
+///
+/// A positive `width` gives an increasing sigmoid, a negative `width` a
+/// decreasing one. `|width|` controls how sharp the transition is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedSigmoid {
+    /// Input value mapped to 0.5.
+    pub center: f64,
+    /// Transition width; sign selects direction.
+    pub width: f64,
+}
+
+impl NormalizedSigmoid {
+    /// Increasing sigmoid.
+    pub fn increasing(center: f64, width: f64) -> Self {
+        Self { center, width: width.abs() }
+    }
+
+    /// Decreasing sigmoid.
+    pub fn decreasing(center: f64, width: f64) -> Self {
+        Self { center, width: -width.abs() }
+    }
+
+    /// Evaluate at `x`; always in (0, 1).
+    pub fn eval(&self, x: f64) -> f64 {
+        let z = (x - self.center) / self.width;
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increasing_shape() {
+        let h = NormalizedSigmoid::increasing(1.0, 0.5);
+        assert!((h.eval(1.0) - 0.5).abs() < 1e-12);
+        assert!(h.eval(3.0) > 0.95);
+        assert!(h.eval(-1.0) < 0.05);
+        assert!(h.eval(2.0) > h.eval(1.5));
+    }
+
+    #[test]
+    fn decreasing_shape() {
+        let h = NormalizedSigmoid::decreasing(0.25, 0.08);
+        assert!((h.eval(0.25) - 0.5).abs() < 1e-12);
+        assert!(h.eval(0.0) > 0.9);
+        assert!(h.eval(1.0) < 0.01);
+    }
+
+    #[test]
+    fn always_in_unit_interval() {
+        let h = NormalizedSigmoid::increasing(0.0, 1.0);
+        for x in [-1e6, -1.0, 0.0, 1.0, 1e6] {
+            let y = h.eval(x);
+            assert!((0.0..=1.0).contains(&y), "h({x}) = {y}");
+        }
+    }
+}

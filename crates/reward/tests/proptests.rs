@@ -1,0 +1,131 @@
+//! Property-based tests for the reward signal: totals must stay finite and
+//! bounded, coherency must stay a probability, and the label model must be
+//! well-behaved on arbitrary vote matrices.
+
+use atena_dataframe::{AttrRole, DataFrame};
+use atena_env::{EdaEnv, EnvConfig, RewardModel};
+use atena_reward::{random_action, CoherencyConfig, CompoundReward, LabelModel, Vote};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn base(n: usize) -> DataFrame {
+    DataFrame::builder()
+        .str(
+            "cat",
+            AttrRole::Categorical,
+            (0..n).map(|i| Some(["x", "y", "z"][i % 3])),
+        )
+        .int("num", AttrRole::Numeric, (0..n).map(|i| Some((i as i64 * 13) % 31)))
+        .int("id", AttrRole::Identifier, (0..n).map(|i| Some(i as i64)))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rewards stay finite and bounded for arbitrary random-policy episodes
+    /// across seeds; the compound total never exceeds the sum of the
+    /// (clamped) weighted component maxima.
+    #[test]
+    fn rewards_finite_and_bounded(seed in 0u64..500, rows in 20usize..120) {
+        let mut env = EdaEnv::new(
+            base(rows),
+            EnvConfig { episode_len: 8, n_bins: 5, history_window: 3, seed },
+        );
+        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![
+            "cat".into(),
+        ]));
+        reward.fit(&mut env, 60, seed);
+        let w = reward.weights();
+        let bound = w.interestingness + w.diversity + w.coherency + 0.01;
+        // The centered coherency term can reach -w_c; invalid ops earn -1.
+        let floor = -(w.coherency.max(1.0)) - 0.01;
+
+        env.reset_with_seed(seed ^ 0xbeef);
+        let mut rng = StdRng::seed_from_u64(seed);
+        while !env.done() {
+            let action = random_action(&env, &mut rng);
+            let op = env.resolve(&action);
+            let preview = env.preview(&op);
+            let r = {
+                let info = env.step_info(&preview);
+                reward.score(&info)
+            };
+            prop_assert!(r.total.is_finite());
+            prop_assert!(r.total <= bound, "total {} exceeds bound {}", r.total, bound);
+            prop_assert!(r.total >= floor, "total {} below floor {}", r.total, floor);
+            // Components have consistent signs.
+            prop_assert!(r.interestingness >= 0.0);
+            prop_assert!(r.diversity >= 0.0);
+            env.commit(preview);
+        }
+    }
+
+    /// The label-model posterior is always a probability, for any vote row.
+    #[test]
+    fn posterior_is_probability(
+        votes in prop::collection::vec(0u8..3, 1..12),
+    ) {
+        let model = LabelModel::untrained(votes.len());
+        let row: Vec<Vote> = votes
+            .iter()
+            .map(|v| match v {
+                0 => Vote::Abstain,
+                1 => Vote::Coherent,
+                _ => Vote::Incoherent,
+            })
+            .collect();
+        let p = model.posterior_coherent(&row);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p.is_finite());
+    }
+
+    /// EM fitting never produces NaNs or out-of-range accuracies, for any
+    /// unlabeled vote matrix (including degenerate all-abstain ones).
+    #[test]
+    fn em_fit_is_robust(
+        matrix in prop::collection::vec(prop::collection::vec(0u8..3, 4), 0..60),
+    ) {
+        let rows: Vec<Vec<Vote>> = matrix
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        0 => Vote::Abstain,
+                        1 => Vote::Coherent,
+                        _ => Vote::Incoherent,
+                    })
+                    .collect()
+            })
+            .collect();
+        let model = LabelModel::fit(&rows);
+        for &a in model.accuracies() {
+            prop_assert!(a.is_finite());
+            prop_assert!((LabelModel::ACC_RANGE.0..=LabelModel::ACC_RANGE.1).contains(&a));
+        }
+        prop_assert!((0.0..=1.0).contains(&model.prior()));
+    }
+
+    /// Adding coherent votes never decreases the posterior; adding
+    /// incoherent votes never increases it (monotonicity).
+    #[test]
+    fn posterior_is_monotone(n_extra in 0usize..6) {
+        let model = LabelModel::untrained(8);
+        let mut row = vec![Vote::Abstain; 8];
+        let base_p = model.posterior_coherent(&row);
+        for slot in row.iter_mut().take(n_extra) {
+            *slot = Vote::Coherent;
+        }
+        let p_pos = model.posterior_coherent(&row);
+        prop_assert!(p_pos >= base_p - 1e-12);
+
+        let mut row = vec![Vote::Abstain; 8];
+        for slot in row.iter_mut().take(n_extra) {
+            *slot = Vote::Incoherent;
+        }
+        let p_neg = model.posterior_coherent(&row);
+        prop_assert!(p_neg <= base_p + 1e-12);
+    }
+}

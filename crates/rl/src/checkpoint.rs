@@ -1,0 +1,178 @@
+//! Policy checkpoints: serialize a policy's parameters (with enough
+//! metadata to validate on load) so trained agents can be reused without
+//! retraining — e.g. to regenerate a notebook with different seeds, or to
+//! resume training.
+
+use atena_nn::{ParamSet, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a policy's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version (bumped on breaking layout changes).
+    pub version: u32,
+    /// Free-form architecture tag, validated on load (e.g.
+    /// `twofold/obs153/heads3-9-8-10-9-5-9`).
+    pub architecture: String,
+    /// Named parameter tensors.
+    pub params: Vec<(String, Tensor)>,
+}
+
+/// Errors from loading a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Version not understood.
+    Version(u32),
+    /// Architecture tag mismatch.
+    Architecture {
+        /// Tag stored in the checkpoint.
+        found: String,
+        /// Tag of the receiving policy.
+        expected: String,
+    },
+    /// Parameter set mismatch (missing name or wrong shape).
+    Params(String),
+    /// Serialization failure.
+    Serde(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Architecture { found, expected } => {
+                write!(f, "architecture mismatch: checkpoint {found:?}, policy {expected:?}")
+            }
+            CheckpointError::Params(m) => write!(f, "parameter mismatch: {m}"),
+            CheckpointError::Serde(m) => write!(f, "checkpoint (de)serialization failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Current format version.
+    pub const VERSION: u32 = 1;
+
+    /// Snapshot a parameter set.
+    pub fn capture(architecture: impl Into<String>, params: &ParamSet) -> Self {
+        Self { version: Self::VERSION, architecture: architecture.into(), params: params.state() }
+    }
+
+    /// Restore into a parameter set, validating version, architecture tag,
+    /// names, and shapes.
+    pub fn restore(
+        &self,
+        expected_architecture: &str,
+        params: &ParamSet,
+    ) -> Result<(), CheckpointError> {
+        if self.version != Self::VERSION {
+            return Err(CheckpointError::Version(self.version));
+        }
+        if self.architecture != expected_architecture {
+            return Err(CheckpointError::Architecture {
+                found: self.architecture.clone(),
+                expected: expected_architecture.to_string(),
+            });
+        }
+        params.load_state(&self.params).map_err(CheckpointError::Params)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json::to_string(self).map_err(|e| CheckpointError::Serde(e.to_string()))
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        serde_json::from_str(text).map_err(|e| CheckpointError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::twofold::{TwofoldConfig, TwofoldPolicy};
+    use atena_env::HeadSizes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn head_sizes() -> HeadSizes {
+        HeadSizes {
+            op: 3,
+            filter_attr: 2,
+            filter_op: 8,
+            filter_bin: 4,
+            group_key: 2,
+            agg_func: 5,
+            agg_attr: 2,
+        }
+    }
+
+    fn policy(seed: u64) -> TwofoldPolicy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TwofoldPolicy::new(10, head_sizes(), TwofoldConfig { hidden: [8, 8] }, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_restores_behaviour() {
+        let source = policy(1);
+        let ckpt = Checkpoint::capture("twofold/test", source.params());
+        let json = ckpt.to_json().unwrap();
+        let loaded = Checkpoint::from_json(&json).unwrap();
+
+        let target = policy(2); // different init
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs = vec![0.4f32; 10];
+        let before = target.act(&obs, 0.01, &mut rng).value;
+        loaded.restore("twofold/test", target.params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let after = target.act(&obs, 0.01, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = source.act(&obs, 0.01, &mut rng);
+        assert_ne!(before, after.value);
+        assert_eq!(after.value, original.value);
+        assert_eq!(after.choice, original.choice);
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let source = policy(1);
+        let ckpt = Checkpoint::capture("twofold/a", source.params());
+        let err = ckpt.restore("twofold/b", source.params()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Architecture { .. }));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let source = policy(1);
+        let mut ckpt = Checkpoint::capture("t", source.params());
+        ckpt.version = 99;
+        assert_eq!(
+            ckpt.restore("t", source.params()),
+            Err(CheckpointError::Version(99))
+        );
+    }
+
+    #[test]
+    fn param_shape_mismatch_rejected() {
+        let source = policy(1);
+        let ckpt = Checkpoint::capture("t", source.params());
+        // A policy with different hidden sizes cannot load it.
+        let mut rng = StdRng::seed_from_u64(4);
+        let other =
+            TwofoldPolicy::new(10, head_sizes(), TwofoldConfig { hidden: [16, 16] }, &mut rng);
+        let err = ckpt.restore("t", other.params()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Params(_)));
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(CheckpointError::Serde(_))
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! The off-the-shelf baseline actor (paper §6.1, baselines 4A/4B): a
+//! standard DRL architecture whose softmax output layer has **one node per
+//! distinct action** — the design whose poor scaling motivates the twofold
+//! architecture.
+
+use crate::policy::{sample_categorical, ActionChoice, Evaluation, Policy, PolicyStep};
+use atena_nn::{softmax_rows, Graph, Init, Linear, Mlp, ParamSet, Tensor};
+use rand::rngs::StdRng;
+
+/// A flat-softmax actor-critic policy over an enumerated action table.
+pub struct FlatPolicy {
+    trunk: Mlp,
+    action_head: Linear,
+    value_head: Linear,
+    params: ParamSet,
+    n_actions: usize,
+    obs_dim: usize,
+}
+
+impl FlatPolicy {
+    /// Build for an observation size and a flat action count.
+    pub fn new(obs_dim: usize, n_actions: usize, hidden: [usize; 2], rng: &mut StdRng) -> Self {
+        assert!(n_actions > 0, "empty action table");
+        let trunk = Mlp::new("trunk", &[obs_dim, hidden[0], hidden[1]], rng);
+        let action_head =
+            Linear::new("actions", trunk.out_dim(), n_actions, Init::Xavier, rng);
+        let value_head = Linear::new("value", trunk.out_dim(), 1, Init::Xavier, rng);
+        let mut params = ParamSet::new();
+        trunk.register(&mut params);
+        action_head.register(&mut params);
+        value_head.register(&mut params);
+        Self { trunk, action_head, value_head, params, n_actions, obs_dim }
+    }
+
+    /// Number of output nodes in the action head.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+}
+
+impl Policy for FlatPolicy {
+    fn act(&self, obs: &[f32], temperature: f32, rng: &mut StdRng) -> PolicyStep {
+        debug_assert_eq!(obs.len(), self.obs_dim);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::row_vector(obs.to_vec()));
+        let h = self.trunk.forward(&mut g, x);
+        let logits = self.action_head.forward(&mut g, h);
+        let value = self.value_head.forward(&mut g, h);
+
+        let temp = temperature.max(1e-3);
+        let scaled = g.scale(logits, 1.0 / temp);
+        let probs = softmax_rows(g.value(scaled));
+        let index = sample_categorical(probs.row(0), rng);
+        let untempered = softmax_rows(g.value(logits));
+        PolicyStep {
+            choice: ActionChoice::Flat { index },
+            log_prob: untempered.get(0, index).max(1e-10).ln(),
+            value: g.value(value).get(0, 0),
+        }
+    }
+
+    fn evaluate(&self, g: &mut Graph, obs: &Tensor, choices: &[ActionChoice]) -> Evaluation {
+        assert_eq!(obs.rows(), choices.len(), "batch size mismatch");
+        let x = g.constant(obs.clone());
+        let h = self.trunk.forward(g, x);
+        let logits = self.action_head.forward(g, h);
+        let value = self.value_head.forward(g, h);
+
+        let picked: Vec<usize> = choices
+            .iter()
+            .map(|c| match c {
+                ActionChoice::Flat { index } => *index,
+                ActionChoice::Twofold { .. } => {
+                    panic!("flat policy evaluated with twofold choice")
+                }
+            })
+            .collect();
+        let lp_all = g.log_softmax_rows(logits);
+        let log_prob = g.pick_per_row(lp_all, picked);
+        let p = g.exp(lp_all);
+        let plogp = g.mul(p, lp_all);
+        let rows = g.sum_rows(plogp);
+        let entropy = g.neg(rows);
+        Evaluation { log_prob, entropy, value }
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn policy(n_actions: usize) -> FlatPolicy {
+        let mut rng = StdRng::seed_from_u64(0);
+        FlatPolicy::new(10, n_actions, [32, 32], &mut rng)
+    }
+
+    #[test]
+    fn act_samples_within_range() {
+        let p = policy(17);
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = vec![0.5f32; 10];
+        for _ in 0..100 {
+            let step = p.act(&obs, 1.0, &mut rng);
+            let ActionChoice::Flat { index } = step.choice else { panic!() };
+            assert!(index < 17);
+            assert!(step.log_prob <= 0.0);
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_act() {
+        let p = policy(9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let obs = vec![0.1f32; 10];
+        let step = p.act(&obs, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let eval = p.evaluate(&mut g, &Tensor::row_vector(obs), &[step.choice]);
+        let lp = g.value(eval.log_prob).get(0, 0);
+        assert!((lp - step.log_prob).abs() < 1e-4);
+        let ent = g.value(eval.entropy).get(0, 0);
+        assert!(ent > 0.0 && ent <= (9.0f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn output_layer_scales_with_action_count() {
+        // The pathology the paper describes: the head grows linearly with
+        // the number of distinct actions.
+        let small = policy(10);
+        let big = policy(1000);
+        assert!(big.params().n_elements() > small.params().n_elements() + 30_000);
+        assert_eq!(big.n_actions(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty action table")]
+    fn zero_actions_rejected() {
+        let _ = policy(0);
+    }
+}

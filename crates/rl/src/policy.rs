@@ -1,0 +1,228 @@
+//! The policy abstraction shared by the ATENA twofold architecture and the
+//! flat off-the-shelf baselines.
+
+use atena_env::{EdaAction, FlatTermAction, OpType};
+use atena_nn::{Graph, NodeId, ParamSet, Tensor};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Number of softmax segments of the twofold output layer:
+/// op-type, filter-attr, filter-op, filter-bin, group-key, agg-func,
+/// agg-attr.
+pub const N_HEADS: usize = 7;
+
+/// Indices of the heads active for each operation type (head 0 is always
+/// the op-type segment).
+pub fn active_heads(op: OpType) -> &'static [usize] {
+    match op {
+        OpType::Filter => &[0, 1, 2, 3],
+        OpType::Group => &[0, 4, 5, 6],
+        OpType::Back => &[0],
+    }
+}
+
+/// Map an op-type head choice to the [`OpType`].
+pub fn op_of_head_choice(choice: usize) -> OpType {
+    OpType::ALL[choice.min(OpType::ALL.len() - 1)]
+}
+
+/// The discrete choice a policy made at one step, in whichever encoding the
+/// architecture uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionChoice {
+    /// One index per softmax segment; inactive heads hold 0.
+    Twofold {
+        /// Per-head indices in canonical head order.
+        heads: [usize; N_HEADS],
+    },
+    /// Index into a flat enumeration of all distinct actions.
+    Flat {
+        /// Enumeration index.
+        index: usize,
+    },
+}
+
+impl ActionChoice {
+    /// The environment action for a twofold choice.
+    pub fn to_eda_action(&self) -> Option<EdaAction> {
+        match self {
+            ActionChoice::Twofold { heads } => Some(match op_of_head_choice(heads[0]) {
+                OpType::Filter => {
+                    EdaAction::Filter { attr: heads[1], op: heads[2], bin: heads[3] }
+                }
+                OpType::Group => EdaAction::Group { key: heads[4], func: heads[5], agg: heads[6] },
+                OpType::Back => EdaAction::Back,
+            }),
+            ActionChoice::Flat { .. } => None,
+        }
+    }
+}
+
+/// Output of sampling a policy at one state.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyStep {
+    /// The sampled choice.
+    pub choice: ActionChoice,
+    /// Log-probability of the full (joint) choice under the policy.
+    pub log_prob: f32,
+    /// The critic's value estimate for the state.
+    pub value: f32,
+}
+
+/// Differentiable quantities produced by re-evaluating stored choices for a
+/// PPO/A2C update.
+pub struct Evaluation {
+    /// Joint log-probability per sample (B×1).
+    pub log_prob: NodeId,
+    /// Policy entropy per sample (B×1), for entropy regularization.
+    pub entropy: NodeId,
+    /// Value estimate per sample (B×1).
+    pub value: NodeId,
+}
+
+/// An actor-critic policy over the EDA action space.
+pub trait Policy: Send + Sync {
+    /// Sample an action with Boltzmann exploration at the given temperature
+    /// (`1.0` = the policy's own distribution).
+    fn act(&self, obs: &[f32], temperature: f32, rng: &mut StdRng) -> PolicyStep;
+
+    /// Build the differentiable evaluation of stored `choices` at `obs`
+    /// (one row per sample) inside `graph`.
+    fn evaluate(&self, graph: &mut Graph, obs: &Tensor, choices: &[ActionChoice]) -> Evaluation;
+
+    /// All trainable parameters.
+    fn params(&self) -> &ParamSet;
+
+    /// Observation dimensionality the policy expects.
+    fn obs_dim(&self) -> usize;
+}
+
+/// How flat choices map onto environment actions. The twofold architecture
+/// needs no table; the OTS baselines index into an enumeration.
+#[derive(Debug, Clone)]
+pub enum ActionMapper {
+    /// Heads map directly to [`EdaAction`]s.
+    Twofold,
+    /// Index into an enumeration of binned actions (OTS-DRL-B).
+    FlatBinned(Vec<EdaAction>),
+    /// Index into an enumeration with explicit terms (OTS-DRL).
+    FlatTerms(Vec<FlatTermAction>),
+}
+
+/// A concrete environment action produced by mapping a choice.
+#[derive(Debug, Clone)]
+pub enum MappedAction {
+    /// Index-form action (twofold or flat-binned).
+    Binned(EdaAction),
+    /// Explicit-term action (flat-terms enumeration).
+    Term(FlatTermAction),
+}
+
+impl ActionMapper {
+    /// Map a policy choice to an environment action.
+    ///
+    /// # Panics
+    /// Panics if the choice encoding does not match the mapper or the flat
+    /// index is out of range (both indicate a wiring bug).
+    pub fn map(&self, choice: &ActionChoice) -> MappedAction {
+        match (self, choice) {
+            (ActionMapper::Twofold, c @ ActionChoice::Twofold { .. }) => {
+                MappedAction::Binned(c.to_eda_action().expect("twofold choice"))
+            }
+            (ActionMapper::FlatBinned(table), ActionChoice::Flat { index }) => {
+                MappedAction::Binned(table[*index])
+            }
+            (ActionMapper::FlatTerms(table), ActionChoice::Flat { index }) => {
+                MappedAction::Term(table[*index].clone())
+            }
+            _ => panic!("action choice encoding does not match mapper"),
+        }
+    }
+
+    /// Size of the flat action table (`None` for twofold).
+    pub fn flat_size(&self) -> Option<usize> {
+        match self {
+            ActionMapper::Twofold => None,
+            ActionMapper::FlatBinned(t) => Some(t.len()),
+            ActionMapper::FlatTerms(t) => Some(t.len()),
+        }
+    }
+}
+
+/// Sample an index from unnormalized probabilities.
+pub(crate) fn sample_categorical(probs: &[f32], rng: &mut StdRng) -> usize {
+    use rand::Rng;
+    let total: f32 = probs.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return 0;
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn active_head_sets() {
+        assert_eq!(active_heads(OpType::Filter), &[0, 1, 2, 3]);
+        assert_eq!(active_heads(OpType::Group), &[0, 4, 5, 6]);
+        assert_eq!(active_heads(OpType::Back), &[0]);
+    }
+
+    #[test]
+    fn twofold_choice_to_action() {
+        let c = ActionChoice::Twofold { heads: [0, 2, 1, 5, 0, 0, 0] };
+        assert_eq!(c.to_eda_action(), Some(EdaAction::Filter { attr: 2, op: 1, bin: 5 }));
+        let c = ActionChoice::Twofold { heads: [1, 0, 0, 0, 3, 2, 1] };
+        assert_eq!(c.to_eda_action(), Some(EdaAction::Group { key: 3, func: 2, agg: 1 }));
+        let c = ActionChoice::Twofold { heads: [2, 0, 0, 0, 0, 0, 0] };
+        assert_eq!(c.to_eda_action(), Some(EdaAction::Back));
+        assert_eq!(ActionChoice::Flat { index: 3 }.to_eda_action(), None);
+    }
+
+    #[test]
+    fn mapper_flat_binned() {
+        let table = vec![EdaAction::Back, EdaAction::Filter { attr: 0, op: 0, bin: 0 }];
+        let m = ActionMapper::FlatBinned(table);
+        assert_eq!(m.flat_size(), Some(2));
+        match m.map(&ActionChoice::Flat { index: 1 }) {
+            MappedAction::Binned(EdaAction::Filter { .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match mapper")]
+    fn mapper_mismatch_panics() {
+        let m = ActionMapper::Twofold;
+        m.map(&ActionChoice::Flat { index: 0 });
+    }
+
+    #[test]
+    fn categorical_sampling_is_proportional() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let probs = [0.1f32, 0.0, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn categorical_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_categorical(&[0.0, 0.0], &mut rng), 0);
+        assert_eq!(sample_categorical(&[f32::NAN, 1.0], &mut rng), 0);
+    }
+}

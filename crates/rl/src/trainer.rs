@@ -1,0 +1,420 @@
+//! The training loop: parallel rollout actors (crossbeam-scoped threads,
+//! the synchronous-update realization of A3C — see DESIGN.md §3.2) feeding
+//! the PPO learner, with mean-episode-reward tracking for the convergence
+//! experiments (Figure 5) and best-episode extraction for notebook
+//! generation.
+
+use crate::policy::{ActionMapper, MappedAction, Policy};
+use crate::ppo::{PpoConfig, PpoLearner, UpdateStats};
+use crate::rollout::{RolloutBuffer, RolloutStep};
+use atena_env::{EdaEnv, EnvConfig, ResolvedOp, RewardModel};
+use atena_dataframe::DataFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// PPO hyperparameters.
+    pub ppo: PpoConfig,
+    /// Steps each worker collects per iteration.
+    pub rollout_len: usize,
+    /// Number of parallel rollout workers.
+    pub n_workers: usize,
+    /// Boltzmann exploration temperature at the start of training.
+    pub temperature: f32,
+    /// Temperature at the end of a `train()` call; the schedule anneals
+    /// linearly between the two. Set equal to `temperature` (the default)
+    /// to disable annealing.
+    pub temperature_final: f32,
+    /// Episodes averaged per convergence-curve point.
+    pub eval_window: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            ppo: PpoConfig::default(),
+            rollout_len: 96,
+            n_workers: 4,
+            temperature: 1.0,
+            temperature_final: 1.0,
+            eval_window: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// A completed episode: its operations and cumulative reward.
+#[derive(Debug, Clone)]
+pub struct EpisodeRecord {
+    /// The resolved operations, in order.
+    pub ops: Vec<ResolvedOp>,
+    /// Cumulative (non-normalized) episode reward.
+    pub total_reward: f64,
+}
+
+/// One point of the learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Global environment steps consumed so far.
+    pub steps: usize,
+    /// Mean episode reward over the recent window.
+    pub mean_episode_reward: f64,
+}
+
+/// Output of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainLog {
+    /// Convergence curve (one point per iteration).
+    pub curve: Vec<CurvePoint>,
+    /// Total episodes completed.
+    pub episodes: usize,
+    /// Total environment steps consumed.
+    pub steps: usize,
+    /// Best episode seen during training.
+    pub best_episode: Option<EpisodeRecord>,
+    /// Diagnostics of the final PPO update.
+    pub last_update: UpdateStats,
+}
+
+struct Worker {
+    env: EdaEnv,
+    rng: StdRng,
+    episode_reward: f64,
+}
+
+/// Trains a policy on one dataset with a given reward model.
+pub struct Trainer {
+    policy: Arc<dyn Policy>,
+    mapper: ActionMapper,
+    reward: Arc<dyn RewardModel>,
+    learner: PpoLearner,
+    config: TrainerConfig,
+    workers: Vec<Worker>,
+    rng: StdRng,
+    recent_episodes: Vec<f64>,
+    best_episode: Option<EpisodeRecord>,
+    total_steps: usize,
+    total_episodes: usize,
+}
+
+impl Trainer {
+    /// Create a trainer. Each worker gets an independent environment over
+    /// (a cheap clone of) the dataset.
+    pub fn new(
+        policy: Arc<dyn Policy>,
+        mapper: ActionMapper,
+        reward: Arc<dyn RewardModel>,
+        base: &DataFrame,
+        env_config: EnvConfig,
+        config: TrainerConfig,
+    ) -> Self {
+        let learner = PpoLearner::new(policy.as_ref(), config.ppo);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let workers = (0..config.n_workers.max(1))
+            .map(|i| {
+                let mut wc = env_config.clone();
+                wc.seed = config.seed.wrapping_add(i as u64 * 7919);
+                let mut env = EdaEnv::new(base.clone(), wc);
+                env.reset_with_seed(rng.gen());
+                Worker { env, rng: StdRng::seed_from_u64(rng.gen()), episode_reward: 0.0 }
+            })
+            .collect();
+        Self {
+            policy,
+            mapper,
+            reward,
+            learner,
+            config,
+            workers,
+            rng,
+            recent_episodes: Vec::new(),
+            best_episode: None,
+            total_steps: 0,
+            total_episodes: 0,
+        }
+    }
+
+    /// The policy being trained.
+    pub fn policy(&self) -> &Arc<dyn Policy> {
+        &self.policy
+    }
+
+    /// Train for (at least) `total_steps` environment steps; returns the
+    /// log including the convergence curve and the best episode.
+    pub fn train(&mut self, total_steps: usize) -> TrainLog {
+        let mut curve = Vec::new();
+        let mut last_update = UpdateStats::default();
+        let start = self.total_steps;
+        while self.total_steps - start < total_steps {
+            let progress =
+                ((self.total_steps - start) as f32 / total_steps.max(1) as f32).min(1.0);
+            let temperature = self.config.temperature
+                + (self.config.temperature_final - self.config.temperature) * progress;
+            let (buffer, episodes) = self.collect_rollouts(temperature);
+            self.total_steps += buffer.len();
+            for ep in episodes {
+                self.total_episodes += 1;
+                self.recent_episodes.push(ep.total_reward);
+                let window = self.config.eval_window.max(1);
+                if self.recent_episodes.len() > window {
+                    let drop = self.recent_episodes.len() - window;
+                    self.recent_episodes.drain(..drop);
+                }
+                let better = self
+                    .best_episode
+                    .as_ref()
+                    .is_none_or(|b| ep.total_reward > b.total_reward);
+                if better {
+                    self.best_episode = Some(ep);
+                }
+            }
+            last_update = self.learner.update(self.policy.as_ref(), &buffer, &mut self.rng);
+            if !self.recent_episodes.is_empty() {
+                curve.push(CurvePoint {
+                    steps: self.total_steps,
+                    mean_episode_reward: self.recent_episodes.iter().sum::<f64>()
+                        / self.recent_episodes.len() as f64,
+                });
+            }
+        }
+        TrainLog {
+            curve,
+            episodes: self.total_episodes,
+            steps: self.total_steps,
+            best_episode: self.best_episode.clone(),
+            last_update,
+        }
+    }
+
+    /// Collect one iteration of rollouts from all workers in parallel.
+    fn collect_rollouts(&mut self, temperature: f32) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+        let policy = &self.policy;
+        let mapper = &self.mapper;
+        let reward = &self.reward;
+        let rollout_len = self.config.rollout_len;
+
+        let results: Vec<(RolloutBuffer, Vec<EpisodeRecord>)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|worker| {
+                        let policy = Arc::clone(policy);
+                        let mapper = mapper.clone();
+                        let reward = Arc::clone(reward);
+                        scope.spawn(move |_| {
+                            run_worker(
+                                worker,
+                                policy.as_ref(),
+                                &mapper,
+                                reward.as_ref(),
+                                rollout_len,
+                                temperature,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("rollout scope panicked");
+
+        let mut buffer = RolloutBuffer::new();
+        let mut episodes = Vec::new();
+        for (b, eps) in results {
+            buffer.extend(b);
+            episodes.extend(eps);
+        }
+        (buffer, episodes)
+    }
+
+    /// Run `n` evaluation episodes at a (typically low) temperature without
+    /// learning; returns the episode records.
+    pub fn evaluate(&mut self, n: usize, temperature: f32) -> Vec<EpisodeRecord> {
+        let mut out = Vec::with_capacity(n);
+        let worker = &mut self.workers[0];
+        for _ in 0..n {
+            worker.env.reset_with_seed(worker.rng.gen());
+            let mut total = 0.0f64;
+            while !worker.env.done() {
+                let obs = worker.env.observation();
+                let step = self.policy.act(&obs, temperature, &mut worker.rng);
+                let mapped = self.mapper.map(&step.choice);
+                let r = step_env(&mut worker.env, &mapped, self.reward.as_ref());
+                total += r;
+            }
+            out.push(EpisodeRecord {
+                ops: worker.env.session().ops().iter().map(|o| o.op.clone()).collect(),
+                total_reward: total,
+            });
+        }
+        out
+    }
+}
+
+/// Apply a mapped action to the environment, scoring it with the reward
+/// model; returns the reward.
+fn step_env(env: &mut EdaEnv, action: &MappedAction, reward: &dyn RewardModel) -> f64 {
+    let op = match action {
+        MappedAction::Binned(a) => env.resolve(a),
+        MappedAction::Term(a) => env.resolve_flat_term(a),
+    };
+    let preview = env.preview(&op);
+    let r = {
+        let info = env.step_info(&preview);
+        reward.score(&info).total
+    };
+    env.commit(preview);
+    r
+}
+
+fn run_worker(
+    worker: &mut Worker,
+    policy: &dyn Policy,
+    mapper: &ActionMapper,
+    reward: &dyn RewardModel,
+    rollout_len: usize,
+    temperature: f32,
+) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+    let mut buffer = RolloutBuffer::new();
+    let mut episodes = Vec::new();
+    for _ in 0..rollout_len {
+        let obs = worker.env.observation();
+        let step = policy.act(&obs, temperature, &mut worker.rng);
+        let mapped = mapper.map(&step.choice);
+        let r = step_env(&mut worker.env, &mapped, reward);
+        worker.episode_reward += r;
+        let done = worker.env.done();
+        buffer.push(RolloutStep {
+            obs,
+            choice: step.choice,
+            log_prob: step.log_prob,
+            value: step.value,
+            reward: r as f32,
+            done,
+        });
+        if done {
+            episodes.push(EpisodeRecord {
+                ops: worker.env.session().ops().iter().map(|o| o.op.clone()).collect(),
+                total_reward: worker.episode_reward,
+            });
+            worker.episode_reward = 0.0;
+            let seed = worker.rng.gen();
+            worker.env.reset_with_seed(seed);
+        }
+    }
+    (buffer, episodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twofold::{TwofoldConfig, TwofoldPolicy};
+    use atena_dataframe::AttrRole;
+    use atena_reward::{CoherencyConfig, CompoundReward};
+
+    fn base() -> DataFrame {
+        DataFrame::builder()
+            .str(
+                "proto",
+                AttrRole::Categorical,
+                (0..60).map(|i| Some(if i % 5 == 0 { "icmp" } else { "tcp" })),
+            )
+            .str(
+                "src",
+                AttrRole::Categorical,
+                (0..60).map(|i| Some(["a", "b", "c"][i % 3])),
+            )
+            .int("len", AttrRole::Numeric, (0..60).map(|i| Some((i * 31 % 47) as i64)))
+            .build()
+            .unwrap()
+    }
+
+    fn make_trainer(n_workers: usize, seed: u64) -> Trainer {
+        let env_config = EnvConfig { episode_len: 6, n_bins: 5, history_window: 3, seed };
+        let probe = EdaEnv::new(base(), env_config.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = TwofoldPolicy::new(
+            probe.observation_dim(),
+            probe.action_space().head_sizes(),
+            TwofoldConfig { hidden: [32, 32] },
+            &mut rng,
+        );
+        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![
+            "src".into(),
+        ]));
+        let mut fit_env = EdaEnv::new(base(), env_config.clone());
+        reward.fit(&mut fit_env, 120, seed);
+        Trainer::new(
+            Arc::new(policy),
+            ActionMapper::Twofold,
+            Arc::new(reward),
+            &base(),
+            env_config,
+            TrainerConfig {
+                n_workers,
+                rollout_len: 48,
+                eval_window: 10,
+                seed,
+                ppo: PpoConfig { minibatch: 32, epochs: 2, ..Default::default() },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn training_runs_and_logs_curve() {
+        let mut t = make_trainer(2, 1);
+        let log = t.train(300);
+        assert!(log.steps >= 300);
+        assert!(log.episodes > 10);
+        assert!(!log.curve.is_empty());
+        assert!(log.best_episode.is_some());
+        let best = log.best_episode.unwrap();
+        assert_eq!(best.ops.len(), 6);
+        assert!(best.total_reward.is_finite());
+    }
+
+    #[test]
+    fn training_improves_over_random() {
+        let mut t = make_trainer(2, 7);
+        let before: f64 = {
+            let eps = t.evaluate(10, 1.0);
+            eps.iter().map(|e| e.total_reward).sum::<f64>() / 10.0
+        };
+        t.train(2500);
+        let after: f64 = {
+            let eps = t.evaluate(10, 0.3);
+            eps.iter().map(|e| e.total_reward).sum::<f64>() / 10.0
+        };
+        assert!(
+            after > before,
+            "no improvement: before {before:.3}, after {after:.3}"
+        );
+    }
+
+    #[test]
+    fn single_worker_deterministic_with_seed() {
+        let run = |seed| {
+            let mut t = make_trainer(1, seed);
+            let log = t.train(120);
+            log.best_episode.map(|e| e.total_reward)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn evaluate_produces_full_episodes() {
+        let mut t = make_trainer(1, 5);
+        let eps = t.evaluate(3, 0.5);
+        assert_eq!(eps.len(), 3);
+        for e in eps {
+            assert_eq!(e.ops.len(), 6);
+        }
+    }
+}

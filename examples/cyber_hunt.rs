@@ -1,0 +1,63 @@
+//! Cyber-hunt scenario: generate an EDA notebook for the "Cyber #1"
+//! capture (an ICMP range scan) and check how many of the challenge's
+//! planted insights the notebook surfaces — the paper's Figure 4b
+//! measurement, on a single dataset.
+//!
+//! ```sh
+//! cargo run --release --example cyber_hunt
+//! ```
+
+use atena::benchmark::score_notebook;
+use atena::data::{cyber1, insight_coverage};
+use atena::{Atena, AtenaConfig};
+
+fn main() {
+    let dataset = cyber1();
+    println!(
+        "{} — {} ({} rows). Goal: {}.",
+        dataset.spec.name,
+        dataset.spec.description,
+        dataset.frame.n_rows(),
+        dataset.goal
+    );
+    println!("The official solution plants {} insights.\n", dataset.insights.len());
+
+    let mut config = AtenaConfig::quick();
+    config.train_steps = std::env::var("ATENA_TRAIN_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000);
+    config.env.episode_len = 10;
+
+    println!("Training ATENA ({} steps) ...", config.train_steps);
+    let result = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+        .with_focal_attrs(dataset.focal_attrs())
+        .with_config(config)
+        .generate();
+
+    println!("\n{}", result.notebook.to_markdown());
+
+    // Which insights does the generated notebook surface?
+    println!("## Insight audit\n");
+    let mut found = 0;
+    for insight in &dataset.insights {
+        let hit = insight.check.satisfied_by(&result.notebook);
+        if hit {
+            found += 1;
+        }
+        println!("  [{}] {}", if hit { "x" } else { " " }, insight.description);
+    }
+    println!(
+        "\n{}/{} insights surfaced ({:.0}%)",
+        found,
+        dataset.insights.len(),
+        insight_coverage(&result.notebook, &dataset.insights) * 100.0
+    );
+
+    // A-EDA scores against the gold standards.
+    let scores = score_notebook(&result.notebook, &dataset);
+    println!(
+        "A-EDA: precision {:.2}, T-BLEU-1 {:.2}, T-BLEU-2 {:.2}, EDA-Sim {:.2}",
+        scores.precision, scores.t_bleu_1, scores.t_bleu_2, scores.eda_sim
+    );
+}

@@ -1,0 +1,56 @@
+//! Flight-delay scenario (the paper's running example from §1): compare
+//! ATENA against a greedy interestingness-only baseline on the "Flights #1"
+//! dataset, side by side, and score both against the gold standards.
+//!
+//! ```sh
+//! cargo run --release --example flight_delays
+//! ```
+
+use atena::benchmark::score_notebook;
+use atena::data::flights1;
+use atena::{Atena, AtenaConfig, Strategy};
+
+fn main() {
+    let dataset = flights1();
+    println!(
+        "{} — {} ({} rows). Goal: {}.\n",
+        dataset.spec.name,
+        dataset.spec.description,
+        dataset.frame.n_rows(),
+        dataset.goal
+    );
+
+    let mut config = AtenaConfig::quick();
+    config.train_steps = std::env::var("ATENA_TRAIN_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000);
+    config.env.episode_len = 8;
+
+    for strategy in [Strategy::Atena, Strategy::GreedyIo] {
+        println!("=== {} ===\n", strategy.name());
+        let result = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+            .with_focal_attrs(dataset.focal_attrs())
+            .with_config(config.clone())
+            .with_strategy(strategy)
+            .generate();
+
+        // Print the compact view list rather than the whole notebook.
+        for entry in &result.notebook.entries {
+            println!("  [{}] {}", entry.index, entry.caption);
+        }
+        println!("\n{}", result.notebook.tree_illustration());
+
+        let scores = score_notebook(&result.notebook, &dataset);
+        println!(
+            "A-EDA: precision {:.2}, T-BLEU-1 {:.2}, T-BLEU-2 {:.2}, EDA-Sim {:.2}\n",
+            scores.precision, scores.t_bleu_1, scores.t_bleu_2, scores.eda_sim
+        );
+    }
+
+    println!(
+        "The interestingness-only baseline chases individually surprising views;\n\
+         ATENA's compound reward (interestingness + diversity + coherency) produces\n\
+         the drill-down narrative the paper's Example 1.1 describes."
+    );
+}

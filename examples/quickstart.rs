@@ -1,0 +1,70 @@
+//! Quickstart: load a CSV, auto-generate an EDA notebook, print it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! # or point it at your own data:
+//! cargo run --release --example quickstart -- path/to/data.csv delay_column
+//! ```
+
+use atena::dataframe::DataFrame;
+use atena::{Atena, AtenaConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    let (df, name, focal): (DataFrame, String, Vec<String>) = if args.len() >= 2 {
+        let text = std::fs::read_to_string(&args[1])
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", args[1]));
+        let df = DataFrame::from_csv_str(&text).expect("valid CSV");
+        let focal = args.get(2).map(|c| vec![c.clone()]).unwrap_or_default();
+        (df, args[1].clone(), focal)
+    } else {
+        // A small built-in flights sample so the example runs standalone.
+        let csv = "\
+airline,day_of_week,origin_airport,departure_delay,distance
+AA,Sunday,ORD,41,733
+AA,Sunday,DFW,3,1100
+DL,Monday,ATL,-2,540
+DL,Sunday,ATL,18,540
+UA,Friday,ORD,66,733
+UA,Sunday,SFO,12,2500
+AA,Friday,ORD,58,733
+WN,Sunday,DAL,7,300
+WN,Monday,DAL,-4,300
+AA,Sunday,ORD,49,733
+DL,Friday,ATL,25,540
+UA,Sunday,ORD,71,733
+AA,Monday,DFW,0,1100
+WN,Friday,HOU,15,250
+DL,Sunday,JFK,31,950
+UA,Friday,SFO,44,2500
+AA,Sunday,MIA,9,1200
+WN,Sunday,DAL,2,300
+DL,Monday,ATL,-5,540
+UA,Sunday,ORD,63,733
+";
+        (
+            DataFrame::from_csv_str(csv).expect("valid CSV"),
+            "sample-flights".to_string(),
+            vec!["departure_delay".to_string()],
+        )
+    };
+
+    println!(
+        "Dataset: {name} — {} rows × {} columns",
+        df.n_rows(),
+        df.n_cols()
+    );
+    println!("Training the ATENA agent (quick schedule) ...\n");
+
+    let result = Atena::new(name, df)
+        .with_focal_attrs(focal)
+        .with_config(AtenaConfig::quick())
+        .generate();
+
+    println!("{}", result.notebook.to_markdown());
+    println!(
+        "best episode reward: {:.3} over {} training steps",
+        result.best_reward, result.steps
+    );
+}

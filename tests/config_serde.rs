@@ -1,0 +1,71 @@
+//! Configuration and artifact serialization round-trips: every config the
+//! experiments record in their JSON dumps must survive serde.
+
+use atena::env::EnvConfig;
+use atena::rl::{Checkpoint, PpoConfig, TrainerConfig};
+use atena::{AtenaConfig, Strategy};
+
+#[test]
+fn atena_config_round_trips() {
+    let config = AtenaConfig::quick();
+    let json = serde_json::to_string(&config).unwrap();
+    let back: AtenaConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+}
+
+#[test]
+fn env_and_trainer_configs_round_trip() {
+    let env = EnvConfig { episode_len: 7, n_bins: 9, history_window: 2, seed: 42 };
+    let back: EnvConfig = serde_json::from_str(&serde_json::to_string(&env).unwrap()).unwrap();
+    assert_eq!(back, env);
+
+    let trainer = TrainerConfig {
+        ppo: PpoConfig { clip_eps: 0.15, ..Default::default() },
+        n_workers: 3,
+        ..Default::default()
+    };
+    let back: TrainerConfig =
+        serde_json::from_str(&serde_json::to_string(&trainer).unwrap()).unwrap();
+    assert_eq!(back, trainer);
+}
+
+#[test]
+fn strategies_round_trip() {
+    for s in Strategy::ALL {
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Strategy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}
+
+#[test]
+fn checkpoints_survive_json_round_trip_through_training() {
+    use atena::dataframe::{AttrRole, DataFrame};
+    use atena::env::EdaEnv;
+    use atena::nn::ParamSet;
+    use atena::rl::{Policy, TwofoldConfig, TwofoldPolicy};
+    use rand::SeedableRng;
+
+    let df = DataFrame::builder()
+        .str("c", AttrRole::Categorical, (0..30).map(|i| Some(["a", "b"][i % 2])))
+        .int("v", AttrRole::Numeric, (0..30).map(|i| Some(i as i64)))
+        .build()
+        .unwrap();
+    let env = EdaEnv::new(df, EnvConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let policy = TwofoldPolicy::new(
+        env.observation_dim(),
+        env.action_space().head_sizes(),
+        TwofoldConfig { hidden: [16, 16] },
+        &mut rng,
+    );
+    let tag = format!("twofold/obs{}", env.observation_dim());
+    let ckpt = Checkpoint::capture(&tag, policy.params());
+    let json = ckpt.to_json().unwrap();
+    let loaded = Checkpoint::from_json(&json).unwrap();
+    // Restoring into a matching architecture works; into a mismatched
+    // ParamSet fails loudly.
+    loaded.restore(&tag, policy.params()).unwrap();
+    let empty = ParamSet::new();
+    assert!(loaded.restore("other-arch", &empty).is_err());
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration tests: the full pipeline from raw data to scored
+//! notebook, across all workspace crates.
+
+use atena::benchmark::{rate, score_notebook};
+use atena::data::{cyber2, flights3, insight_coverage, simulate_traces, TraceConfig};
+use atena::dataframe::DataFrame;
+use atena::env::EnvConfig;
+use atena::rl::TrainerConfig;
+use atena::{Atena, AtenaConfig, Notebook, Strategy};
+
+fn quick_config(train_steps: usize, episode_len: usize) -> AtenaConfig {
+    AtenaConfig {
+        env: EnvConfig { episode_len, n_bins: 8, history_window: 3, seed: 0 },
+        trainer: TrainerConfig { n_workers: 2, rollout_len: 64, seed: 0, ..Default::default() },
+        train_steps,
+        probe_steps: 120,
+        hidden: [64, 64],
+        flat_term_cap: 10,
+    }
+}
+
+#[test]
+fn csv_to_notebook_pipeline() {
+    let csv = "\
+category,region,revenue
+books,EU,120
+books,US,80
+toys,EU,300
+toys,US,310
+toys,EU,290
+games,US,150
+games,EU,40
+books,US,95
+";
+    let df = DataFrame::from_csv_str(csv).unwrap();
+    let result = Atena::new("sales", df)
+        .with_focal_attrs(["revenue"])
+        .with_config(quick_config(400, 4))
+        .generate();
+    assert_eq!(result.notebook.len(), 4);
+    let md = result.notebook.to_markdown();
+    assert!(md.contains("# Auto-EDA for sales"));
+    let json: serde_json::Value = serde_json::from_str(&result.notebook.to_json()).unwrap();
+    assert_eq!(json["cells"].as_array().unwrap().len(), 4);
+}
+
+#[test]
+fn every_strategy_generates_on_a_real_dataset() {
+    let dataset = flights3();
+    for strategy in Strategy::ALL {
+        let result = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+            .with_focal_attrs(dataset.focal_attrs())
+            .with_config(quick_config(400, 4))
+            .with_strategy(strategy)
+            .generate();
+        assert_eq!(
+            result.notebook.len(),
+            4,
+            "{} produced a wrong-sized notebook",
+            strategy.name()
+        );
+        assert!(result.best_reward.is_finite());
+    }
+}
+
+#[test]
+fn trained_atena_beats_untrained_views_on_benchmark() {
+    let dataset = cyber2();
+    let result = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+        .with_focal_attrs(dataset.focal_attrs())
+        .with_config(quick_config(2_500, 8))
+        .generate();
+    let scores = score_notebook(&result.notebook, &dataset);
+    // The trained agent should find at least some gold-adjacent structure.
+    assert!(
+        scores.eda_sim > 0.15,
+        "EDA-Sim suspiciously low: {:?}",
+        scores
+    );
+    // And its notebook must be internally valid.
+    let applied = result.notebook.entries.iter().filter(|e| e.outcome.is_applied()).count();
+    assert!(applied >= 6, "too many invalid ops: {applied}/8 applied");
+}
+
+#[test]
+fn gold_standards_dominate_traces_on_rater() {
+    let dataset = cyber2();
+    let atena = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+        .with_focal_attrs(dataset.focal_attrs())
+        .with_config(quick_config(400, 8));
+    let reward = atena.build_reward();
+
+    let golds: Vec<Notebook> = dataset
+        .gold_standards
+        .iter()
+        .map(|g| Notebook::replay(&dataset.spec.name, &dataset.frame, g))
+        .collect();
+    let gold_rating = rate(&golds[0], &dataset.frame, &reward, &golds, &dataset.insights);
+
+    let traces = simulate_traces(&dataset, 2, TraceConfig { length: 8, ..Default::default() });
+    let trace_nb = Notebook::replay(&dataset.spec.name, &dataset.frame, &traces[0]);
+    let trace_rating = rate(&trace_nb, &dataset.frame, &reward, &golds, &dataset.insights);
+
+    assert!(
+        gold_rating.overall() > trace_rating.overall(),
+        "gold {:.2} should beat traces {:.2}",
+        gold_rating.overall(),
+        trace_rating.overall()
+    );
+}
+
+#[test]
+fn insight_coverage_ordering_gold_vs_junk() {
+    let dataset = cyber2();
+    let golds: Vec<Notebook> = dataset
+        .gold_standards
+        .iter()
+        .map(|g| Notebook::replay(&dataset.spec.name, &dataset.frame, g))
+        .collect();
+    let best_gold = golds
+        .iter()
+        .map(|nb| insight_coverage(nb, &dataset.insights))
+        .fold(0.0f64, f64::max);
+    // A do-nothing notebook.
+    let empty = Notebook::replay(&dataset.spec.name, &dataset.frame, &[]);
+    assert!(best_gold > 0.5);
+    assert_eq!(insight_coverage(&empty, &dataset.insights), 0.0);
+}
+
+#[test]
+fn generation_is_deterministic_for_fixed_seeds() {
+    let dataset = flights3();
+    let run = || {
+        Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
+            .with_focal_attrs(dataset.focal_attrs())
+            .with_config(quick_config(400, 4))
+            .with_strategy(Strategy::GreedyCr)
+            .generate()
+            .notebook
+            .views()
+    };
+    assert_eq!(run(), run());
+}
