@@ -49,10 +49,13 @@ fn bench_policies(c: &mut Criterion) {
     let obs_t = Tensor::from_vec(
         batch,
         env.observation_dim(),
-        (0..batch * env.observation_dim()).map(|i| (i as f32 * 0.01).sin()).collect(),
+        (0..batch * env.observation_dim())
+            .map(|i| (i as f32 * 0.01).sin())
+            .collect(),
     );
-    let choices: Vec<ActionChoice> =
-        (0..batch).map(|r| twofold.act(obs_t.row(r), 1.0, &mut rng).choice).collect();
+    let choices: Vec<ActionChoice> = (0..batch)
+        .map(|r| twofold.act(obs_t.row(r), 1.0, &mut rng).choice)
+        .collect();
     g.bench_function("twofold_evaluate_batch64", |b| {
         b.iter(|| {
             let mut graph = Graph::new();
@@ -60,8 +63,9 @@ fn bench_policies(c: &mut Criterion) {
             black_box(graph.value(eval.log_prob).get(0, 0))
         })
     });
-    let flat_choices: Vec<ActionChoice> =
-        (0..batch).map(|r| flat.act(obs_t.row(r), 1.0, &mut rng).choice).collect();
+    let flat_choices: Vec<ActionChoice> = (0..batch)
+        .map(|r| flat.act(obs_t.row(r), 1.0, &mut rng).choice)
+        .collect();
     g.bench_function("flat_evaluate_batch64", |b| {
         b.iter(|| {
             let mut graph = Graph::new();
@@ -94,7 +98,11 @@ fn bench_ppo_update(c: &mut Criterion) {
     g.bench_function("update_96_steps", |b| {
         let mut learner = PpoLearner::new(
             &twofold,
-            PpoConfig { epochs: 2, minibatch: 32, ..Default::default() },
+            PpoConfig {
+                epochs: 2,
+                minibatch: 32,
+                ..Default::default()
+            },
         );
         b.iter(|| {
             black_box(learner.update(&twofold, &buffer, &mut rng).policy_loss);

@@ -6,8 +6,8 @@ use atena_benchmark::{eda_sim, precision, t_bleu};
 use atena_core::Notebook;
 use atena_data::{cyber1, cyber2};
 use atena_dataframe::{AggFunc, CmpOp, Predicate};
-use atena_env::{EdaAction, EdaEnv, EnvConfig, FrequencyBins};
 use atena_env::RewardModel;
+use atena_env::{EdaAction, EdaEnv, EnvConfig, FrequencyBins};
 use atena_reward::{random_action, CoherencyConfig, CompoundReward};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -39,7 +39,14 @@ fn bench_dataframe(c: &mut Criterion) {
         b.iter(|| black_box(frame.all_column_stats().len()))
     });
     g.bench_function("value_distribution", |b| {
-        b.iter(|| black_box(frame.value_distribution("destination_ip").unwrap().support_size()))
+        b.iter(|| {
+            black_box(
+                frame
+                    .value_distribution("destination_ip")
+                    .unwrap()
+                    .support_size(),
+            )
+        })
     });
     g.finish();
 }
@@ -54,7 +61,14 @@ fn bench_env(c: &mut Criterion) {
             if env.done() {
                 env.reset();
             }
-            black_box(env.step(&EdaAction::Group { key: 3, func: 0, agg: 6 }).step)
+            black_box(
+                env.step(&EdaAction::Group {
+                    key: 3,
+                    func: 0,
+                    agg: 6,
+                })
+                .step,
+            )
         })
     });
     g.bench_function("env_step_filter", |b| {
@@ -64,7 +78,14 @@ fn bench_env(c: &mut Criterion) {
             if env.done() {
                 env.reset();
             }
-            black_box(env.step(&EdaAction::Filter { attr: 3, op: 0, bin: 9 }).step)
+            black_box(
+                env.step(&EdaAction::Filter {
+                    attr: 3,
+                    op: 0,
+                    bin: 9,
+                })
+                .step,
+            )
         })
     });
     g.bench_function("frequency_binning", |b| {
@@ -127,5 +148,11 @@ fn bench_metrics(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dataframe, bench_env, bench_reward, bench_metrics);
+criterion_group!(
+    benches,
+    bench_dataframe,
+    bench_env,
+    bench_reward,
+    bench_metrics
+);
 criterion_main!(benches);

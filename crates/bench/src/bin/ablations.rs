@@ -12,9 +12,7 @@ use atena_benchmark::score_notebook;
 use atena_core::{Atena, Strategy};
 use atena_data::cyber2;
 use atena_env::EdaEnv;
-use atena_rl::{
-    ActionMapper, PpoConfig, Trainer, TrainerConfig, TwofoldConfig, TwofoldPolicy,
-};
+use atena_rl::{ActionMapper, PpoConfig, Trainer, TrainerConfig, TwofoldConfig, TwofoldPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -29,12 +27,13 @@ struct AblationRow {
 }
 
 fn main() {
+    atena_bench::init_telemetry("ablations");
     let scale = Scale::from_env();
     let dataset = cyber2();
     let mut records: Vec<AblationRow> = Vec::new();
 
     // --- 1 & 2: architecture and binning (shared with Table 2 baselines).
-    eprintln!("[ablations] architecture & binning ...");
+    atena_telemetry::info!("architecture & binning ...");
     for strategy in [Strategy::Atena, Strategy::OtsDrlB, Strategy::OtsDrl] {
         let result = run_strategy(strategy, &dataset, &scale, 41);
         records.push(AblationRow {
@@ -61,7 +60,7 @@ fn main() {
     });
 
     // --- 3: entropy regularization on/off with the twofold policy.
-    eprintln!("[ablations] entropy regularization ...");
+    atena_telemetry::info!("entropy regularization ...");
     for (variant, coef) in [("entropy-on", 0.02f32), ("entropy-off", 0.0)] {
         let cfg = scale.config(43);
         let probe = EdaEnv::new(dataset.frame.clone(), cfg.env.clone());
@@ -83,14 +82,21 @@ fn main() {
             &dataset.frame,
             cfg.env.clone(),
             TrainerConfig {
-                ppo: PpoConfig { entropy_coef: coef, ..Default::default() },
+                ppo: PpoConfig {
+                    entropy_coef: coef,
+                    ..Default::default()
+                },
                 n_workers: scale.n_workers,
                 seed: 43,
                 ..Default::default()
             },
         );
         let log = trainer.train(scale.train_steps);
-        let final_mean = log.curve.last().map(|p| p.mean_episode_reward).unwrap_or(0.0);
+        let final_mean = log
+            .curve
+            .last()
+            .map(|p| p.mean_episode_reward)
+            .unwrap_or(0.0);
         records.push(AblationRow {
             ablation: "entropy-regularization".into(),
             variant: variant.into(),
@@ -106,7 +112,7 @@ fn main() {
     }
 
     // --- 4: reward-component ablation on benchmark quality.
-    eprintln!("[ablations] reward components ...");
+    atena_telemetry::info!("reward components ...");
     for strategy in [Strategy::Atena, Strategy::AtnIo] {
         let result = run_strategy(strategy, &dataset, &scale, 47);
         let scores = score_notebook(&result.notebook, &dataset);
@@ -130,13 +136,19 @@ fn main() {
         &records
             .iter()
             .map(|r| {
-                vec![r.ablation.clone(), r.variant.clone(), r.metric.clone(), f2(r.value)]
+                vec![
+                    r.ablation.clone(),
+                    r.variant.clone(),
+                    r.metric.clone(),
+                    f2(r.value),
+                ]
             })
             .collect::<Vec<_>>(),
     );
     println!("{table}");
     match dump_json("ablations", &records) {
         Ok(path) => println!("JSON written to {}", path.display()),
-        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        Err(e) => atena_telemetry::warn!("could not write JSON: {e}"),
     }
+    atena_bench::finish_telemetry();
 }

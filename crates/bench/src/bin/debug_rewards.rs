@@ -10,11 +10,14 @@
 use atena_core::Atena;
 use atena_data::dataset_by_id;
 use atena_dataframe::CmpOp;
-use atena_env::{EdaEnv, EnvConfig, RewardModel, ResolvedOp};
+use atena_env::{EdaEnv, EnvConfig, ResolvedOp, RewardModel};
 use atena_reward::Vote;
 
 fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| "cyber1".to_string());
+    atena_bench::init_telemetry("debug_rewards");
+    let id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cyber1".to_string());
     let dataset = dataset_by_id(&id).expect("known dataset id");
     let atena = Atena::new(dataset.spec.name.clone(), dataset.frame.clone())
         .with_focal_attrs(dataset.focal_attrs());
@@ -28,7 +31,11 @@ fn main() {
     // The churn pattern observed from a trained agent plus a gold-like path
     // for contrast.
     let churn: Vec<ResolvedOp> = vec![
-        atena_data::g("destination_port", atena_dataframe::AggFunc::Count, "length"),
+        atena_data::g(
+            "destination_port",
+            atena_dataframe::AggFunc::Count,
+            "length",
+        ),
         atena_data::g("destination_ip", atena_dataframe::AggFunc::Count, "length"),
         atena_data::f("time", CmpOp::Ge, 3378i64),
         atena_data::f("time", CmpOp::Ge, 7070i64),
@@ -41,7 +48,10 @@ fn main() {
         println!("==== {label} ====");
         let mut env = EdaEnv::new(
             dataset.frame.clone(),
-            EnvConfig { episode_len: ops.len(), ..EnvConfig::default() },
+            EnvConfig {
+                episode_len: ops.len(),
+                ..EnvConfig::default()
+            },
         );
         env.reset();
         let mut total = 0.0;
@@ -74,4 +84,5 @@ fn main() {
         }
         println!("  episode total: {total:+.2}\n");
     }
+    atena_bench::finish_telemetry();
 }

@@ -23,6 +23,7 @@ struct Row {
 }
 
 fn main() {
+    atena_bench::init_telemetry("fig4a");
     let scale = Scale::from_env();
     let datasets = all_datasets();
     let systems = [
@@ -35,7 +36,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for system in systems {
-        eprintln!("[fig4a] rating {} ...", system.name());
+        atena_telemetry::info!("rating {} ...", system.name());
         let mut all_ratings: Vec<Ratings> = Vec::new();
         for dataset in &datasets {
             let golds: Vec<Notebook> = dataset
@@ -52,7 +53,7 @@ fn main() {
             for nb in &notebooks {
                 all_ratings.push(rate(nb, &dataset.frame, &reward, &golds, &dataset.insights));
             }
-            eprintln!("[fig4a]   {}: done", dataset.spec.id);
+            atena_telemetry::info!("  {}: done", dataset.spec.id);
         }
         let n = all_ratings.len() as f64;
         let mean = |f: fn(&Ratings) -> f64| all_ratings.iter().map(f).sum::<f64>() / n;
@@ -69,7 +70,14 @@ fn main() {
 
     println!("\nFigure 4a: User Ratings of Examined Notebooks (scale 1-7, simulated rater)\n");
     let table = render_table(
-        &["System", "Informativity", "Comprehensibility", "Expertise", "Human-Equiv.", "Overall"],
+        &[
+            "System",
+            "Informativity",
+            "Comprehensibility",
+            "Expertise",
+            "Human-Equiv.",
+            "Overall",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -87,6 +95,7 @@ fn main() {
     println!("{table}");
     match dump_json("fig4a_user_ratings", &rows) {
         Ok(path) => println!("JSON written to {}", path.display()),
-        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        Err(e) => atena_telemetry::warn!("could not write JSON: {e}"),
     }
+    atena_bench::finish_telemetry();
 }

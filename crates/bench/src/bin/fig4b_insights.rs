@@ -20,6 +20,7 @@ struct Row {
 }
 
 fn main() {
+    atena_bench::init_telemetry("fig4b");
     let scale = Scale::from_env();
     let datasets = all_cyber();
     let systems = [
@@ -32,7 +33,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for system in systems {
-        eprintln!("[fig4b] {} ...", system.name());
+        atena_telemetry::info!("{} ...", system.name());
         let mut per_dataset = Vec::new();
         for dataset in &datasets {
             let notebooks = generate_for(system, dataset, &scale, 23);
@@ -42,15 +43,20 @@ fn main() {
                 .sum::<f64>()
                 / notebooks.len().max(1) as f64;
             per_dataset.push((dataset.spec.name.clone(), coverage * 100.0));
-            eprintln!("[fig4b]   {}: {:.0}%", dataset.spec.id, coverage * 100.0);
+            atena_telemetry::info!("  {}: {:.0}%", dataset.spec.id, coverage * 100.0);
         }
-        let mean_pct =
-            per_dataset.iter().map(|(_, v)| v).sum::<f64>() / per_dataset.len() as f64;
-        rows.push(Row { system: system.name().to_string(), per_dataset, mean_pct });
+        let mean_pct = per_dataset.iter().map(|(_, v)| v).sum::<f64>() / per_dataset.len() as f64;
+        rows.push(Row {
+            system: system.name().to_string(),
+            per_dataset,
+            mean_pct,
+        });
     }
 
     println!("\nFigure 4b: % of Gathered Insights (cyber datasets)\n");
-    let headers = vec!["System", "Cyber #1", "Cyber #2", "Cyber #3", "Cyber #4", "Mean"];
+    let headers = vec![
+        "System", "Cyber #1", "Cyber #2", "Cyber #3", "Cyber #4", "Mean",
+    ];
     let table = render_table(
         &headers,
         &rows
@@ -66,6 +72,7 @@ fn main() {
     println!("{table}");
     match dump_json("fig4b_insights", &rows) {
         Ok(path) => println!("JSON written to {}", path.display()),
-        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        Err(e) => atena_telemetry::warn!("could not write JSON: {e}"),
     }
+    atena_bench::finish_telemetry();
 }

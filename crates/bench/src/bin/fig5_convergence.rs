@@ -24,6 +24,7 @@ struct Curve {
 }
 
 fn main() {
+    atena_bench::init_telemetry("fig5");
     let mut scale = Scale::from_env();
     // Convergence curves need a longer horizon than the quality tables;
     // default to 25k steps unless the user pinned a scale explicitly.
@@ -36,7 +37,7 @@ fn main() {
     let mut curves: Vec<Curve> = Vec::new();
     for dataset in &datasets {
         for strategy in learned {
-            eprintln!("[fig5] training {} on {} ...", strategy.name(), dataset.spec.id);
+            atena_telemetry::info!("training {} on {} ...", strategy.name(), dataset.spec.id);
             let result = run_strategy(strategy, dataset, &scale, 31);
             curves.push(Curve {
                 dataset: dataset.spec.name.clone(),
@@ -49,7 +50,7 @@ fn main() {
                 flat_level: None,
             });
         }
-        eprintln!("[fig5] greedy baseline on {} ...", dataset.spec.id);
+        atena_telemetry::info!("greedy baseline on {} ...", dataset.spec.id);
         let greedy = run_strategy(Strategy::GreedyCr, dataset, &scale, 31);
         curves.push(Curve {
             dataset: dataset.spec.name.clone(),
@@ -60,7 +61,10 @@ fn main() {
     }
 
     for dataset in &datasets {
-        println!("\nFigure 5 — {}: mean episode reward vs training steps\n", dataset.spec.name);
+        println!(
+            "\nFigure 5 — {}: mean episode reward vs training steps\n",
+            dataset.spec.name
+        );
         // Sample each curve at a few checkpoints for the text rendering.
         let mut rows = Vec::new();
         for c in curves.iter().filter(|c| c.dataset == dataset.spec.name) {
@@ -81,7 +85,13 @@ fn main() {
                 let idx = ((c.points.len() - 1) as f64 * frac) as usize;
                 format!("{} @{}", f2(c.points[idx].1), c.points[idx].0)
             };
-            rows.push(vec![c.system.clone(), sample(0.1), sample(0.4), sample(0.7), sample(1.0)]);
+            rows.push(vec![
+                c.system.clone(),
+                sample(0.1),
+                sample(0.4),
+                sample(0.7),
+                sample(1.0),
+            ]);
         }
         let table = render_table(&["System", "early", "mid", "late", "final"], &rows);
         println!("{table}");
@@ -95,7 +105,11 @@ fn main() {
             continue;
         }
         let final_reward = c.points.last().unwrap().1;
-        let threshold = if final_reward > 0.0 { 0.9 * final_reward } else { final_reward };
+        let threshold = if final_reward > 0.0 {
+            0.9 * final_reward
+        } else {
+            final_reward
+        };
         let steps = c
             .points
             .iter()
@@ -111,11 +125,15 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Dataset", "System", "steps to 90%", "final reward"], &rows)
+        render_table(
+            &["Dataset", "System", "steps to 90%", "final reward"],
+            &rows
+        )
     );
 
     match dump_json("fig5_convergence", &curves) {
         Ok(path) => println!("JSON written to {}", path.display()),
-        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        Err(e) => atena_telemetry::warn!("could not write JSON: {e}"),
     }
+    atena_bench::finish_telemetry();
 }

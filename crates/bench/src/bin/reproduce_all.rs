@@ -5,6 +5,7 @@
 use std::process::Command;
 
 fn main() {
+    atena_bench::init_telemetry("reproduce_all");
     let binaries = [
         "table1_datasets",
         "fig4a_user_ratings",
@@ -28,7 +29,8 @@ fn main() {
     if failures.is_empty() {
         println!("\nAll experiments completed.");
     } else {
-        eprintln!("\nFailed experiments: {failures:?}");
+        atena_telemetry::error!("failed experiments: {failures:?}");
         std::process::exit(1);
     }
+    atena_bench::finish_telemetry();
 }

@@ -18,6 +18,7 @@ struct Row {
 }
 
 fn main() {
+    atena_bench::init_telemetry("table1");
     let datasets = all_datasets();
     let rows: Vec<Row> = datasets
         .iter()
@@ -33,7 +34,14 @@ fn main() {
 
     println!("Table 1: Experimental Datasets\n");
     let table = render_table(
-        &["Dataset", "Size (rows)", "Description", "Attrs", "Insights", "Golds"],
+        &[
+            "Dataset",
+            "Size (rows)",
+            "Description",
+            "Attrs",
+            "Insights",
+            "Golds",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -51,6 +59,7 @@ fn main() {
     println!("{table}");
     match dump_json("table1_datasets", &rows) {
         Ok(path) => println!("JSON written to {}", path.display()),
-        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        Err(e) => atena_telemetry::warn!("could not write JSON: {e}"),
     }
+    atena_bench::finish_telemetry();
 }

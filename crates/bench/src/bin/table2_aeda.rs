@@ -28,6 +28,7 @@ struct Row {
 }
 
 fn main() {
+    atena_bench::init_telemetry("table2");
     let scale = Scale::from_env();
     let datasets = all_datasets();
 
@@ -40,7 +41,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for system in systems {
-        eprintln!("[table2] evaluating {} ...", system.name());
+        atena_telemetry::info!("evaluating {} ...", system.name());
         let mut per_dataset = Vec::new();
         for dataset in &datasets {
             let golds: Vec<Notebook> = dataset
@@ -54,14 +55,24 @@ fn main() {
                 .map(|nb| score_against(nb, &golds, dataset))
                 .collect();
             per_dataset.push(AedaScores::mean(&scores));
-            eprintln!("[table2]   {}: done", dataset.spec.id);
+            atena_telemetry::info!("  {}: done", dataset.spec.id);
         }
-        rows.push(Row { baseline: system.name().to_string(), scores: AedaScores::mean(&per_dataset) });
+        rows.push(Row {
+            baseline: system.name().to_string(),
+            scores: AedaScores::mean(&per_dataset),
+        });
     }
 
     println!("\nTable 2: Overall A-EDA Benchmark Results (avg over 8 datasets)\n");
     let table = render_table(
-        &["Baseline", "Precision", "T-BLEU-1", "T-BLEU-2", "T-BLEU-3", "EDA-Sim"],
+        &[
+            "Baseline",
+            "Precision",
+            "T-BLEU-1",
+            "T-BLEU-2",
+            "T-BLEU-3",
+            "EDA-Sim",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -79,6 +90,7 @@ fn main() {
     println!("{table}");
     match dump_json("table2_aeda", &rows) {
         Ok(path) => println!("JSON written to {}", path.display()),
-        Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        Err(e) => atena_telemetry::warn!("could not write JSON: {e}"),
     }
+    atena_bench::finish_telemetry();
 }

@@ -59,12 +59,22 @@ impl Scale {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(10_000);
-        Scale { train_steps, episode_len: 12, n_workers: 4, probe_steps: 300 }
+        Scale {
+            train_steps,
+            episode_len: 12,
+            n_workers: 4,
+            probe_steps: 300,
+        }
     }
 
     /// A tiny schedule for smoke tests.
     pub fn smoke() -> Scale {
-        Scale { train_steps: 600, episode_len: 6, n_workers: 2, probe_steps: 100 }
+        Scale {
+            train_steps: 600,
+            episode_len: 6,
+            n_workers: 2,
+            probe_steps: 100,
+        }
     }
 
     /// The [`AtenaConfig`] realizing this scale.
@@ -113,7 +123,11 @@ pub fn generate_for(
             let traces = simulate_traces(
                 dataset,
                 3,
-                TraceConfig { length: scale.episode_len, seed, ..Default::default() },
+                TraceConfig {
+                    length: scale.episode_len,
+                    seed,
+                    ..Default::default()
+                },
             );
             traces
                 .iter()
@@ -168,20 +182,44 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Write an experiment's JSON record under `target/experiments/`.
 pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut file = std::fs::File::create(&path)?;
-    file.write_all(serde_json::to_string_pretty(value).expect("serializable").as_bytes())?;
+    file.write_all(
+        serde_json::to_string_pretty(value)
+            .expect("serializable")
+            .as_bytes(),
+    )?;
     Ok(path)
 }
 
 /// Format a float with 2 decimals.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
+}
+
+/// Set up telemetry for an experiment driver. The log level comes from
+/// `$ATENA_LOG` (default info); when `$ATENA_METRICS_OUT` names a file, all
+/// training telemetry streams there as JSONL (same schema as the CLI's
+/// `--metrics-out`).
+pub fn init_telemetry(bin: &str) {
+    if let Ok(path) = std::env::var("ATENA_METRICS_OUT") {
+        if !path.is_empty() {
+            match atena_telemetry::global().set_jsonl_sink(std::path::Path::new(&path)) {
+                Ok(()) => atena_telemetry::info!("[{bin}] streaming telemetry to {path}"),
+                Err(e) => atena_telemetry::warn!("[{bin}] cannot open {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Flush aggregate counters/gauges/histograms to the JSONL sink (no-op
+/// without one) at the end of a driver run.
+pub fn finish_telemetry() {
+    atena_telemetry::global().flush();
 }
 
 #[cfg(test)]

@@ -16,8 +16,16 @@ pub fn view_similarity(a: &DisplaySpec, b: &DisplaySpec) -> f64 {
     let preds_b: Vec<String> = b.predicates.iter().map(|p| p.to_string()).collect();
     let keys_a: Vec<String> = a.group_keys.clone();
     let keys_b: Vec<String> = b.group_keys.clone();
-    let aggs_a: Vec<String> = a.aggregations.iter().map(|(f, c)| format!("{f}({c})")).collect();
-    let aggs_b: Vec<String> = b.aggregations.iter().map(|(f, c)| format!("{f}({c})")).collect();
+    let aggs_a: Vec<String> = a
+        .aggregations
+        .iter()
+        .map(|(f, c)| format!("{f}({c})"))
+        .collect();
+    let aggs_b: Vec<String> = b
+        .aggregations
+        .iter()
+        .map(|(f, c)| format!("{f}({c})"))
+        .collect();
 
     // Attribute-level partial credit on predicates: same attribute filtered
     // with a different term still reflects related intent.
@@ -48,7 +56,11 @@ fn jaccard<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
 /// zero-cost gaps, normalized by the longer sequence's length.
 pub fn sequence_similarity(a: &[DisplaySpec], b: &[DisplaySpec]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let (n, m) = (a.len(), b.len());
     let mut dp = vec![vec![0.0f64; m + 1]; n + 1];
@@ -153,7 +165,11 @@ mod tests {
         use atena_dataframe::{AttrRole, DataFrame};
         use atena_env::ResolvedOp;
         let df = DataFrame::builder()
-            .str("g", AttrRole::Categorical, (0..20).map(|i| Some(["a", "b"][i % 2])))
+            .str(
+                "g",
+                AttrRole::Categorical,
+                (0..20).map(|i| Some(["a", "b"][i % 2])),
+            )
             .int("v", AttrRole::Numeric, (0..20).map(|i| Some(i as i64)))
             .build()
             .unwrap();

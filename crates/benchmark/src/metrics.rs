@@ -70,11 +70,14 @@ fn modified_ngram_precision(generated: &[String], golds: &[Vec<String>], n: usiz
     if total == 0 {
         return 0.0;
     }
-    let ref_grams: Vec<HashMap<Vec<&str>, usize>> =
-        golds.iter().map(|g| ngrams(g, n)).collect();
+    let ref_grams: Vec<HashMap<Vec<&str>, usize>> = golds.iter().map(|g| ngrams(g, n)).collect();
     let mut clipped = 0usize;
     for (gram, &count) in &gen_grams {
-        let max_ref = ref_grams.iter().map(|r| r.get(gram).copied().unwrap_or(0)).max().unwrap_or(0);
+        let max_ref = ref_grams
+            .iter()
+            .map(|r| r.get(gram).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
         clipped += count.min(max_ref);
     }
     clipped as f64 / total as f64

@@ -62,7 +62,10 @@ pub fn replay_signals(
     }
     let mut env = EdaEnv::new(
         dataset.clone(),
-        EnvConfig { episode_len: ops.len(), ..EnvConfig::default() },
+        EnvConfig {
+            episode_len: ops.len(),
+            ..EnvConfig::default()
+        },
     );
     env.reset();
     let mut coherency = 0.0;
@@ -167,8 +170,7 @@ pub fn rate(
     // Blends of the criteria the paper's participants were asked about.
     // Human-equivalence weighs followability (coherency) over literal view
     // overlap: a messy trace reproducing gold views still reads non-human.
-    let informativity =
-        (0.6 * coverage_r + 0.25 * interest_r + 0.15 * diversity_r) * validity;
+    let informativity = (0.6 * coverage_r + 0.25 * interest_r + 0.15 * diversity_r) * validity;
     let comprehensibility = coherency_r * validity;
     let expertise = (0.45 * coverage_r + 0.35 * coherency_r + 0.2 * prec) * validity;
     let human_equivalence = (0.4 * sim + 0.6 * coherency_r) * validity;
@@ -229,7 +231,11 @@ mod tests {
             gold_rating,
             junk_rating
         );
-        assert!(gold_rating.overall() > 5.0, "gold overall {:?}", gold_rating);
+        assert!(
+            gold_rating.overall() > 5.0,
+            "gold overall {:?}",
+            gold_rating
+        );
         for r in [
             gold_rating.informativity,
             gold_rating.comprehensibility,

@@ -105,8 +105,14 @@ mod tests {
     #[test]
     fn mean_aggregation() {
         let rows = vec![
-            AedaScores { precision: 0.2, ..Default::default() },
-            AedaScores { precision: 0.6, ..Default::default() },
+            AedaScores {
+                precision: 0.2,
+                ..Default::default()
+            },
+            AedaScores {
+                precision: 0.6,
+                ..Default::default()
+            },
         ];
         let m = AedaScores::mean(&rows);
         assert!((m.precision - 0.4).abs() < 1e-12);

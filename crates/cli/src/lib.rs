@@ -6,8 +6,10 @@
 //! atena generate <data.csv> [--focal col1,col2] [--steps N] [--episode-len N]
 //!                           [--strategy atena|atn-io|ots-drl|ots-drl-b|greedy-cr|greedy-io]
 //!                           [--seed N] [--out notebook.md] [--json notebook.json]
+//!                           [--log-level L] [--metrics-out metrics.jsonl]
 //! atena demo <dataset-id>   [same options]   # cyber1..cyber4, flights1..flights4
 //! atena datasets                              # list the built-in datasets
+//! atena metrics summarize <metrics.jsonl>     # aggregate a telemetry stream
 //! atena help
 //! ```
 //!
@@ -47,6 +49,7 @@ USAGE:
   atena demo <dataset-id>   [OPTIONS]   run on a built-in experimental dataset
   atena datasets                        list built-in datasets
   atena export <dataset-id> <file.csv>  write a built-in dataset as CSV
+  atena metrics summarize <m.jsonl>     aggregate a telemetry JSONL file
   atena help                            show this help
 
 OPTIONS:
@@ -58,6 +61,8 @@ OPTIONS:
   --seed <N>          random seed                        [default: 0]
   --out <file.md>     write the notebook as Markdown (default: stdout)
   --json <file.json>  also write the notebook summary as JSON
+  --log-level <L>     error | warn | info | debug        [default: $ATENA_LOG or info]
+  --metrics-out <f>   stream telemetry events to <f> as JSONL
 ";
 
 /// A parsed command.
@@ -86,6 +91,11 @@ pub enum Command {
         /// Output path.
         path: String,
     },
+    /// Aggregate a telemetry JSONL file into a per-metric table.
+    MetricsSummarize {
+        /// Path of the JSONL file written via `--metrics-out`.
+        path: String,
+    },
     /// Print usage.
     Help,
 }
@@ -107,6 +117,10 @@ pub struct GenerateOpts {
     pub out: Option<String>,
     /// JSON output path.
     pub json: Option<String>,
+    /// Log level override (`None` keeps `$ATENA_LOG` / the default).
+    pub log_level: Option<atena_telemetry::Level>,
+    /// Telemetry JSONL output path.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for GenerateOpts {
@@ -119,6 +133,8 @@ impl Default for GenerateOpts {
             seed: 0,
             out: None,
             json: None,
+            log_level: None,
+            metrics_out: None,
         }
     }
 }
@@ -183,6 +199,19 @@ fn parse_opts(args: &[String]) -> Result<GenerateOpts, CliError> {
                 opts.json = Some(value(i)?.clone());
                 i += 2;
             }
+            "--log-level" => {
+                let raw = value(i)?;
+                opts.log_level = Some(atena_telemetry::Level::parse(raw).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown log level {raw:?} (expected error|warn|info|debug)"
+                    ))
+                })?);
+                i += 2;
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(value(i)?.clone());
+                i += 2;
+            }
             other => return Err(CliError::Usage(format!("unknown option {other:?}"))),
         }
     }
@@ -211,7 +240,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .filter(|p| !p.starts_with("--"))
                 .ok_or_else(|| CliError::Usage("generate requires a CSV path".into()))?
                 .clone();
-            Ok(Command::Generate { path, opts: parse_opts(&args[2..])? })
+            Ok(Command::Generate {
+                path,
+                opts: parse_opts(&args[2..])?,
+            })
         }
         Some("demo") => {
             let id = args
@@ -219,14 +251,34 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .filter(|p| !p.starts_with("--"))
                 .ok_or_else(|| CliError::Usage("demo requires a dataset id".into()))?
                 .clone();
-            Ok(Command::Demo { id, opts: parse_opts(&args[2..])? })
+            Ok(Command::Demo {
+                id,
+                opts: parse_opts(&args[2..])?,
+            })
         }
+        Some("metrics") => match args.get(1).map(String::as_str) {
+            Some("summarize") => {
+                let path = args
+                    .get(2)
+                    .ok_or_else(|| {
+                        CliError::Usage("metrics summarize requires a JSONL path".into())
+                    })?
+                    .clone();
+                Ok(Command::MetricsSummarize { path })
+            }
+            _ => Err(CliError::Usage(
+                "metrics supports: summarize <file.jsonl>".into(),
+            )),
+        },
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
 fn config_for(opts: &GenerateOpts) -> AtenaConfig {
-    let mut config = AtenaConfig { train_steps: opts.steps, ..AtenaConfig::default() };
+    let mut config = AtenaConfig {
+        train_steps: opts.steps,
+        ..AtenaConfig::default()
+    };
     config.env.episode_len = opts.episode_len;
     config.env.seed = opts.seed;
     config.trainer.seed = opts.seed;
@@ -234,10 +286,23 @@ fn config_for(opts: &GenerateOpts) -> AtenaConfig {
 }
 
 fn generate(name: &str, frame: DataFrame, opts: &GenerateOpts) -> Result<String, CliError> {
-    eprintln!(
-        "[atena] strategy {}, {} steps, {}-op notebook ...",
+    if let Some(level) = opts.log_level {
+        atena_telemetry::set_level(level);
+    }
+    if let Some(path) = &opts.metrics_out {
+        atena_telemetry::global()
+            .set_jsonl_sink(std::path::Path::new(path))
+            .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+        atena_telemetry::info!("streaming telemetry to {path}");
+    }
+    atena_telemetry::info!(
+        "strategy {}, {} steps, {}-op notebook ...",
         opts.strategy.name(),
-        if opts.strategy.is_learned() { opts.steps } else { 0 },
+        if opts.strategy.is_learned() {
+            opts.steps
+        } else {
+            0
+        },
         opts.episode_len
     );
     let result = Atena::new(name, frame)
@@ -245,22 +310,95 @@ fn generate(name: &str, frame: DataFrame, opts: &GenerateOpts) -> Result<String,
         .with_config(config_for(opts))
         .with_strategy(opts.strategy)
         .generate();
-    eprintln!("[atena] best episode reward: {:.3}", result.best_reward);
+    atena_telemetry::info!("best episode reward: {:.3}", result.best_reward);
+    atena_telemetry::global().flush();
 
     if let Some(json_path) = &opts.json {
         std::fs::write(json_path, result.notebook.to_json())
             .map_err(|e| CliError::Runtime(format!("cannot write {json_path}: {e}")))?;
-        eprintln!("[atena] JSON summary written to {json_path}");
+        atena_telemetry::info!("JSON summary written to {json_path}");
     }
     let md = result.notebook.to_markdown();
     if let Some(out) = &opts.out {
         std::fs::write(out, &md)
             .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
-        eprintln!("[atena] notebook written to {out}");
+        atena_telemetry::info!("notebook written to {out}");
         Ok(String::new())
     } else {
         Ok(md)
     }
+}
+
+/// Per-metric aggregation of one JSONL telemetry stream.
+#[derive(Debug, Clone, Default)]
+struct MetricSummary {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl MetricSummary {
+    fn push(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.last = v;
+    }
+}
+
+/// Aggregate a `--metrics-out` JSONL file into a per-`(kind, name)` table.
+pub fn summarize_metrics(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+    let mut stats: std::collections::BTreeMap<(String, String), MetricSummary> =
+        std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| CliError::Runtime(format!("{path}:{}: bad JSON: {e}", i + 1)))?;
+        let kind = v["kind"]
+            .as_str()
+            .ok_or_else(|| CliError::Runtime(format!("{path}:{}: missing \"kind\"", i + 1)))?
+            .to_string();
+        let name = v["name"]
+            .as_str()
+            .ok_or_else(|| CliError::Runtime(format!("{path}:{}: missing \"name\"", i + 1)))?
+            .to_string();
+        let value = v["value"]
+            .as_f64()
+            .ok_or_else(|| CliError::Runtime(format!("{path}:{}: missing \"value\"", i + 1)))?;
+        stats.entry((kind, name)).or_default().push(value);
+    }
+    if stats.is_empty() {
+        return Ok(format!("{path}: no events\n"));
+    }
+    let mut out = format!(
+        "{:<10} {:<34} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+        "kind", "name", "count", "mean", "min", "max", "last"
+    );
+    for ((kind, name), s) in &stats {
+        out.push_str(&format!(
+            "{:<10} {:<34} {:>8} {:>12.5} {:>12.5} {:>12.5} {:>12.5}\n",
+            kind,
+            name,
+            s.count,
+            s.sum / s.count as f64,
+            s.min,
+            s.max,
+            s.last
+        ));
+    }
+    Ok(out)
 }
 
 /// Execute a parsed command; returns what should be printed to stdout.
@@ -292,6 +430,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 dataset.frame.n_cols()
             ))
         }
+        Command::MetricsSummarize { path } => summarize_metrics(&path),
         Command::Generate { path, opts } => {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
@@ -351,7 +490,9 @@ mod tests {
             "nb.json",
         ]))
         .unwrap();
-        let Command::Generate { path, opts } = cmd else { panic!() };
+        let Command::Generate { path, opts } = cmd else {
+            panic!()
+        };
         assert_eq!(path, "data.csv");
         assert_eq!(opts.focal, vec!["delay", "airline"]);
         assert_eq!(opts.steps, 123);
@@ -364,8 +505,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_usage() {
-        assert!(matches!(parse(&args(&["generate"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&args(&["demo", "--steps"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["generate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["demo", "--steps"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse(&args(&["generate", "f.csv", "--bogus"])),
             Err(CliError::Usage(_))
@@ -378,7 +525,10 @@ mod tests {
             parse(&args(&["generate", "f.csv", "--episode-len", "0"])),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(parse(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -394,6 +544,79 @@ mod tests {
             assert_eq!(parse_strategy(name).unwrap(), expected);
         }
         assert!(parse_strategy("dqn").is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_options() {
+        let cmd = parse(&args(&[
+            "demo",
+            "cyber1",
+            "--log-level",
+            "debug",
+            "--metrics-out",
+            "m.jsonl",
+        ]))
+        .unwrap();
+        let Command::Demo { opts, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.log_level, Some(atena_telemetry::Level::Debug));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.jsonl"));
+        assert!(matches!(
+            parse(&args(&["demo", "cyber1", "--log-level", "loud"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_metrics_summarize() {
+        assert_eq!(
+            parse(&args(&["metrics", "summarize", "m.jsonl"])).unwrap(),
+            Command::MetricsSummarize {
+                path: "m.jsonl".into()
+            }
+        );
+        assert!(matches!(
+            parse(&args(&["metrics"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["metrics", "summarize"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn summarize_aggregates_jsonl() {
+        let dir = std::env::temp_dir().join("atena-cli-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        std::fs::write(
+            &path,
+            "\
+{\"ts\":1.0,\"kind\":\"iteration\",\"name\":\"train.policy_loss\",\"value\":0.5,\"labels\":{\"iter\":\"0\"}}
+{\"ts\":2.0,\"kind\":\"iteration\",\"name\":\"train.policy_loss\",\"value\":0.25,\"labels\":{\"iter\":\"1\"}}
+{\"ts\":2.0,\"kind\":\"episode\",\"name\":\"reward.total\",\"value\":3.0,\"labels\":{}}
+",
+        )
+        .unwrap();
+        let out = run(Command::MetricsSummarize {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("train.policy_loss"), "{out}");
+        assert!(out.contains("reward.total"), "{out}");
+        // mean of 0.5 and 0.25
+        assert!(out.contains("0.37500"), "{out}");
+        // malformed file is a runtime error
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{not json\n").unwrap();
+        assert!(matches!(
+            run(Command::MetricsSummarize {
+                path: bad.to_string_lossy().into_owned()
+            }),
+            Err(CliError::Runtime(_))
+        ));
     }
 
     #[test]
@@ -419,7 +642,10 @@ mod tests {
         let df = DataFrame::from_csv_str(&text).unwrap();
         assert_eq!(df.n_rows(), 348);
         assert!(matches!(
-            run(Command::Export { id: "zzz".into(), path: "x.csv".into() }),
+            run(Command::Export {
+                id: "zzz".into(),
+                path: "x.csv".into()
+            }),
             Err(CliError::Runtime(_))
         ));
         assert!(matches!(

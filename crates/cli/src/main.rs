@@ -10,7 +10,7 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("{e}");
+            atena_telemetry::error!("{e}");
             std::process::exit(2);
         }
     }

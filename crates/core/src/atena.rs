@@ -50,8 +50,17 @@ impl AtenaConfig {
     /// A reduced schedule for tests and quick demos.
     pub fn quick() -> Self {
         Self {
-            env: EnvConfig { episode_len: 8, n_bins: 8, history_window: 3, seed: 0 },
-            trainer: TrainerConfig { n_workers: 2, rollout_len: 64, ..Default::default() },
+            env: EnvConfig {
+                episode_len: 8,
+                n_bins: 8,
+                history_window: 3,
+                seed: 0,
+            },
+            trainer: TrainerConfig {
+                n_workers: 2,
+                rollout_len: 64,
+                ..Default::default()
+            },
             train_steps: 2_000,
             probe_steps: 150,
             hidden: [64, 64],
@@ -175,7 +184,11 @@ impl Atena {
             CompoundReward::new(CoherencyConfig::with_focal_attrs(self.focal_attrs.clone()))
                 .with_components(components);
         let mut probe_env = EdaEnv::new(self.base.clone(), self.config.env.clone());
-        reward.fit(&mut probe_env, self.config.probe_steps, self.config.env.seed);
+        reward.fit(
+            &mut probe_env,
+            self.config.probe_steps,
+            self.config.env.seed,
+        );
         reward
     }
 
@@ -215,7 +228,9 @@ impl Atena {
                 let p = TwofoldPolicy::new(
                     probe.observation_dim(),
                     probe.action_space().head_sizes(),
-                    TwofoldConfig { hidden: self.config.hidden },
+                    TwofoldConfig {
+                        hidden: self.config.hidden,
+                    },
                     &mut rng,
                 );
                 (Arc::new(p), ActionMapper::Twofold)
@@ -282,7 +297,11 @@ mod tests {
                 AttrRole::Categorical,
                 (0..80).map(|i| Some(["10.0.0.1", "10.0.0.2"][(i / 40) as usize])),
             )
-            .int("length", AttrRole::Numeric, (0..80).map(|i| Some((i * 17 % 23) as i64)))
+            .int(
+                "length",
+                AttrRole::Numeric,
+                (0..80).map(|i| Some((i * 17 % 23) as i64)),
+            )
             .build()
             .unwrap()
     }

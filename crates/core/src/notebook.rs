@@ -38,7 +38,10 @@ impl Notebook {
     pub fn replay(dataset_name: &str, base: &DataFrame, ops: &[ResolvedOp]) -> Notebook {
         let mut env = EdaEnv::new(
             base.clone(),
-            EnvConfig { episode_len: ops.len().max(1), ..EnvConfig::default() },
+            EnvConfig {
+                episode_len: ops.len().max(1),
+                ..EnvConfig::default()
+            },
         );
         env.reset();
         let mut entries = Vec::with_capacity(ops.len());
@@ -54,7 +57,10 @@ impl Notebook {
             env.commit(preview);
             entries.push(entry);
         }
-        Notebook { dataset_name: dataset_name.to_string(), entries }
+        Notebook {
+            dataset_name: dataset_name.to_string(),
+            entries,
+        }
     }
 
     /// Number of cells.
@@ -231,7 +237,11 @@ mod tests {
                 AttrRole::Categorical,
                 (0..30).map(|i| Some(["AA", "DL", "UA"][i % 3])),
             )
-            .int("delay", AttrRole::Numeric, (0..30).map(|i| Some((i * 3 % 40) as i64)))
+            .int(
+                "delay",
+                AttrRole::Numeric,
+                (0..30).map(|i| Some((i * 3 % 40) as i64)),
+            )
             .build()
             .unwrap()
     }
@@ -295,7 +305,10 @@ mod tests {
         let nb = Notebook::replay("flights", &base(), &ops());
         let tree = nb.tree_illustration();
         // After BACK, the filter branches off the root: two children.
-        let root_children = tree.lines().filter(|l| l.starts_with("├─") || l.starts_with("└─")).count();
+        let root_children = tree
+            .lines()
+            .filter(|l| l.starts_with("├─") || l.starts_with("└─"))
+            .count();
         assert_eq!(root_children, 2, "tree:\n{tree}");
     }
 

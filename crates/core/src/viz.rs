@@ -76,9 +76,9 @@ pub fn suggest_chart(display: &Display) -> ChartSpec {
         (f.dtype == DType::Int || f.dtype == DType::Float) && f.role == AttrRole::Numeric
     });
     match numeric {
-        Some(f) if display.frame.n_rows() >= 10 => {
-            ChartSpec::Histogram { column: f.name.clone() }
-        }
+        Some(f) if display.frame.n_rows() >= 10 => ChartSpec::Histogram {
+            column: f.name.clone(),
+        },
         _ => ChartSpec::Table,
     }
 }
@@ -97,7 +97,11 @@ mod tests {
                 (0..40).map(|i| Some(["AA", "DL"][i % 2])),
             )
             .int("time", AttrRole::Temporal, (0..40).map(|i| Some(i as i64)))
-            .int("delay", AttrRole::Numeric, (0..40).map(|i| Some((i * 3 % 50) as i64)))
+            .int(
+                "delay",
+                AttrRole::Numeric,
+                (0..40).map(|i| Some((i * 3 % 50) as i64)),
+            )
             .build()
             .unwrap()
     }
@@ -112,7 +116,10 @@ mod tests {
         let spec = suggest_chart(&d);
         assert_eq!(
             spec,
-            ChartSpec::Bar { x: "airline".into(), y: "AVG(delay)".into() }
+            ChartSpec::Bar {
+                x: "airline".into(),
+                y: "AVG(delay)".into()
+            }
         );
         assert_eq!(spec.caption(), "bar chart of AVG(delay) by airline");
     }
@@ -130,7 +137,12 @@ mod tests {
     #[test]
     fn ungrouped_numeric_gets_histogram() {
         let d = Display::root(&base());
-        assert_eq!(suggest_chart(&d), ChartSpec::Histogram { column: "delay".into() });
+        assert_eq!(
+            suggest_chart(&d),
+            ChartSpec::Histogram {
+                column: "delay".into()
+            }
+        );
     }
 
     #[test]
@@ -138,7 +150,11 @@ mod tests {
         // 40 distinct time values grouped after filtering to >50 groups? Use
         // a wider frame.
         let wide = DataFrame::builder()
-            .int("id", AttrRole::Categorical, (0..200).map(|i| Some(i as i64)))
+            .int(
+                "id",
+                AttrRole::Categorical,
+                (0..200).map(|i| Some(i as i64)),
+            )
             .int("v", AttrRole::Numeric, (0..200).map(|i| Some(i as i64)))
             .build()
             .unwrap();

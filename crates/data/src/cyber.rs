@@ -54,7 +54,10 @@ pub fn cyber1() -> ExperimentalDataset {
     // Replies from the 12 live (exposed) hosts.
     let n_replies = 648usize;
     for i in 0..n_replies {
-        let live = format!("10.0.1.{}", [4, 9, 17, 23, 42, 57, 88, 101, 137, 180, 201, 230][i % 12]);
+        let live = format!(
+            "10.0.1.{}",
+            [4, 9, 17, 23, 42, 57, 88, 101, 137, 180, 201, 230][i % 12]
+        );
         packets.push(Packet {
             time: 1801 + (i as i64) / 2,
             source_ip: live,
@@ -67,7 +70,12 @@ pub fn cyber1() -> ExperimentalDataset {
             info: "Echo (ping) reply".to_string(),
         });
     }
-    packets.extend(background_traffic(ROWS - n_scan - n_replies, 0, 7200, &mut rng));
+    packets.extend(background_traffic(
+        ROWS - n_scan - n_replies,
+        0,
+        7200,
+        &mut rng,
+    ));
     let frame = build_frame(packets);
     debug_assert_eq!(frame.n_rows(), ROWS);
 
@@ -273,7 +281,8 @@ pub fn cyber2() -> ExperimentalDataset {
     let frame = build_frame(packets);
     debug_assert_eq!(frame.n_rows(), ROWS);
 
-    let insights = vec![
+    let insights =
+        vec![
         Insight::new(
             "cyber2.attacker-ip",
             "203.0.113.66 originates the bulk of the traffic (the attacker).",
@@ -514,16 +523,15 @@ pub fn cyber3() -> ExperimentalDataset {
             InsightCheck::AtMostGroups {
                 key: "source_ip".into(),
                 max_groups: 10,
-                context_attr: Some((
-                    "destination_ip".into(),
-                    Value::Str(phish_host.into()),
-                )),
+                context_attr: Some(("destination_ip".into(), Value::Str(phish_host.into()))),
             },
         ),
         Insight::new(
             "cyber3.protocol-mix",
             "The smtp→dns→http protocol sequence of the campaign is surveyed.",
-            InsightCheck::Examined { attr: "protocol".into() },
+            InsightCheck::Examined {
+                attr: "protocol".into(),
+            },
         ),
         Insight::new(
             "cyber3.drill-phish-dst",
@@ -544,7 +552,9 @@ pub fn cyber3() -> ExperimentalDataset {
         Insight::new(
             "cyber3.timeline",
             "The mail → lookup → credential-post timeline is examined.",
-            InsightCheck::Examined { attr: "time".into() },
+            InsightCheck::Examined {
+                attr: "time".into(),
+            },
         ),
     ];
 
@@ -679,7 +689,12 @@ pub fn cyber4() -> ExperimentalDataset {
             info: "closed port".to_string(),
         });
     }
-    packets.extend(background_traffic(ROWS - n_syn - n_synack - n_rst, 0, 7200, &mut rng));
+    packets.extend(background_traffic(
+        ROWS - n_syn - n_synack - n_rst,
+        0,
+        7200,
+        &mut rng,
+    ));
     let frame = build_frame(packets);
     debug_assert_eq!(frame.n_rows(), ROWS);
 
@@ -748,17 +763,23 @@ pub fn cyber4() -> ExperimentalDataset {
         Insight::new(
             "cyber4.flag-mix",
             "The TCP flag distribution is surveyed.",
-            InsightCheck::Examined { attr: "tcp_flags".into() },
+            InsightCheck::Examined {
+                attr: "tcp_flags".into(),
+            },
         ),
         Insight::new(
             "cyber4.probe-size",
             "The probes are minimal 60-byte segments.",
-            InsightCheck::Examined { attr: "length".into() },
+            InsightCheck::Examined {
+                attr: "length".into(),
+            },
         ),
         Insight::new(
             "cyber4.timing",
             "The scan's burst timing is examined.",
-            InsightCheck::Examined { attr: "time".into() },
+            InsightCheck::Examined {
+                attr: "time".into(),
+            },
         ),
     ];
 
@@ -895,10 +916,14 @@ mod tests {
             let mut best = 0.0f64;
             for (i, gold) in d.gold_standards.iter().enumerate() {
                 let nb = Notebook::replay(&d.spec.name, &d.frame, gold);
-                let n_invalid =
-                    nb.entries.iter().filter(|e| !e.outcome.is_applied()).count();
+                let n_invalid = nb
+                    .entries
+                    .iter()
+                    .filter(|e| !e.outcome.is_applied())
+                    .count();
                 assert_eq!(
-                    n_invalid, 0,
+                    n_invalid,
+                    0,
                     "{} gold #{i} has invalid ops: {:?}",
                     d.spec.id,
                     nb.entries

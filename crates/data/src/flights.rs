@@ -24,8 +24,15 @@ const MONTHS: [&str; 12] = [
     "November",
     "December",
 ];
-const DAYS: [&str; 7] =
-    ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"];
+const DAYS: [&str; 7] = [
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+];
 
 /// One flight record.
 #[derive(Debug, Clone)]
@@ -46,13 +53,21 @@ struct FlightRow {
 
 fn build_frame(rows: &[FlightRow]) -> DataFrame {
     DataFrame::builder()
-        .str("month", AttrRole::Categorical, rows.iter().map(|r| Some(r.month)))
+        .str(
+            "month",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.month)),
+        )
         .str(
             "day_of_week",
             AttrRole::Categorical,
             rows.iter().map(|r| Some(r.day_of_week)),
         )
-        .str("airline", AttrRole::Categorical, rows.iter().map(|r| Some(r.airline)))
+        .str(
+            "airline",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.airline)),
+        )
         .int(
             "flight_number",
             AttrRole::Identifier,
@@ -83,9 +98,21 @@ fn build_frame(rows: &[FlightRow]) -> DataFrame {
             AttrRole::Numeric,
             rows.iter().map(|r| Some(r.arrival_delay)),
         )
-        .int("distance", AttrRole::Numeric, rows.iter().map(|r| Some(r.distance)))
-        .int("air_time", AttrRole::Numeric, rows.iter().map(|r| Some(r.air_time)))
-        .bool("cancelled", AttrRole::Categorical, rows.iter().map(|r| Some(r.cancelled)))
+        .int(
+            "distance",
+            AttrRole::Numeric,
+            rows.iter().map(|r| Some(r.distance)),
+        )
+        .int(
+            "air_time",
+            AttrRole::Numeric,
+            rows.iter().map(|r| Some(r.air_time)),
+        )
+        .bool(
+            "cancelled",
+            AttrRole::Categorical,
+            rows.iter().map(|r| Some(r.cancelled)),
+        )
         .build()
         .expect("flight schema is consistent")
 }
@@ -178,17 +205,24 @@ pub fn flights1() -> ExperimentalDataset {
         Insight::new(
             "flights1.drill-june",
             "The June subset is inspected in isolation.",
-            InsightCheck::DrilledInto { attr: "month".into(), value: Value::Str("June".into()) },
+            InsightCheck::DrilledInto {
+                attr: "month".into(),
+                value: Value::Str("June".into()),
+            },
         ),
         Insight::new(
             "flights1.hourly-pattern",
             "Delays grow through the day (evening departures are worst).",
-            InsightCheck::Examined { attr: "scheduled_departure".into() },
+            InsightCheck::Examined {
+                attr: "scheduled_departure".into(),
+            },
         ),
         Insight::new(
             "flights1.delay-focus",
             "Departure delay is the quantity under study.",
-            InsightCheck::Examined { attr: "departure_delay".into() },
+            InsightCheck::Examined {
+                attr: "departure_delay".into(),
+            },
         ),
         Insight::new(
             "flights1.drill-ord",
@@ -259,11 +293,14 @@ pub fn flights2() -> ExperimentalDataset {
     const ROWS: usize = 8172;
     let mut rng = StdRng::seed_from_u64(0xF2);
     let airlines = ["B6", "DL", "AA", "UA", "WN", "AS"];
-    let dests = ["JFK", "DCA", "ORD", "ATL", "SFO", "LAX", "MCO", "FLL", "DEN"];
+    let dests = [
+        "JFK", "DCA", "ORD", "ATL", "SFO", "LAX", "MCO", "FLL", "DEN",
+    ];
     let mut rows = Vec::with_capacity(ROWS);
     for i in 0..ROWS {
         let month = MONTHS[rng.gen_range(0..12)];
-        let airline = airlines[(rng.gen_range(0.0f64..1.0).powi(2) * airlines.len() as f64) as usize];
+        let airline =
+            airlines[(rng.gen_range(0.0f64..1.0).powi(2) * airlines.len() as f64) as usize];
         let mut dep = base_delay(&mut rng);
         if airline == "B6" {
             dep += rng.gen_range(15..35);
@@ -314,22 +351,31 @@ pub fn flights2() -> ExperimentalDataset {
         Insight::new(
             "flights2.drill-b6",
             "The JetBlue subset is inspected in isolation.",
-            InsightCheck::DrilledInto { attr: "airline".into(), value: Value::Str("B6".into()) },
+            InsightCheck::DrilledInto {
+                attr: "airline".into(),
+                value: Value::Str("B6".into()),
+            },
         ),
         Insight::new(
             "flights2.cancellations",
             "Cancellations are examined (they cluster in February).",
-            InsightCheck::Examined { attr: "cancelled".into() },
+            InsightCheck::Examined {
+                attr: "cancelled".into(),
+            },
         ),
         Insight::new(
             "flights2.delay-focus",
             "Departure delay is the quantity under study.",
-            InsightCheck::Examined { attr: "departure_delay".into() },
+            InsightCheck::Examined {
+                attr: "departure_delay".into(),
+            },
         ),
         Insight::new(
             "flights2.by-destination",
             "Delays are broken down by destination.",
-            InsightCheck::Examined { attr: "destination_airport".into() },
+            InsightCheck::Examined {
+                attr: "destination_airport".into(),
+            },
         ),
     ];
 
@@ -459,12 +505,16 @@ pub fn flights3() -> ExperimentalDataset {
         Insight::new(
             "flights3.hour-examined",
             "The hourly pattern is examined.",
-            InsightCheck::Examined { attr: "scheduled_departure".into() },
+            InsightCheck::Examined {
+                attr: "scheduled_departure".into(),
+            },
         ),
         Insight::new(
             "flights3.delay-focus",
             "Departure delay is the quantity under study.",
-            InsightCheck::Examined { attr: "departure_delay".into() },
+            InsightCheck::Examined {
+                attr: "departure_delay".into(),
+            },
         ),
     ];
 
@@ -537,7 +587,9 @@ pub fn flights4() -> ExperimentalDataset {
     for i in 0..ROWS {
         let airline = airlines[rng.gen_range(0..airlines.len())];
         // Night hours: 22, 23, 0..5.
-        let hour = *[22i64, 23, 0, 1, 2, 3, 4, 5].get(rng.gen_range(0..8)).unwrap();
+        let hour = *[22i64, 23, 0, 1, 2, 3, 4, 5]
+            .get(rng.gen_range(0..8))
+            .unwrap();
         let (o, d) = pairs[rng.gen_range(0..pairs.len())];
         let mut dep = base_delay(&mut rng);
         if airline == "NK" {
@@ -577,22 +629,31 @@ pub fn flights4() -> ExperimentalDataset {
         Insight::new(
             "flights4.drill-nk",
             "The Spirit subset is inspected in isolation.",
-            InsightCheck::DrilledInto { attr: "airline".into(), value: Value::Str("NK".into()) },
+            InsightCheck::DrilledInto {
+                attr: "airline".into(),
+                value: Value::Str("NK".into()),
+            },
         ),
         Insight::new(
             "flights4.night-hours",
             "The late-night hourly pattern is examined.",
-            InsightCheck::Examined { attr: "scheduled_departure".into() },
+            InsightCheck::Examined {
+                attr: "scheduled_departure".into(),
+            },
         ),
         Insight::new(
             "flights4.routes",
             "Delays are broken down by route (origin airport).",
-            InsightCheck::Examined { attr: "origin_airport".into() },
+            InsightCheck::Examined {
+                attr: "origin_airport".into(),
+            },
         ),
         Insight::new(
             "flights4.delay-focus",
             "Departure delay is the quantity under study.",
-            InsightCheck::Examined { attr: "departure_delay".into() },
+            InsightCheck::Examined {
+                attr: "departure_delay".into(),
+            },
         ),
     ];
 
@@ -677,14 +738,23 @@ mod tests {
 
         let f3 = flights3();
         assert_eq!(f3.frame.column("origin_airport").unwrap().n_distinct(), 1);
-        assert_eq!(f3.frame.column("destination_airport").unwrap().n_distinct(), 1);
+        assert_eq!(
+            f3.frame.column("destination_airport").unwrap().n_distinct(),
+            1
+        );
 
         let f4 = flights4();
         let dist = f4.frame.numeric_summary("distance").unwrap().unwrap();
         assert!(dist.max < 500.0, "Flights #4 is short-haul");
-        let hours = f4.frame.column("scheduled_departure").unwrap().value_counts();
+        let hours = f4
+            .frame
+            .column("scheduled_departure")
+            .unwrap()
+            .value_counts();
         for k in hours.keys() {
-            let atena_dataframe::ValueKey::Int(h) = k else { panic!() };
+            let atena_dataframe::ValueKey::Int(h) = k else {
+                panic!()
+            };
             assert!(*h >= 22 || *h <= 5, "night hours only, got {h}");
         }
     }
@@ -699,15 +769,27 @@ mod tests {
         let mut june = f64::NAN;
         let mut others_max = f64::MIN;
         for r in 0..by_month.n_rows() {
-            let m = by_month.value(r, "month").unwrap().as_str().unwrap().to_string();
-            let v = by_month.value(r, "AVG(departure_delay)").unwrap().as_f64().unwrap();
+            let m = by_month
+                .value(r, "month")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            let v = by_month
+                .value(r, "AVG(departure_delay)")
+                .unwrap()
+                .as_f64()
+                .unwrap();
             if m == "June" {
                 june = v;
             } else {
                 others_max = others_max.max(v);
             }
         }
-        assert!(june > others_max, "June {june} should exceed all others ({others_max})");
+        assert!(
+            june > others_max,
+            "June {june} should exceed all others ({others_max})"
+        );
     }
 
     #[test]
@@ -729,6 +811,9 @@ mod tests {
 
     #[test]
     fn determinism() {
-        assert_eq!(flights3().frame.to_csv_string(), flights3().frame.to_csv_string());
+        assert_eq!(
+            flights3().frame.to_csv_string(),
+            flights3().frame.to_csv_string()
+        );
     }
 }

@@ -81,13 +81,21 @@ impl InsightCheck {
         }
         let display = &entry.display;
         match self {
-            InsightCheck::DominantGroup { key, value, min_share } => {
+            InsightCheck::DominantGroup {
+                key,
+                value,
+                min_share,
+            } => {
                 if !display.spec.group_keys.contains(key) {
                     return false;
                 }
                 let result = &display.result;
-                let Ok(key_col) = result.column(key) else { return false };
-                let Ok(count_col) = result.column("count") else { return false };
+                let Ok(key_col) = result.column(key) else {
+                    return false;
+                };
+                let Ok(count_col) = result.column("count") else {
+                    return false;
+                };
                 let total: f64 = count_col.iter().filter_map(|v| v.as_f64()).sum();
                 if total <= 0.0 {
                     return false;
@@ -100,9 +108,7 @@ impl InsightCheck {
                     }
                 }
                 match best {
-                    Some((c, k)) => {
-                        k == value.as_ref().key() && c / total >= *min_share
-                    }
+                    Some((c, k)) => k == value.as_ref().key() && c / total >= *min_share,
                     None => false,
                 }
             }
@@ -111,7 +117,11 @@ impl InsightCheck {
                 .predicates
                 .iter()
                 .any(|p| &p.attr == attr && p.term == *value),
-            InsightCheck::ManyGroups { key, min_groups, context_attr } => {
+            InsightCheck::ManyGroups {
+                key,
+                min_groups,
+                context_attr,
+            } => {
                 if !display.spec.group_keys.contains(key) {
                     return false;
                 }
@@ -125,35 +135,43 @@ impl InsightCheck {
                         return false;
                     }
                 }
-                display.grouping.as_ref().is_some_and(|g| g.n_groups >= *min_groups)
+                display
+                    .grouping
+                    .as_ref()
+                    .is_some_and(|g| g.n_groups >= *min_groups)
             }
             InsightCheck::ExtremeGroup { key, agg, value } => {
                 if !display.spec.group_keys.contains(key) {
                     return false;
                 }
                 let result = &display.result;
-                let Ok(key_col) = result.column(key) else { return false };
+                let Ok(key_col) = result.column(key) else {
+                    return false;
+                };
                 // Find any aggregate column over `agg`.
                 let agg_col = result
                     .schema()
                     .fields()
                     .iter()
-                    .find(|f| {
-                        f.name.ends_with(&format!("({agg})"))
-                            && f.name != "count"
-                    })
+                    .find(|f| f.name.ends_with(&format!("({agg})")) && f.name != "count")
                     .and_then(|f| result.column(&f.name).ok());
                 let Some(agg_col) = agg_col else { return false };
                 let mut best: Option<(f64, ValueKey)> = None;
                 for r in 0..result.n_rows() {
-                    let Some(v) = agg_col.get(r).as_f64() else { continue };
+                    let Some(v) = agg_col.get(r).as_f64() else {
+                        continue;
+                    };
                     if best.as_ref().is_none_or(|(b, _)| v > *b) {
                         best = Some((v, key_col.get(r).key()));
                     }
                 }
                 best.is_some_and(|(_, k)| k == value.as_ref().key())
             }
-            InsightCheck::AtMostGroups { key, max_groups, context_attr } => {
+            InsightCheck::AtMostGroups {
+                key,
+                max_groups,
+                context_attr,
+            } => {
                 if !display.spec.group_keys.contains(key) {
                     return false;
                 }
@@ -200,7 +218,11 @@ pub struct Insight {
 impl Insight {
     /// Construct an insight.
     pub fn new(id: &str, description: &str, check: InsightCheck) -> Self {
-        Self { id: id.to_string(), description: description.to_string(), check }
+        Self {
+            id: id.to_string(),
+            description: description.to_string(),
+            check,
+        }
     }
 }
 
@@ -209,7 +231,10 @@ pub fn insight_coverage(notebook: &Notebook, insights: &[Insight]) -> f64 {
     if insights.is_empty() {
         return 0.0;
     }
-    let hits = insights.iter().filter(|i| i.check.satisfied_by(notebook)).count();
+    let hits = insights
+        .iter()
+        .filter(|i| i.check.satisfied_by(notebook))
+        .count();
     hits as f64 / insights.len() as f64
 }
 
@@ -231,7 +256,11 @@ mod tests {
                 AttrRole::Categorical,
                 (0..100).map(|i| Some(if i < 70 { "attacker" } else { "normal" })),
             )
-            .int("len", AttrRole::Numeric, (0..100).map(|i| Some(if i < 70 { 64 } else { 1200 })))
+            .int(
+                "len",
+                AttrRole::Numeric,
+                (0..100).map(|i| Some(if i < 70 { 64 } else { 1200 })),
+            )
             .build()
             .unwrap()
     }
@@ -241,9 +270,17 @@ mod tests {
             "t",
             &base(),
             &[
-                ResolvedOp::Group { key: "proto".into(), func: AggFunc::Count, agg: "len".into() },
+                ResolvedOp::Group {
+                    key: "proto".into(),
+                    func: AggFunc::Count,
+                    agg: "len".into(),
+                },
                 ResolvedOp::Filter(Predicate::new("src", CmpOp::Eq, "attacker")),
-                ResolvedOp::Group { key: "src".into(), func: AggFunc::Avg, agg: "len".into() },
+                ResolvedOp::Group {
+                    key: "src".into(),
+                    func: AggFunc::Avg,
+                    agg: "len".into(),
+                },
             ],
         )
     }
@@ -268,7 +305,11 @@ mod tests {
         let overview = Notebook::replay(
             "t",
             &base(),
-            &[ResolvedOp::Group { key: "proto".into(), func: AggFunc::Count, agg: "len".into() }],
+            &[ResolvedOp::Group {
+                key: "proto".into(),
+                func: AggFunc::Count,
+                agg: "len".into(),
+            }],
         );
         let too_high = InsightCheck::DominantGroup {
             key: "proto".into(),
@@ -309,7 +350,10 @@ mod tests {
     #[test]
     fn examined_detected() {
         let nb = notebook();
-        assert!(InsightCheck::Examined { attr: "proto".into() }.satisfied_by(&nb));
+        assert!(InsightCheck::Examined {
+            attr: "proto".into()
+        }
+        .satisfied_by(&nb));
         assert!(InsightCheck::Examined { attr: "len".into() }.satisfied_by(&nb));
         // No view touches a nonexistent column.
         assert!(!InsightCheck::Examined { attr: "zzz".into() }.satisfied_by(&nb));
@@ -348,7 +392,9 @@ mod tests {
             Insight::new(
                 "b",
                 "never found",
-                InsightCheck::Examined { attr: "missing".into() },
+                InsightCheck::Examined {
+                    attr: "missing".into(),
+                },
             ),
         ];
         assert!((insight_coverage(&nb, &insights) - 0.5).abs() < 1e-12);

@@ -57,7 +57,10 @@ mod tests {
         let ids: Vec<&str> = all.iter().map(|d| d.spec.id.as_str()).collect();
         assert_eq!(
             ids,
-            vec!["cyber1", "cyber2", "cyber3", "cyber4", "flights1", "flights2", "flights3", "flights4"]
+            vec![
+                "cyber1", "cyber2", "cyber3", "cyber4", "flights1", "flights2", "flights3",
+                "flights4"
+            ]
         );
         let rows: Vec<usize> = all.iter().map(|d| d.spec.rows).collect();
         assert_eq!(rows, vec![8648, 348, 745, 13625, 5661, 8172, 1082, 2175]);

@@ -10,7 +10,11 @@ pub fn f(attr: &str, op: CmpOp, term: impl Into<Value>) -> ResolvedOp {
 
 /// `GROUP(key, func, agg)`.
 pub fn g(key: &str, func: AggFunc, agg: &str) -> ResolvedOp {
-    ResolvedOp::Group { key: key.to_string(), func, agg: agg.to_string() }
+    ResolvedOp::Group {
+        key: key.to_string(),
+        func,
+        agg: agg.to_string(),
+    }
 }
 
 /// `BACK()`.

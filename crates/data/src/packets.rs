@@ -34,7 +34,11 @@ pub struct Packet {
 pub fn build_frame(mut packets: Vec<Packet>) -> DataFrame {
     packets.sort_by_key(|p| p.time);
     DataFrame::builder()
-        .int("time", AttrRole::Temporal, packets.iter().map(|p| Some(p.time)))
+        .int(
+            "time",
+            AttrRole::Temporal,
+            packets.iter().map(|p| Some(p.time)),
+        )
         .str_owned(
             "source_ip",
             AttrRole::Categorical,
@@ -60,13 +64,21 @@ pub fn build_frame(mut packets: Vec<Packet>) -> DataFrame {
             AttrRole::Categorical,
             packets.iter().map(|p| p.destination_port),
         )
-        .int("length", AttrRole::Numeric, packets.iter().map(|p| Some(p.length)))
+        .int(
+            "length",
+            AttrRole::Numeric,
+            packets.iter().map(|p| Some(p.length)),
+        )
         .str(
             "tcp_flags",
             AttrRole::Categorical,
             packets.iter().map(|p| p.tcp_flags),
         )
-        .str_owned("info", AttrRole::Text, packets.iter().map(|p| Some(p.info.clone())))
+        .str_owned(
+            "info",
+            AttrRole::Text,
+            packets.iter().map(|p| Some(p.info.clone())),
+        )
         .build()
         .expect("capture schema is consistent")
 }
@@ -104,7 +116,11 @@ pub fn background_traffic(n: usize, t0: i64, duration: i64, rng: &mut StdRng) ->
                 destination_ip: dst,
                 protocol: "tcp",
                 source_port: Some(rng.gen_range(49152..65535)),
-                destination_port: Some(*[443i64, 443, 80, 22, 8080].get(rng.gen_range(0..5)).unwrap()),
+                destination_port: Some(
+                    *[443i64, 443, 80, 22, 8080]
+                        .get(rng.gen_range(0..5))
+                        .unwrap(),
+                ),
                 length: 60 + rng.gen_range(0..1400),
                 tcp_flags: Some(["ACK", "PSH-ACK", "SYN", "FIN-ACK"][rng.gen_range(0..4)]),
                 info: "tcp segment".to_string(),
@@ -121,8 +137,13 @@ pub fn background_traffic(n: usize, t0: i64, duration: i64, rng: &mut StdRng) ->
                 tcp_flags: Some("PSH-ACK"),
                 info: format!(
                     "GET /{} HTTP/1.1",
-                    ["index.html", "news", "api/v1/items", "images/logo.png", "search?q=rust"]
-                        [rng.gen_range(0..5)]
+                    [
+                        "index.html",
+                        "news",
+                        "api/v1/items",
+                        "images/logo.png",
+                        "search?q=rust"
+                    ][rng.gen_range(0..5)]
                 ),
             }
         } else if roll < 0.90 {
@@ -137,8 +158,13 @@ pub fn background_traffic(n: usize, t0: i64, duration: i64, rng: &mut StdRng) ->
                 tcp_flags: None,
                 info: format!(
                     "Standard query A {}",
-                    ["example.com", "google.com", "github.com", "cdn.site.net", "mail.corp.local"]
-                        [rng.gen_range(0..5)]
+                    [
+                        "example.com",
+                        "google.com",
+                        "github.com",
+                        "cdn.site.net",
+                        "mail.corp.local"
+                    ][rng.gen_range(0..5)]
                 ),
             }
         } else {

@@ -30,7 +30,12 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        Self { length: 12, goal_directedness: 0.45, back_prob: 0.25, seed: 0 }
+        Self {
+            length: 12,
+            goal_directedness: 0.45,
+            back_prob: 0.25,
+            seed: 0,
+        }
     }
 }
 
@@ -65,8 +70,7 @@ pub fn simulate_traces(
                     if let Some(op) = plan_iter.next() {
                         // Analysts repeat themselves occasionally.
                         if rng.gen_bool(0.12) && !trace.is_empty() {
-                            let dup: &ResolvedOp =
-                                &trace[rng.gen_range(0..trace.len())];
+                            let dup: &ResolvedOp = &trace[rng.gen_range(0..trace.len())];
                             trace.push(dup.clone());
                         }
                         trace.push(op);
@@ -108,8 +112,11 @@ fn random_wander(dataset: &ExperimentalDataset, rng: &mut StdRng) -> ResolvedOp 
         // Random equality filter on a frequent token.
         let field = &fields[rng.gen_range(0..fields.len())];
         let col = dataset.frame.column(&field.name).expect("schema field");
-        let mut counts: Vec<(Value, usize)> =
-            col.value_counts().into_iter().map(|(k, c)| (k.to_value(), c)).collect();
+        let mut counts: Vec<(Value, usize)> = col
+            .value_counts()
+            .into_iter()
+            .map(|(k, c)| (k.to_value(), c))
+            .collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.to_string().cmp(&b.0.to_string())));
         counts.truncate(8);
         if counts.is_empty() {
@@ -125,7 +132,11 @@ fn random_wander(dataset: &ExperimentalDataset, rng: &mut StdRng) -> ResolvedOp 
         } else {
             CmpOp::Eq
         };
-        ResolvedOp::Filter(Predicate { attr: field.name.clone(), op, term })
+        ResolvedOp::Filter(Predicate {
+            attr: field.name.clone(),
+            op,
+            term,
+        })
     }
 }
 
@@ -177,7 +188,11 @@ mod tests {
         let traces = simulate_traces(&d, 6, TraceConfig::default());
         for t in traces {
             let nb = Notebook::replay(&d.spec.name, &d.frame, &t);
-            let invalid = nb.entries.iter().filter(|e| !e.outcome.is_applied()).count();
+            let invalid = nb
+                .entries
+                .iter()
+                .filter(|e| !e.outcome.is_applied())
+                .count();
             // Wandering can produce an occasional dead op, but most steps work.
             assert!(invalid <= 3, "{invalid} invalid ops in a 12-op trace");
         }
@@ -186,10 +201,31 @@ mod tests {
     #[test]
     fn traces_are_deterministic_per_seed() {
         let d = cyber2();
-        let a = simulate_traces(&d, 3, TraceConfig { seed: 5, ..Default::default() });
-        let b = simulate_traces(&d, 3, TraceConfig { seed: 5, ..Default::default() });
+        let a = simulate_traces(
+            &d,
+            3,
+            TraceConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let b = simulate_traces(
+            &d,
+            3,
+            TraceConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
-        let c = simulate_traces(&d, 3, TraceConfig { seed: 6, ..Default::default() });
+        let c = simulate_traces(
+            &d,
+            3,
+            TraceConfig {
+                seed: 6,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, c);
     }
 }

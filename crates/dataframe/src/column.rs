@@ -195,7 +195,10 @@ impl Column {
     /// Bounds-checked value access.
     pub fn try_get(&self, i: usize) -> Result<ValueRef<'_>> {
         if i >= self.len() {
-            return Err(DataFrameError::RowOutOfBounds { index: i, len: self.len() });
+            return Err(DataFrameError::RowOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         Ok(self.get(i))
     }
@@ -248,7 +251,10 @@ impl Column {
 
     /// Iterate over borrowed values.
     pub fn iter(&self) -> ColumnIter<'_> {
-        ColumnIter { column: self, index: 0 }
+        ColumnIter {
+            column: self,
+            index: 0,
+        }
     }
 
     /// Frequency of each distinct non-null value.
@@ -320,7 +326,9 @@ mod tests {
     #[test]
     fn str_column_interns() {
         let col = Column::from_strs(vec![Some("a"), Some("b"), Some("a"), None]);
-        let Column::Str(inner) = &col else { panic!("expected str column") };
+        let Column::Str(inner) = &col else {
+            panic!("expected str column")
+        };
         assert_eq!(inner.dictionary().len(), 2);
         assert_eq!(col.len(), 4);
         assert_eq!(col.get(0), ValueRef::Str("a"));
@@ -333,7 +341,9 @@ mod tests {
     fn take_compacts_dictionary() {
         let col = Column::from_strs(vec![Some("a"), Some("b"), Some("c"), Some("b")]);
         let taken = col.take(&[1, 3]);
-        let Column::Str(inner) = &taken else { panic!("expected str column") };
+        let Column::Str(inner) = &taken else {
+            panic!("expected str column")
+        };
         assert_eq!(inner.dictionary(), &["b".to_string()]);
         assert_eq!(taken.get(0), ValueRef::Str("b"));
         assert_eq!(taken.get(1), ValueRef::Str("b"));

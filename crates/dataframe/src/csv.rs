@@ -40,7 +40,10 @@ fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(DataFrameError::Csv { line: line_no, message: "unterminated quote".into() });
+        return Err(DataFrameError::Csv {
+            line: line_no,
+            message: "unterminated quote".into(),
+        });
     }
     fields.push(cur);
     Ok(fields)
@@ -86,10 +89,14 @@ impl DataFrame {
     /// nulls; column types are inferred, semantic roles via
     /// [`AttrRole::infer`].
     pub fn from_csv_str(text: &str) -> Result<DataFrame> {
-        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-        let (_, header) = lines
-            .next()
-            .ok_or(DataFrameError::Csv { line: 1, message: "empty input".into() })?;
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or(DataFrameError::Csv {
+            line: 1,
+            message: "empty input".into(),
+        })?;
         let names = parse_line(header, 1)?;
         let n_cols = names.len();
         let mut rows: Vec<Vec<String>> = Vec::new();
@@ -143,15 +150,17 @@ fn build_column(dtype: DType, cells: &[&str]) -> Column {
     match dtype {
         DType::Int => Column::from_ints(cells.iter().map(|c| c.parse::<i64>().ok())),
         DType::Float => Column::from_floats(cells.iter().map(|c| c.parse::<f64>().ok())),
-        DType::Bool => Column::from_bools(
-            cells.iter().map(|c| match *c {
-                "true" | "True" => Some(true),
-                "false" | "False" => Some(false),
-                _ => None,
-            }),
-        ),
+        DType::Bool => Column::from_bools(cells.iter().map(|c| match *c {
+            "true" | "True" => Some(true),
+            "false" | "False" => Some(false),
+            _ => None,
+        })),
         DType::Str => {
-            Column::from_strs(cells.iter().map(|c| if c.is_empty() { None } else { Some(*c) }))
+            Column::from_strs(
+                cells
+                    .iter()
+                    .map(|c| if c.is_empty() { None } else { Some(*c) }),
+            )
         }
     }
 }

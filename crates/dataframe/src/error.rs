@@ -63,9 +63,16 @@ impl fmt::Display for DataFrameError {
             Self::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
             Self::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
             Self::IncompatibleOp { column, op, dtype } => {
-                write!(f, "operation {op} is not defined for column {column:?} of type {dtype}")
+                write!(
+                    f,
+                    "operation {op} is not defined for column {column:?} of type {dtype}"
+                )
             }
-            Self::LengthMismatch { expected, actual, column } => write!(
+            Self::LengthMismatch {
+                expected,
+                actual,
+                column,
+            } => write!(
                 f,
                 "column {column:?} has {actual} rows but the frame has {expected}"
             ),

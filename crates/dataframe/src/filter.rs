@@ -85,7 +85,11 @@ pub struct Predicate {
 impl Predicate {
     /// Create a predicate.
     pub fn new(attr: impl Into<String>, op: CmpOp, term: impl Into<Value>) -> Self {
-        Self { attr: attr.into(), op, term: term.into() }
+        Self {
+            attr: attr.into(),
+            op,
+            term: term.into(),
+        }
     }
 
     /// Validate the predicate against a column type.
@@ -163,7 +167,13 @@ impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
             CmpOp::Contains | CmpOp::StartsWith => {
-                write!(f, "{}.{}({:?})", self.attr, self.op.symbol(), self.term.to_string())
+                write!(
+                    f,
+                    "{}.{}({:?})",
+                    self.attr,
+                    self.op.symbol(),
+                    self.term.to_string()
+                )
             }
             _ => write!(f, "{} {} {}", self.attr, self.op.symbol(), self.term),
         }
@@ -229,7 +239,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Predicate::new("delay", CmpOp::Ge, 30i64).to_string(), "delay >= 30");
+        assert_eq!(
+            Predicate::new("delay", CmpOp::Ge, 30i64).to_string(),
+            "delay >= 30"
+        );
         assert_eq!(
             Predicate::new("url", CmpOp::Contains, "login").to_string(),
             "url.contains(\"login\")"

@@ -24,7 +24,11 @@ pub struct DataFrame {
 impl DataFrame {
     /// Create an empty frame with no columns.
     pub fn empty() -> Self {
-        Self { schema: Schema::default(), columns: Vec::new(), n_rows: 0 }
+        Self {
+            schema: Schema::default(),
+            columns: Vec::new(),
+            n_rows: 0,
+        }
     }
 
     /// Create a frame from (field, column) pairs, validating lengths and
@@ -50,7 +54,11 @@ impl DataFrame {
             fields.push(field);
             columns.push(Arc::new(column));
         }
-        Ok(Self { schema: Schema::new(fields)?, columns, n_rows })
+        Ok(Self {
+            schema: Schema::new(fields)?,
+            columns,
+            n_rows,
+        })
     }
 
     /// Builder-style construction used pervasively in tests and generators.
@@ -118,8 +126,16 @@ impl DataFrame {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn take(&self, rows: &[usize]) -> DataFrame {
-        let columns = self.columns.iter().map(|c| Arc::new(c.take(rows))).collect();
-        DataFrame { schema: self.schema.clone(), columns, n_rows: rows.len() }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.take(rows)))
+            .collect();
+        DataFrame {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        }
     }
 
     /// First `n` rows.
@@ -135,8 +151,10 @@ impl DataFrame {
         let mut idx: Vec<usize> = (0..self.n_rows).collect();
         idx.sort_by(|&a, &b| {
             let (va, vb) = (col.get(a).key(), col.get(b).key());
-            let ord = match (va == crate::value::ValueKey::Null, vb == crate::value::ValueKey::Null)
-            {
+            let ord = match (
+                va == crate::value::ValueKey::Null,
+                vb == crate::value::ValueKey::Null,
+            ) {
                 (true, true) => std::cmp::Ordering::Equal,
                 (true, false) => std::cmp::Ordering::Greater,
                 (false, true) => std::cmp::Ordering::Less,
@@ -162,13 +180,20 @@ impl DataFrame {
             fields.push(self.schema.field_at(idx).clone());
             columns.push(self.columns[idx].clone());
         }
-        Ok(DataFrame { schema: Schema::new(fields)?, columns, n_rows: self.n_rows })
+        Ok(DataFrame {
+            schema: Schema::new(fields)?,
+            columns,
+            n_rows: self.n_rows,
+        })
     }
 
     /// One row as owned values, in schema order.
     pub fn row(&self, i: usize) -> Result<Vec<Value>> {
         if i >= self.n_rows {
-            return Err(DataFrameError::RowOutOfBounds { index: i, len: self.n_rows });
+            return Err(DataFrameError::RowOutOfBounds {
+                index: i,
+                len: self.n_rows,
+            });
         }
         Ok(self.columns.iter().map(|c| c.get(i).to_owned()).collect())
     }
@@ -183,8 +208,9 @@ impl fmt::Display for DataFrame {
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(preview);
         for r in 0..preview {
-            let row: Vec<String> =
-                (0..self.n_cols()).map(|c| self.columns[c].get(r).to_string()).collect();
+            let row: Vec<String> = (0..self.n_cols())
+                .map(|c| self.columns[c].get(r).to_string())
+                .collect();
             for (w, cell) in widths.iter_mut().zip(&row) {
                 *w = (*w).max(cell.len());
             }
@@ -226,8 +252,10 @@ impl DataFrameBuilder {
         role: AttrRole,
         values: impl IntoIterator<Item = Option<i64>>,
     ) -> Self {
-        self.pairs
-            .push((Field::new(name, DType::Int, role), Column::from_ints(values)));
+        self.pairs.push((
+            Field::new(name, DType::Int, role),
+            Column::from_ints(values),
+        ));
         self
     }
 
@@ -238,8 +266,10 @@ impl DataFrameBuilder {
         role: AttrRole,
         values: impl IntoIterator<Item = Option<f64>>,
     ) -> Self {
-        self.pairs
-            .push((Field::new(name, DType::Float, role), Column::from_floats(values)));
+        self.pairs.push((
+            Field::new(name, DType::Float, role),
+            Column::from_floats(values),
+        ));
         self
     }
 
@@ -250,8 +280,10 @@ impl DataFrameBuilder {
         role: AttrRole,
         values: impl IntoIterator<Item = Option<bool>>,
     ) -> Self {
-        self.pairs
-            .push((Field::new(name, DType::Bool, role), Column::from_bools(values)));
+        self.pairs.push((
+            Field::new(name, DType::Bool, role),
+            Column::from_bools(values),
+        ));
         self
     }
 
@@ -262,8 +294,10 @@ impl DataFrameBuilder {
         role: AttrRole,
         values: impl IntoIterator<Item = Option<&'a str>>,
     ) -> Self {
-        self.pairs
-            .push((Field::new(name, DType::Str, role), Column::from_strs(values)));
+        self.pairs.push((
+            Field::new(name, DType::Str, role),
+            Column::from_strs(values),
+        ));
         self
     }
 
@@ -278,7 +312,8 @@ impl DataFrameBuilder {
         for v in values {
             col.push(v.as_deref());
         }
-        self.pairs.push((Field::new(name, DType::Str, role), Column::Str(col)));
+        self.pairs
+            .push((Field::new(name, DType::Str, role), Column::Str(col)));
         self
     }
 
@@ -309,7 +344,11 @@ mod tests {
                 AttrRole::Categorical,
                 vec![Some("AA"), Some("DL"), Some("AA"), Some("UA"), None],
             )
-            .int("delay", AttrRole::Numeric, vec![Some(10), Some(-3), Some(45), Some(0), Some(7)])
+            .int(
+                "delay",
+                AttrRole::Numeric,
+                vec![Some(10), Some(-3), Some(45), Some(0), Some(7)],
+            )
             .float(
                 "distance",
                 AttrRole::Numeric,
@@ -350,7 +389,9 @@ mod tests {
     #[test]
     fn filter_numeric() {
         let df = flights();
-        let out = df.filter(&Predicate::new("delay", CmpOp::Gt, 5i64)).unwrap();
+        let out = df
+            .filter(&Predicate::new("delay", CmpOp::Gt, 5i64))
+            .unwrap();
         assert_eq!(out.n_rows(), 3); // 10, 45, 7
         assert_eq!(out.value(0, "delay").unwrap(), ValueRef::Int(10));
     }
@@ -358,21 +399,27 @@ mod tests {
     #[test]
     fn filter_string_eq() {
         let df = flights();
-        let out = df.filter(&Predicate::new("airline", CmpOp::Eq, "AA")).unwrap();
+        let out = df
+            .filter(&Predicate::new("airline", CmpOp::Eq, "AA"))
+            .unwrap();
         assert_eq!(out.n_rows(), 2);
     }
 
     #[test]
     fn filter_missing_column() {
         let df = flights();
-        let err = df.filter(&Predicate::new("nope", CmpOp::Eq, 1i64)).unwrap_err();
+        let err = df
+            .filter(&Predicate::new("nope", CmpOp::Eq, 1i64))
+            .unwrap_err();
         assert!(matches!(err, DataFrameError::ColumnNotFound(_)));
     }
 
     #[test]
     fn filter_incompatible_op() {
         let df = flights();
-        let err = df.filter(&Predicate::new("delay", CmpOp::Contains, "4")).unwrap_err();
+        let err = df
+            .filter(&Predicate::new("delay", CmpOp::Contains, "4"))
+            .unwrap_err();
         assert!(matches!(err, DataFrameError::IncompatibleOp { .. }));
     }
 

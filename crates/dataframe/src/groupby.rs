@@ -40,7 +40,13 @@ impl AggFunc {
     /// paper's environment exposes to the agent (§4.1). `Median` and `Std`
     /// are available through the dataframe API but are deliberately outside
     /// the action space, so that results stay comparable with the paper's.
-    pub const ALL: [AggFunc; 5] = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
 
     /// Uppercase name used in notebook captions (e.g. `AVG`).
     pub fn name(self) -> &'static str {
@@ -105,7 +111,9 @@ impl Groups {
 
     /// Iterate over `(key-tuple, row-indices)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[ValueKey], &[usize])> {
-        self.groups.iter().map(|(k, r)| (k.as_slice(), r.as_slice()))
+        self.groups
+            .iter()
+            .map(|(k, r)| (k.as_slice(), r.as_slice()))
     }
 }
 
@@ -116,7 +124,9 @@ impl DataFrame {
     /// group-by semantics: an EDA user wants to *see* the null bucket.
     pub fn group_by(&self, keys: &[&str]) -> Result<Groups> {
         if keys.is_empty() {
-            return Err(DataFrameError::InvalidAggregate("group_by requires at least one key".into()));
+            return Err(DataFrameError::InvalidAggregate(
+                "group_by requires at least one key".into(),
+            ));
         }
         let mut key_cols = Vec::with_capacity(keys.len());
         for &k in keys {
@@ -187,11 +197,14 @@ impl DataFrame {
             .map(|&k| Column::empty(self.column(k).expect("validated").dtype()))
             .collect();
         let mut sizes: Vec<Option<i64>> = Vec::with_capacity(groups.n_groups());
-        let mut agg_values: Vec<Vec<Value>> = vec![Vec::with_capacity(groups.n_groups()); seen.len()];
+        let mut agg_values: Vec<Vec<Value>> =
+            vec![Vec::with_capacity(groups.n_groups()); seen.len()];
 
         for (key, rows) in groups.iter() {
             for (builder, kv) in key_builders.iter_mut().zip(key) {
-                builder.push(kv.to_value()).expect("key type matches source column");
+                builder
+                    .push(kv.to_value())
+                    .expect("key type matches source column");
             }
             sizes.push(Some(rows.len() as i64));
             for (slot, &(func, attr)) in agg_values.iter_mut().zip(&seen) {
@@ -203,7 +216,10 @@ impl DataFrame {
         let mut pairs: Vec<(Field, Column)> = Vec::with_capacity(keys.len() + 1 + seen.len());
         for (i, &k) in keys.iter().enumerate() {
             let src = self.schema().field(k)?;
-            pairs.push((src.clone(), std::mem::replace(&mut key_builders[i], Column::empty(DType::Int))));
+            pairs.push((
+                src.clone(),
+                std::mem::replace(&mut key_builders[i], Column::empty(DType::Int)),
+            ));
         }
         pairs.push((
             Field::new("count", DType::Int, AttrRole::Numeric),
@@ -214,7 +230,9 @@ impl DataFrame {
             let agg_dtype = aggregate_dtype(func, self.column(attr).expect("validated").dtype());
             let mut out_col = Column::empty(agg_dtype);
             for v in values {
-                out_col.push(v).expect("aggregate value type matches output dtype");
+                out_col
+                    .push(v)
+                    .expect("aggregate value type matches output dtype");
             }
             pairs.push((Field::new(agg_name, agg_dtype, AttrRole::Numeric), out_col));
         }
@@ -267,8 +285,11 @@ fn aggregate_rows(col: &Column, rows: &[usize], func: AggFunc) -> Value {
             }
             vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let n = vals.len();
-            let median =
-                if n % 2 == 1 { vals[n / 2] } else { (vals[n / 2 - 1] + vals[n / 2]) / 2.0 };
+            let median = if n % 2 == 1 {
+                vals[n / 2]
+            } else {
+                (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+            };
             Value::Float(median)
         }
         AggFunc::Std => {
@@ -315,12 +336,26 @@ mod tests {
             .str(
                 "airline",
                 AttrRole::Categorical,
-                vec![Some("AA"), Some("DL"), Some("AA"), Some("DL"), None, Some("AA")],
+                vec![
+                    Some("AA"),
+                    Some("DL"),
+                    Some("AA"),
+                    Some("DL"),
+                    None,
+                    Some("AA"),
+                ],
             )
             .str(
                 "day",
                 AttrRole::Categorical,
-                vec![Some("Mon"), Some("Mon"), Some("Tue"), Some("Tue"), Some("Mon"), Some("Mon")],
+                vec![
+                    Some("Mon"),
+                    Some("Mon"),
+                    Some("Tue"),
+                    Some("Tue"),
+                    Some("Mon"),
+                    Some("Mon"),
+                ],
             )
             .int(
                 "delay",
@@ -351,7 +386,9 @@ mod tests {
 
     #[test]
     fn avg_aggregate_skips_nulls() {
-        let out = df().group_aggregate(&["airline"], AggFunc::Avg, "delay").unwrap();
+        let out = df()
+            .group_aggregate(&["airline"], AggFunc::Avg, "delay")
+            .unwrap();
         assert_eq!(out.n_rows(), 3);
         assert_eq!(out.schema().names(), vec!["airline", "count", "AVG(delay)"]);
         // AA: (10 + 30 + 14) / 3 = 18
@@ -364,22 +401,30 @@ mod tests {
 
     #[test]
     fn count_aggregate_counts_non_null() {
-        let out = df().group_aggregate(&["airline"], AggFunc::Count, "delay").unwrap();
+        let out = df()
+            .group_aggregate(&["airline"], AggFunc::Count, "delay")
+            .unwrap();
         assert_eq!(out.value(1, "COUNT(delay)").unwrap(), ValueRef::Int(1)); // DL
     }
 
     #[test]
     fn sum_int_stays_int() {
-        let out = df().group_aggregate(&["day"], AggFunc::Sum, "delay").unwrap();
+        let out = df()
+            .group_aggregate(&["day"], AggFunc::Sum, "delay")
+            .unwrap();
         assert_eq!(out.value(0, "SUM(delay)").unwrap(), ValueRef::Int(94)); // Mon: 10+20+50+14
         assert_eq!(out.value(1, "SUM(delay)").unwrap(), ValueRef::Int(30)); // Tue: 30 (null dropped)
     }
 
     #[test]
     fn min_max_on_strings() {
-        let out = df().group_aggregate(&["day"], AggFunc::Max, "airline").unwrap();
+        let out = df()
+            .group_aggregate(&["day"], AggFunc::Max, "airline")
+            .unwrap();
         assert_eq!(out.value(0, "MAX(airline)").unwrap(), ValueRef::Str("DL"));
-        let out = df().group_aggregate(&["day"], AggFunc::Min, "airline").unwrap();
+        let out = df()
+            .group_aggregate(&["day"], AggFunc::Min, "airline")
+            .unwrap();
         assert_eq!(out.value(0, "MIN(airline)").unwrap(), ValueRef::Str("AA"));
     }
 
@@ -387,7 +432,11 @@ mod tests {
     fn median_and_std() {
         let d = DataFrame::builder()
             .str("k", AttrRole::Categorical, vec![Some("a"); 5])
-            .int("v", AttrRole::Numeric, vec![Some(1), Some(3), Some(100), Some(2), None])
+            .int(
+                "v",
+                AttrRole::Numeric,
+                vec![Some(1), Some(3), Some(100), Some(2), None],
+            )
             .build()
             .unwrap();
         let out = d.group_aggregate(&["k"], AggFunc::Median, "v").unwrap();
@@ -405,7 +454,9 @@ mod tests {
 
     #[test]
     fn sum_on_string_rejected() {
-        let err = df().group_aggregate(&["day"], AggFunc::Sum, "airline").unwrap_err();
+        let err = df()
+            .group_aggregate(&["day"], AggFunc::Sum, "airline")
+            .unwrap_err();
         assert!(matches!(err, DataFrameError::IncompatibleOp { .. }));
     }
 
@@ -420,10 +471,17 @@ mod tests {
         let out = df()
             .group_aggregate_multi(
                 &["airline"],
-                &[(AggFunc::Avg, "delay"), (AggFunc::Max, "delay"), (AggFunc::Avg, "delay")],
+                &[
+                    (AggFunc::Avg, "delay"),
+                    (AggFunc::Max, "delay"),
+                    (AggFunc::Avg, "delay"),
+                ],
             )
             .unwrap();
-        assert_eq!(out.schema().names(), vec!["airline", "count", "AVG(delay)", "MAX(delay)"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["airline", "count", "AVG(delay)", "MAX(delay)"]
+        );
         assert_eq!(out.value(0, "MAX(delay)").unwrap(), ValueRef::Int(30));
     }
 

@@ -54,7 +54,11 @@ impl DataFrame {
         let mut right_rows: Vec<Option<usize>> = Vec::new();
         for l in 0..self.n_rows() {
             let v = left_col.get(l);
-            let matches = if v.is_null() { None } else { index.get(&v.key()) };
+            let matches = if v.is_null() {
+                None
+            } else {
+                index.get(&v.key())
+            };
             match matches {
                 Some(rs) => {
                     for &r in rs {
@@ -108,15 +112,27 @@ mod tests {
 
     fn flights() -> DataFrame {
         DataFrame::builder()
-            .str("airline", AttrRole::Categorical, vec![Some("AA"), Some("DL"), Some("ZZ"), None])
-            .int("delay", AttrRole::Numeric, vec![Some(10), Some(20), Some(30), Some(40)])
+            .str(
+                "airline",
+                AttrRole::Categorical,
+                vec![Some("AA"), Some("DL"), Some("ZZ"), None],
+            )
+            .int(
+                "delay",
+                AttrRole::Numeric,
+                vec![Some(10), Some(20), Some(30), Some(40)],
+            )
             .build()
             .unwrap()
     }
 
     fn carriers() -> DataFrame {
         DataFrame::builder()
-            .str("code", AttrRole::Categorical, vec![Some("AA"), Some("DL"), Some("UA")])
+            .str(
+                "code",
+                AttrRole::Categorical,
+                vec![Some("AA"), Some("DL"), Some("UA")],
+            )
             .str(
                 "carrier_name",
                 AttrRole::Text,
@@ -129,17 +145,27 @@ mod tests {
 
     #[test]
     fn inner_join_matches_only() {
-        let out = flights().join(&carriers(), "airline", "code", JoinKind::Inner).unwrap();
+        let out = flights()
+            .join(&carriers(), "airline", "code", JoinKind::Inner)
+            .unwrap();
         assert_eq!(out.n_rows(), 2);
-        assert_eq!(out.value(0, "carrier_name").unwrap(), ValueRef::Str("American"));
+        assert_eq!(
+            out.value(0, "carrier_name").unwrap(),
+            ValueRef::Str("American")
+        );
         // Right-side "delay" collides and is suffixed.
-        assert_eq!(out.schema().names(), vec!["airline", "delay", "carrier_name", "delay_right"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["airline", "delay", "carrier_name", "delay_right"]
+        );
         assert_eq!(out.value(1, "delay_right").unwrap(), ValueRef::Int(2));
     }
 
     #[test]
     fn left_join_keeps_unmatched_with_nulls() {
-        let out = flights().join(&carriers(), "airline", "code", JoinKind::Left).unwrap();
+        let out = flights()
+            .join(&carriers(), "airline", "code", JoinKind::Left)
+            .unwrap();
         assert_eq!(out.n_rows(), 4);
         assert!(out.value(2, "carrier_name").unwrap().is_null()); // ZZ
         assert!(out.value(3, "carrier_name").unwrap().is_null()); // null key
@@ -153,7 +179,9 @@ mod tests {
             .int("x", AttrRole::Numeric, vec![Some(1), Some(2)])
             .build()
             .unwrap();
-        let out = flights().join(&many, "airline", "k", JoinKind::Inner).unwrap();
+        let out = flights()
+            .join(&many, "airline", "k", JoinKind::Inner)
+            .unwrap();
         // The single AA flight matches both right rows.
         assert_eq!(out.n_rows(), 2);
         assert_eq!(out.value(0, "airline").unwrap(), ValueRef::Str("AA"));
@@ -162,13 +190,17 @@ mod tests {
 
     #[test]
     fn key_type_mismatch_rejected() {
-        let err = flights().join(&carriers(), "delay", "code", JoinKind::Inner).unwrap_err();
+        let err = flights()
+            .join(&carriers(), "delay", "code", JoinKind::Inner)
+            .unwrap_err();
         assert!(matches!(err, DataFrameError::TypeMismatch { .. }));
     }
 
     #[test]
     fn missing_key_rejected() {
-        let err = flights().join(&carriers(), "nope", "code", JoinKind::Inner).unwrap_err();
+        let err = flights()
+            .join(&carriers(), "nope", "code", JoinKind::Inner)
+            .unwrap_err();
         assert!(matches!(err, DataFrameError::ColumnNotFound(_)));
     }
 }

@@ -61,7 +61,11 @@ pub struct Field {
 impl Field {
     /// Create a field with an explicit role.
     pub fn new(name: impl Into<String>, dtype: DType, role: AttrRole) -> Self {
-        Self { name: name.into(), dtype, role }
+        Self {
+            name: name.into(),
+            dtype,
+            role,
+        }
     }
 }
 
@@ -148,7 +152,10 @@ mod tests {
         let s = sample();
         assert_eq!(s.index_of("b").unwrap(), 1);
         assert_eq!(s.field("a").unwrap().dtype, DType::Int);
-        assert!(matches!(s.index_of("zzz"), Err(DataFrameError::ColumnNotFound(_))));
+        assert!(matches!(
+            s.index_of("zzz"),
+            Err(DataFrameError::ColumnNotFound(_))
+        ));
     }
 
     #[test]
@@ -161,8 +168,12 @@ mod tests {
         assert!(matches!(err, DataFrameError::DuplicateColumn(_)));
 
         let mut s = sample();
-        assert!(s.push(Field::new("a", DType::Bool, AttrRole::Categorical)).is_err());
-        assert!(s.push(Field::new("c", DType::Bool, AttrRole::Categorical)).is_ok());
+        assert!(s
+            .push(Field::new("a", DType::Bool, AttrRole::Categorical))
+            .is_err());
+        assert!(s
+            .push(Field::new("c", DType::Bool, AttrRole::Categorical))
+            .is_ok());
         assert_eq!(s.len(), 3);
     }
 

@@ -90,7 +90,10 @@ impl ValueDistribution {
             return Self::default();
         }
         let total = total as f64;
-        let probs = counts.iter().map(|(k, &c)| (k.clone(), c as f64 / total)).collect();
+        let probs = counts
+            .iter()
+            .map(|(k, &c)| (k.clone(), c as f64 / total))
+            .collect();
         Self { probs }
     }
 
@@ -122,8 +125,7 @@ impl ValueDistribution {
         }
         // Sort terms so the float accumulation order is independent of
         // hash-map iteration order (bit-exact reward reproducibility).
-        let mut entries: Vec<(&ValueKey, f64)> =
-            self.probs.iter().map(|(k, &p)| (k, p)).collect();
+        let mut entries: Vec<(&ValueKey, f64)> = self.probs.iter().map(|(k, &p)| (k, p)).collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         let mut kl = 0.0;
         for (k, p) in entries {
@@ -146,7 +148,9 @@ impl DataFrame {
 
     /// Statistics for every column, in schema order.
     pub fn all_column_stats(&self) -> Vec<ColumnStats> {
-        (0..self.n_cols()).map(|i| stats_of(self.column_at(i))).collect()
+        (0..self.n_cols())
+            .map(|i| stats_of(self.column_at(i)))
+            .collect()
     }
 
     /// Value probability distribution of one column (non-null values).
@@ -181,28 +185,32 @@ impl DataFrame {
             entropies.push(Some(st.entropy));
             let summary = {
                 let vals: Vec<f64> = col.iter().filter_map(|v| v.as_f64()).collect();
-                if vals.is_empty() { None } else { Some(NumericSummary::from_values(&vals)) }
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(NumericSummary::from_values(&vals))
+                }
             };
             means.push(summary.map(|s| s.mean));
             mins.push(summary.map(|s| s.min));
             maxs.push(summary.map(|s| s.max));
         }
         DataFrame::new(vec![
-            (
-                Field::new("column", DType::Str, AttrRole::Text),
-                {
-                    let mut c = crate::column::StrColumn::new();
-                    for v in &names {
-                        c.push(v.as_deref());
-                    }
-                    Column::Str(c)
-                },
-            ),
+            (Field::new("column", DType::Str, AttrRole::Text), {
+                let mut c = crate::column::StrColumn::new();
+                for v in &names {
+                    c.push(v.as_deref());
+                }
+                Column::Str(c)
+            }),
             (
                 Field::new("dtype", DType::Str, AttrRole::Categorical),
                 Column::from_strs(dtypes.into_iter()),
             ),
-            (Field::new("nulls", DType::Int, AttrRole::Numeric), Column::from_ints(nulls)),
+            (
+                Field::new("nulls", DType::Int, AttrRole::Numeric),
+                Column::from_ints(nulls),
+            ),
             (
                 Field::new("distinct", DType::Int, AttrRole::Numeric),
                 Column::from_ints(distinct),
@@ -211,9 +219,18 @@ impl DataFrame {
                 Field::new("entropy", DType::Float, AttrRole::Numeric),
                 Column::from_floats(entropies),
             ),
-            (Field::new("mean", DType::Float, AttrRole::Numeric), Column::from_floats(means)),
-            (Field::new("min", DType::Float, AttrRole::Numeric), Column::from_floats(mins)),
-            (Field::new("max", DType::Float, AttrRole::Numeric), Column::from_floats(maxs)),
+            (
+                Field::new("mean", DType::Float, AttrRole::Numeric),
+                Column::from_floats(means),
+            ),
+            (
+                Field::new("min", DType::Float, AttrRole::Numeric),
+                Column::from_floats(mins),
+            ),
+            (
+                Field::new("max", DType::Float, AttrRole::Numeric),
+                Column::from_floats(maxs),
+            ),
         ])
         .expect("describe schema is consistent")
     }
@@ -253,7 +270,13 @@ impl NumericSummary {
         let variance = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { mean, variance, min, max, n }
+        Self {
+            mean,
+            variance,
+            min,
+            max,
+            n,
+        }
     }
 }
 
@@ -287,7 +310,11 @@ mod tests {
     #[test]
     fn column_stats_counts() {
         let df = DataFrame::builder()
-            .str("s", AttrRole::Categorical, vec![Some("a"), Some("a"), Some("b"), None])
+            .str(
+                "s",
+                AttrRole::Categorical,
+                vec![Some("a"), Some("a"), Some("b"), None],
+            )
             .build()
             .unwrap();
         let st = df.column_stats("s").unwrap();
@@ -302,7 +329,12 @@ mod tests {
 
     #[test]
     fn normalized_entropy_of_constant_is_zero() {
-        let st = ColumnStats { entropy: 0.0, n_distinct: 1, n_nulls: 0, n_rows: 5 };
+        let st = ColumnStats {
+            entropy: 0.0,
+            n_distinct: 1,
+            n_nulls: 0,
+            n_rows: 5,
+        };
         assert_eq!(st.normalized_entropy(), 0.0);
     }
 
@@ -391,8 +423,7 @@ mod tests {
             .build()
             .unwrap();
         let d = df.value_distribution("x").unwrap();
-        let total: f64 =
-            [0, 1, 2].iter().map(|&i| d.prob(&ValueKey::Int(i))).sum();
+        let total: f64 = [0, 1, 2].iter().map(|&i| d.prob(&ValueKey::Int(i))).sum();
         assert!((total - 1.0).abs() < 1e-12);
         assert_eq!(d.support_size(), 3);
     }

@@ -353,11 +353,13 @@ mod tests {
 
     #[test]
     fn value_key_ordering() {
-        let mut keys = [ValueKey::Str("b".into()),
+        let mut keys = [
+            ValueKey::Str("b".into()),
             ValueKey::Int(2),
             ValueKey::Null,
             ValueKey::Int(1),
-            ValueKey::Str("a".into())];
+            ValueKey::Str("a".into()),
+        ];
         keys.sort();
         assert_eq!(keys[0], ValueKey::Null);
         assert_eq!(keys[1], ValueKey::Int(1));

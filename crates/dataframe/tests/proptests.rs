@@ -9,8 +9,11 @@ use std::collections::HashMap;
 
 fn int_frame(values: Vec<Option<i64>>, cats: Vec<u8>) -> DataFrame {
     let n = values.len().min(cats.len());
-    let cat_strs: Vec<Option<String>> =
-        cats.iter().take(n).map(|c| Some(format!("c{}", c % 5))).collect();
+    let cat_strs: Vec<Option<String>> = cats
+        .iter()
+        .take(n)
+        .map(|c| Some(format!("c{}", c % 5)))
+        .collect();
     DataFrame::builder()
         .int("x", AttrRole::Numeric, values.into_iter().take(n))
         .str_owned("cat", AttrRole::Categorical, cat_strs)

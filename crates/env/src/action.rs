@@ -178,7 +178,12 @@ impl ActionSpace {
     /// Build the action space from a dataset's schema.
     pub fn from_frame(df: &DataFrame, n_bins: usize) -> Self {
         Self {
-            attrs: df.schema().fields().iter().map(|f| f.name.clone()).collect(),
+            attrs: df
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
             n_bins,
         }
     }
@@ -256,7 +261,8 @@ impl ActionSpace {
                 .map(|(key, c)| (key.to_value(), c))
                 .collect();
             counts.sort_by(|a, b| {
-                b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+                b.1.cmp(&a.1)
+                    .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
             });
             counts.truncate(k);
             for (op_idx, op) in CmpOp::ALL.iter().enumerate() {
@@ -321,7 +327,11 @@ mod tests {
 
     fn df() -> DataFrame {
         DataFrame::builder()
-            .str("a", AttrRole::Categorical, vec![Some("x"), Some("x"), Some("y")])
+            .str(
+                "a",
+                AttrRole::Categorical,
+                vec![Some("x"), Some("x"), Some("y")],
+            )
             .int("b", AttrRole::Numeric, vec![Some(1), Some(2), Some(2)])
             .build()
             .unwrap()
@@ -366,8 +376,10 @@ mod tests {
             }
         }
         // Str column: 4 supported ops × 2 tokens; Int column: 6 ops × 2 tokens.
-        let n_filters =
-            all.iter().filter(|a| matches!(a, FlatTermAction::Filter { .. })).count();
+        let n_filters = all
+            .iter()
+            .filter(|a| matches!(a, FlatTermAction::Filter { .. }))
+            .count();
         assert_eq!(n_filters, 4 * 2 + 6 * 2);
     }
 

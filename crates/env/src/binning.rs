@@ -122,7 +122,9 @@ mod tests {
         assert!(bins.bin(3).contains(&Value::Str("a".into())));
         assert!(bins.bin(0).contains(&Value::Str("d".into())));
         // "b" strictly between.
-        let b_bin = (0..4).find(|&i| bins.bin(i).contains(&Value::Str("b".into()))).unwrap();
+        let b_bin = (0..4)
+            .find(|&i| bins.bin(i).contains(&Value::Str("b".into())))
+            .unwrap();
         assert!(b_bin > 0 && b_bin < 3, "b in bin {b_bin}");
     }
 

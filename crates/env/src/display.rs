@@ -54,10 +54,18 @@ impl DisplaySpec {
         preds.sort();
         let mut keys = self.group_keys.clone();
         keys.sort();
-        let mut aggs: Vec<String> =
-            self.aggregations.iter().map(|(f, a)| format!("{f}({a})")).collect();
+        let mut aggs: Vec<String> = self
+            .aggregations
+            .iter()
+            .map(|(f, a)| format!("{f}({a})"))
+            .collect();
         aggs.sort();
-        format!("σ[{}] γ[{}] α[{}]", preds.join(" ∧ "), keys.join(","), aggs.join(","))
+        format!(
+            "σ[{}] γ[{}] α[{}]",
+            preds.join(" ∧ "),
+            keys.join(","),
+            aggs.join(",")
+        )
     }
 }
 
@@ -110,8 +118,11 @@ impl Display {
     pub fn from_parts(base: &DataFrame, spec: DisplaySpec, frame: DataFrame) -> Result<Display> {
         let (result, grouping) = if spec.is_grouped() {
             let keys: Vec<&str> = spec.group_keys.iter().map(String::as_str).collect();
-            let aggs: Vec<(AggFunc, &str)> =
-                spec.aggregations.iter().map(|(f, a)| (*f, a.as_str())).collect();
+            let aggs: Vec<(AggFunc, &str)> = spec
+                .aggregations
+                .iter()
+                .map(|(f, a)| (*f, a.as_str()))
+                .collect();
             let table = frame.group_aggregate_multi(&keys, &aggs)?;
             let sizes: Vec<f64> = (0..table.n_rows())
                 .map(|r| {
@@ -123,7 +134,11 @@ impl Display {
                 })
                 .collect();
             let n = sizes.len();
-            let mean = if n == 0 { 0.0 } else { sizes.iter().sum::<f64>() / n as f64 };
+            let mean = if n == 0 {
+                0.0
+            } else {
+                sizes.iter().sum::<f64>() / n as f64
+            };
             let var = if n == 0 {
                 0.0
             } else {
@@ -142,7 +157,13 @@ impl Display {
             (frame.clone(), None)
         };
         let vector = DisplayVector::encode(base, &frame, &spec, grouping.as_ref());
-        Ok(Display { spec, frame, result, grouping, vector })
+        Ok(Display {
+            spec,
+            frame,
+            result,
+            grouping,
+            vector,
+        })
     }
 
     /// The root display of a session: the raw dataset, unfiltered and
@@ -214,7 +235,11 @@ impl DisplayVector {
                 v.push(((1.0 + g.n_groups as f64).ln() / (1.0 + base_rows).ln()).min(1.0));
                 v.push((g.size_mean / base_rows).min(1.0));
                 // Squash the variance via x/(1+x) of the coefficient of variation.
-                let cv2 = if g.size_mean > 0.0 { g.size_variance / (g.size_mean * g.size_mean) } else { 0.0 };
+                let cv2 = if g.size_mean > 0.0 {
+                    g.size_variance / (g.size_mean * g.size_mean)
+                } else {
+                    0.0
+                };
                 v.push(cv2 / (1.0 + cv2));
             }
             None => {
@@ -267,7 +292,14 @@ mod tests {
             .str(
                 "airline",
                 AttrRole::Categorical,
-                vec![Some("AA"), Some("DL"), Some("AA"), Some("UA"), Some("AA"), Some("DL")],
+                vec![
+                    Some("AA"),
+                    Some("DL"),
+                    Some("AA"),
+                    Some("UA"),
+                    Some("AA"),
+                    Some("DL"),
+                ],
             )
             .int(
                 "delay",
@@ -292,8 +324,8 @@ mod tests {
     #[test]
     fn filtered_display() {
         let b = base();
-        let spec = DisplaySpec::default()
-            .with_predicate(Predicate::new("airline", CmpOp::Eq, "AA"));
+        let spec =
+            DisplaySpec::default().with_predicate(Predicate::new("airline", CmpOp::Eq, "AA"));
         let d = Display::materialize(&b, spec).unwrap();
         assert_eq!(d.n_data_rows(), 3);
         assert_eq!(d.result.n_rows(), 3);
@@ -310,7 +342,10 @@ mod tests {
         assert_eq!(g.n_groups, 3);
         assert_eq!(g.n_group_attrs, 1);
         assert!((g.size_mean - 2.0).abs() < 1e-12);
-        assert_eq!(d.result.schema().names(), vec!["airline", "count", "AVG(delay)"]);
+        assert_eq!(
+            d.result.schema().names(),
+            vec!["airline", "count", "AVG(delay)"]
+        );
         // Grouped flag on airline = 1.0 (index 3), agg flag on delay = 0.2 (index 7).
         assert_eq!(d.vector.as_slice()[3], 1.0);
         assert_eq!(d.vector.as_slice()[7], 0.2);
@@ -330,7 +365,9 @@ mod tests {
     fn canonical_is_order_insensitive() {
         let p1 = Predicate::new("x", CmpOp::Eq, 1i64);
         let p2 = Predicate::new("y", CmpOp::Gt, 2i64);
-        let a = DisplaySpec::default().with_predicate(p1.clone()).with_predicate(p2.clone());
+        let a = DisplaySpec::default()
+            .with_predicate(p1.clone())
+            .with_predicate(p2.clone());
         let b = DisplaySpec::default().with_predicate(p2).with_predicate(p1);
         assert_eq!(a.canonical(), b.canonical());
     }
@@ -359,8 +396,8 @@ mod tests {
     #[test]
     fn empty_filter_result_is_valid_display() {
         let b = base();
-        let spec = DisplaySpec::default()
-            .with_predicate(Predicate::new("delay", CmpOp::Gt, 1000i64));
+        let spec =
+            DisplaySpec::default().with_predicate(Predicate::new("delay", CmpOp::Gt, 1000i64));
         let d = Display::materialize(&b, spec).unwrap();
         assert_eq!(d.n_data_rows(), 0);
         assert_eq!(*d.vector.as_slice().last().unwrap(), 0.0);

@@ -28,7 +28,12 @@ pub struct EnvConfig {
 
 impl Default for EnvConfig {
     fn default() -> Self {
-        Self { episode_len: 12, n_bins: 10, history_window: 3, seed: 0 }
+        Self {
+            episode_len: 12,
+            n_bins: 10,
+            history_window: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -96,6 +101,18 @@ pub struct RewardBreakdown {
     pub total: f64,
 }
 
+impl std::ops::AddAssign for RewardBreakdown {
+    /// Component-wise accumulation (used to aggregate a per-episode
+    /// decomposition from per-step breakdowns).
+    fn add_assign(&mut self, rhs: Self) {
+        self.interestingness += rhs.interestingness;
+        self.diversity += rhs.diversity;
+        self.coherency += rhs.coherency;
+        self.penalty += rhs.penalty;
+        self.total += rhs.total;
+    }
+}
+
 /// A reward model scores individual steps given their [`StepInfo`].
 pub trait RewardModel: Send + Sync {
     /// Score one step.
@@ -112,6 +129,30 @@ impl RewardModel for NullReward {
     }
 }
 
+/// Cached telemetry handles so the per-step hot path never touches the
+/// registry's lookup mutex (handles update lock-free).
+#[derive(Debug, Clone)]
+struct EnvTelemetry {
+    ops_filter: atena_telemetry::Counter,
+    ops_group: atena_telemetry::Counter,
+    ops_back: atena_telemetry::Counter,
+    ops_invalid: atena_telemetry::Counter,
+    step_secs: atena_telemetry::Histogram,
+}
+
+impl EnvTelemetry {
+    fn from_global() -> Self {
+        let reg = atena_telemetry::global();
+        Self {
+            ops_filter: reg.counter("env.op.filter"),
+            ops_group: reg.counter("env.op.group"),
+            ops_back: reg.counter("env.op.back"),
+            ops_invalid: reg.counter("env.op.invalid"),
+            step_secs: reg.histogram("env.step_secs"),
+        }
+    }
+}
+
 /// The episodic EDA environment.
 #[derive(Debug)]
 pub struct EdaEnv {
@@ -121,6 +162,7 @@ pub struct EdaEnv {
     session: SessionTree,
     step: usize,
     rng: StdRng,
+    telemetry: EnvTelemetry,
 }
 
 impl EdaEnv {
@@ -129,7 +171,15 @@ impl EdaEnv {
         let space = ActionSpace::from_frame(&base, config.n_bins);
         let root = Display::root(&base);
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { base: Arc::new(base), space, config, session: SessionTree::new(root), step: 0, rng }
+        Self {
+            base: Arc::new(base),
+            space,
+            config,
+            session: SessionTree::new(root),
+            step: 0,
+            rng,
+            telemetry: EnvTelemetry::from_global(),
+        }
     }
 
     /// The action space.
@@ -193,10 +243,18 @@ impl EdaEnv {
                 let key_name = self.space.attr_name(key).unwrap_or("<invalid>").to_string();
                 let agg_name = self.space.attr_name(agg).unwrap_or("<invalid>").to_string();
                 let func = AggFunc::ALL[func.min(AggFunc::ALL.len() - 1)];
-                ResolvedOp::Group { key: key_name, func, agg: agg_name }
+                ResolvedOp::Group {
+                    key: key_name,
+                    func,
+                    agg: agg_name,
+                }
             }
             EdaAction::Filter { attr, op, bin } => {
-                let attr_name = self.space.attr_name(attr).unwrap_or("<invalid>").to_string();
+                let attr_name = self
+                    .space
+                    .attr_name(attr)
+                    .unwrap_or("<invalid>")
+                    .to_string();
                 let op = CmpOp::ALL[op.min(CmpOp::ALL.len() - 1)];
                 let term = self
                     .session
@@ -207,7 +265,11 @@ impl EdaEnv {
                     .map(|col| FrequencyBins::build(col, self.config.n_bins))
                     .and_then(|bins| bins.sample(bin, &mut self.rng));
                 match term {
-                    Some(term) => ResolvedOp::Filter(Predicate { attr: attr_name, op, term }),
+                    Some(term) => ResolvedOp::Filter(Predicate {
+                        attr: attr_name,
+                        op,
+                        term,
+                    }),
                     // No tokens available (empty/all-null column): keep a
                     // syntactically complete op so the notebook and the
                     // penalty path have something to show.
@@ -226,8 +288,16 @@ impl EdaEnv {
         match action {
             FlatTermAction::Back => ResolvedOp::Back,
             FlatTermAction::Group { key, func, agg } => {
-                let key_name = self.space.attr_name(*key).unwrap_or("<invalid>").to_string();
-                let agg_name = self.space.attr_name(*agg).unwrap_or("<invalid>").to_string();
+                let key_name = self
+                    .space
+                    .attr_name(*key)
+                    .unwrap_or("<invalid>")
+                    .to_string();
+                let agg_name = self
+                    .space
+                    .attr_name(*agg)
+                    .unwrap_or("<invalid>")
+                    .to_string();
                 ResolvedOp::Group {
                     key: key_name,
                     func: AggFunc::ALL[(*func).min(AggFunc::ALL.len() - 1)],
@@ -235,7 +305,11 @@ impl EdaEnv {
                 }
             }
             FlatTermAction::Filter { attr, op, term } => {
-                let attr_name = self.space.attr_name(*attr).unwrap_or("<invalid>").to_string();
+                let attr_name = self
+                    .space
+                    .attr_name(*attr)
+                    .unwrap_or("<invalid>")
+                    .to_string();
                 ResolvedOp::Filter(Predicate {
                     attr: attr_name,
                     op: CmpOp::ALL[(*op).min(CmpOp::ALL.len() - 1)],
@@ -331,7 +405,20 @@ impl EdaEnv {
 
     /// Commit a previewed step, advancing the episode.
     pub fn commit(&mut self, preview: PreviewedStep) -> Transition {
-        let PreviewedStep { op, outcome, display, back_target } = preview;
+        let PreviewedStep {
+            op,
+            outcome,
+            display,
+            back_target,
+        } = preview;
+        match &op {
+            ResolvedOp::Filter(_) => self.telemetry.ops_filter.inc(),
+            ResolvedOp::Group { .. } => self.telemetry.ops_group.inc(),
+            ResolvedOp::Back => self.telemetry.ops_back.inc(),
+        }
+        if matches!(outcome, OpOutcome::Invalid(_)) {
+            self.telemetry.ops_invalid.inc();
+        }
         match &outcome {
             OpOutcome::Applied => match back_target {
                 Some(_) => {
@@ -360,16 +447,29 @@ impl EdaEnv {
 
     /// Resolve, preview, and commit in one call (the plain RL interface).
     pub fn step(&mut self, action: &EdaAction) -> Transition {
+        let start = std::time::Instant::now();
         let op = self.resolve(action);
         let preview = self.preview(&op);
-        self.commit(preview)
+        let t = self.commit(preview);
+        self.telemetry.step_secs.record_duration(start.elapsed());
+        t
     }
 
     /// Step with an explicit-term flat action (OTS-DRL baseline).
     pub fn step_flat_term(&mut self, action: &FlatTermAction) -> Transition {
+        let start = std::time::Instant::now();
         let op = self.resolve_flat_term(action);
         let preview = self.preview(&op);
-        self.commit(preview)
+        let t = self.commit(preview);
+        self.telemetry.step_secs.record_duration(start.elapsed());
+        t
+    }
+
+    /// The step-latency histogram (resolve + preview + commit), shared with
+    /// callers that drive the three phases separately and still want their
+    /// steps timed into the same metric.
+    pub fn step_latency_histogram(&self) -> &atena_telemetry::Histogram {
+        &self.telemetry.step_secs
     }
 
     /// The observation: the current display vector concatenated with the
@@ -382,7 +482,14 @@ impl EdaEnv {
         for k in 0..self.config.history_window {
             if history.len() > k {
                 let id = history[history.len() - 1 - k];
-                obs.extend(self.session.display(id).vector.as_slice().iter().map(|&v| v as f32));
+                obs.extend(
+                    self.session
+                        .display(id)
+                        .vector
+                        .as_slice()
+                        .iter()
+                        .map(|&v| v as f32),
+                );
             } else {
                 obs.extend(std::iter::repeat_n(0.0f32, dim));
             }
@@ -401,7 +508,14 @@ mod tests {
             .str(
                 "airline",
                 AttrRole::Categorical,
-                vec![Some("AA"), Some("DL"), Some("AA"), Some("UA"), Some("AA"), Some("DL")],
+                vec![
+                    Some("AA"),
+                    Some("DL"),
+                    Some("AA"),
+                    Some("UA"),
+                    Some("AA"),
+                    Some("DL"),
+                ],
             )
             .int(
                 "delay",
@@ -413,7 +527,15 @@ mod tests {
     }
 
     fn env() -> EdaEnv {
-        EdaEnv::new(base(), EnvConfig { episode_len: 5, n_bins: 4, history_window: 3, seed: 7 })
+        EdaEnv::new(
+            base(),
+            EnvConfig {
+                episode_len: 5,
+                n_bins: 4,
+                history_window: 3,
+                seed: 7,
+            },
+        )
     }
 
     #[test]
@@ -433,7 +555,11 @@ mod tests {
         let mut e = env();
         e.reset();
         // attr 1 = delay, op 0 = Eq, some bin.
-        let t = e.step(&EdaAction::Filter { attr: 1, op: 0, bin: 0 });
+        let t = e.step(&EdaAction::Filter {
+            attr: 1,
+            op: 0,
+            bin: 0,
+        });
         assert!(t.outcome.is_applied(), "outcome: {:?}", t.outcome);
         assert_eq!(t.step, 0);
         assert!(!t.done);
@@ -446,7 +572,11 @@ mod tests {
         let mut e = env();
         e.reset();
         // key 0 = airline, func 2 = Avg, agg 1 = delay.
-        let t = e.step(&EdaAction::Group { key: 0, func: 2, agg: 1 });
+        let t = e.step(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        });
         assert!(t.outcome.is_applied());
         let d = e.session().current();
         assert!(d.grouping.is_some());
@@ -458,7 +588,11 @@ mod tests {
         let mut e = env();
         e.reset();
         // SUM over the string column "airline" (func 1 = Sum, agg 0 = airline).
-        let t = e.step(&EdaAction::Group { key: 0, func: 1, agg: 0 });
+        let t = e.step(&EdaAction::Group {
+            key: 0,
+            func: 1,
+            agg: 0,
+        });
         assert!(matches!(t.outcome, OpOutcome::Invalid(_)));
         assert_eq!(e.session().n_displays(), 1);
         assert_eq!(e.step_count(), 1);
@@ -469,7 +603,11 @@ mod tests {
         let mut e = env();
         e.reset();
         // Gt (op index 2) on the string column "airline".
-        let t = e.step(&EdaAction::Filter { attr: 0, op: 2, bin: 0 });
+        let t = e.step(&EdaAction::Filter {
+            attr: 0,
+            op: 2,
+            bin: 0,
+        });
         assert!(matches!(t.outcome, OpOutcome::Invalid(_)));
     }
 
@@ -479,7 +617,11 @@ mod tests {
         e.reset();
         let t = e.step(&EdaAction::Back);
         assert_eq!(t.outcome, OpOutcome::BackAtRoot);
-        e.step(&EdaAction::Group { key: 0, func: 0, agg: 1 });
+        e.step(&EdaAction::Group {
+            key: 0,
+            func: 0,
+            agg: 1,
+        });
         let t = e.step(&EdaAction::Back);
         assert!(t.outcome.is_applied());
         assert_eq!(e.session().current_id(), 0);
@@ -503,7 +645,11 @@ mod tests {
     fn preview_does_not_mutate() {
         let mut e = env();
         e.reset();
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 2, agg: 1 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        });
         let p = e.preview(&op);
         assert!(p.outcome.is_applied());
         assert_eq!(e.session().n_displays(), 1);
@@ -520,7 +666,11 @@ mod tests {
         let run = || {
             let mut e = env();
             e.reset();
-            let t = e.step(&EdaAction::Filter { attr: 0, op: 0, bin: 3 });
+            let t = e.step(&EdaAction::Filter {
+                attr: 0,
+                op: 0,
+                bin: 3,
+            });
             t.op
         };
         assert_eq!(run(), run());
@@ -530,7 +680,11 @@ mod tests {
     fn observation_window_tracks_history() {
         let mut e = env();
         e.reset();
-        e.step(&EdaAction::Group { key: 0, func: 2, agg: 1 });
+        e.step(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        });
         let obs = e.observation();
         let dim = DisplayVector::dim_for(2);
         // Slot 0 is the grouped display; slot 1 is the root; slot 2 zeros.
@@ -544,9 +698,21 @@ mod tests {
         let mut e = env();
         e.reset();
         // Drill two levels deep, then group.
-        e.step(&EdaAction::Group { key: 0, func: 2, agg: 1 });
-        e.step(&EdaAction::Filter { attr: 1, op: 4, bin: 1 }); // delay >= term
-        e.step(&EdaAction::Group { key: 0, func: 0, agg: 1 });
+        e.step(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        });
+        e.step(&EdaAction::Filter {
+            attr: 1,
+            op: 4,
+            bin: 1,
+        }); // delay >= term
+        e.step(&EdaAction::Group {
+            key: 0,
+            func: 0,
+            agg: 1,
+        });
         let incremental = e.session().current();
         let full = crate::display::Display::materialize(e.base(), incremental.spec.clone())
             .expect("full path materializes");

@@ -21,9 +21,7 @@ mod display;
 mod env;
 mod session;
 
-pub use action::{
-    ActionSpace, EdaAction, FlatTermAction, HeadSizes, OpType, ResolvedOp,
-};
+pub use action::{ActionSpace, EdaAction, FlatTermAction, HeadSizes, OpType, ResolvedOp};
 pub use binning::FrequencyBins;
 pub use display::{Display, DisplaySpec, DisplayVector, GroupingInfo};
 pub use env::{

@@ -110,7 +110,12 @@ impl SessionTree {
         let id = self.displays.len() - 1;
         self.current = id;
         self.history.push(id);
-        self.ops.push(AppliedOp { op, outcome: OpOutcome::Applied, from, to: id });
+        self.ops.push(AppliedOp {
+            op,
+            outcome: OpOutcome::Applied,
+            from,
+            to: id,
+        });
         id
     }
 
@@ -146,7 +151,12 @@ impl SessionTree {
     pub fn record_invalid(&mut self, op: ResolvedOp, reason: String) {
         let at = self.current;
         self.history.push(at);
-        self.ops.push(AppliedOp { op, outcome: OpOutcome::Invalid(reason), from: at, to: at });
+        self.ops.push(AppliedOp {
+            op,
+            outcome: OpOutcome::Invalid(reason),
+            from: at,
+            to: at,
+        });
     }
 }
 
@@ -172,7 +182,13 @@ mod tests {
         let mut s = SessionTree::new(root_display());
         assert_eq!(s.current_id(), 0);
         let base = s.current().frame.clone();
-        let d = Display::materialize(&base, s.current().spec.with_predicate(Predicate::new("x", CmpOp::Gt, 1i64))).unwrap();
+        let d = Display::materialize(
+            &base,
+            s.current()
+                .spec
+                .with_predicate(Predicate::new("x", CmpOp::Gt, 1i64)),
+        )
+        .unwrap();
         let id = s.push_display(filter_op(), d);
         assert_eq!(id, 1);
         assert_eq!(s.current_id(), 1);
@@ -206,10 +222,22 @@ mod tests {
     fn branching_after_back() {
         let mut s = SessionTree::new(root_display());
         let base = s.current().frame.clone();
-        let d1 = Display::materialize(&base, s.current().spec.with_predicate(Predicate::new("x", CmpOp::Gt, 1i64))).unwrap();
+        let d1 = Display::materialize(
+            &base,
+            s.current()
+                .spec
+                .with_predicate(Predicate::new("x", CmpOp::Gt, 1i64)),
+        )
+        .unwrap();
         s.push_display(filter_op(), d1);
         s.go_back();
-        let d2 = Display::materialize(&base, s.current().spec.with_predicate(Predicate::new("x", CmpOp::Lt, 3i64))).unwrap();
+        let d2 = Display::materialize(
+            &base,
+            s.current()
+                .spec
+                .with_predicate(Predicate::new("x", CmpOp::Lt, 3i64)),
+        )
+        .unwrap();
         let id2 = s.push_display(ResolvedOp::Filter(Predicate::new("x", CmpOp::Lt, 3i64)), d2);
         // Both children hang off the root.
         assert_eq!(s.parent_of(1), Some(0));

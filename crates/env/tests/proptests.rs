@@ -11,10 +11,24 @@ fn base(n: usize) -> DataFrame {
         .str(
             "cat",
             AttrRole::Categorical,
-            (0..n).map(|i| if i % 11 == 0 { None } else { Some(["a", "b", "c", "d"][i % 4]) }),
+            (0..n).map(|i| {
+                if i % 11 == 0 {
+                    None
+                } else {
+                    Some(["a", "b", "c", "d"][i % 4])
+                }
+            }),
         )
-        .int("num", AttrRole::Numeric, (0..n).map(|i| Some((i as i64 * 7) % 23)))
-        .bool("flag", AttrRole::Categorical, (0..n).map(|i| Some(i % 3 == 0)))
+        .int(
+            "num",
+            AttrRole::Numeric,
+            (0..n).map(|i| Some((i as i64 * 7) % 23)),
+        )
+        .bool(
+            "flag",
+            AttrRole::Categorical,
+            (0..n).map(|i| Some(i % 3 == 0)),
+        )
         .build()
         .unwrap()
 }
@@ -22,10 +36,16 @@ fn base(n: usize) -> DataFrame {
 /// Strategy generating arbitrary (possibly invalid) actions.
 fn action_strategy() -> impl Strategy<Value = EdaAction> {
     prop_oneof![
-        (0usize..4, 0usize..10, 0usize..8)
-            .prop_map(|(attr, op, bin)| EdaAction::Filter { attr, op: op % 8, bin }),
-        (0usize..4, 0usize..6, 0usize..4)
-            .prop_map(|(key, func, agg)| EdaAction::Group { key, func: func % 5, agg }),
+        (0usize..4, 0usize..10, 0usize..8).prop_map(|(attr, op, bin)| EdaAction::Filter {
+            attr,
+            op: op % 8,
+            bin
+        }),
+        (0usize..4, 0usize..6, 0usize..4).prop_map(|(key, func, agg)| EdaAction::Group {
+            key,
+            func: func % 5,
+            agg
+        }),
         Just(EdaAction::Back),
     ]
 }

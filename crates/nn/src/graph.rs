@@ -76,7 +76,13 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> NodeId {
-        self.nodes.push(Node { value, grad: None, op, param: None, needs_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            param: None,
+            needs_grad,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -106,7 +112,9 @@ impl Graph {
     /// Gradient of a node (zeros if backward has not reached it).
     pub fn grad(&self, id: NodeId) -> Tensor {
         let n = &self.nodes[id.0];
-        n.grad.clone().unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
     }
 
     /// `A · B`.
@@ -118,7 +126,9 @@ impl Graph {
 
     /// Elementwise `A + B`.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Add(a, b), ng)
     }
@@ -141,14 +151,18 @@ impl Graph {
 
     /// Elementwise `A - B`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Sub(a, b), ng)
     }
 
     /// Elementwise `A * B`.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Mul(a, b), ng)
     }
@@ -259,14 +273,20 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not 1×1.
     pub fn backward(&mut self, loss: NodeId) {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
         self.nodes[loss.0].grad = Some(Tensor::full(1, 1, 1.0));
 
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
             }
-            let Some(grad_out) = self.nodes[i].grad.take() else { continue };
+            let Some(grad_out) = self.nodes[i].grad.take() else {
+                continue;
+            };
             let op = self.nodes[i].op.clone();
             let value = std::mem::replace(&mut self.nodes[i].value, Tensor::zeros(0, 0));
             self.propagate(&op, &value, &grad_out);
@@ -390,8 +410,10 @@ impl Graph {
                 let (av, bv) = (self.nodes[a.0].value.clone(), self.nodes[b.0].value.clone());
                 if self.needs(*a) {
                     let mut delta = grad_out.clone();
-                    for (d, (x, y)) in
-                        delta.data_mut().iter_mut().zip(av.data().iter().zip(bv.data()))
+                    for (d, (x, y)) in delta
+                        .data_mut()
+                        .iter_mut()
+                        .zip(av.data().iter().zip(bv.data()))
                     {
                         if x > y {
                             *d = 0.0;
@@ -401,8 +423,10 @@ impl Graph {
                 }
                 if self.needs(*b) {
                     let mut delta = grad_out.clone();
-                    for (d, (x, y)) in
-                        delta.data_mut().iter_mut().zip(av.data().iter().zip(bv.data()))
+                    for (d, (x, y)) in delta
+                        .data_mut()
+                        .iter_mut()
+                        .zip(av.data().iter().zip(bv.data()))
                     {
                         if x <= y {
                             *d = 0.0;
@@ -429,11 +453,7 @@ mod tests {
     use rand::SeedableRng;
 
     /// Numerically check d(loss)/d(param) for a builder function.
-    fn grad_check(
-        build: impl Fn(&mut Graph, NodeId) -> NodeId,
-        input: Tensor,
-        tol: f32,
-    ) {
+    fn grad_check(build: impl Fn(&mut Graph, NodeId) -> NodeId, input: Tensor, tol: f32) {
         let param = Param::new("x", input.clone());
         // Analytic gradient.
         let mut g = Graph::new();

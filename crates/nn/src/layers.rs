@@ -39,7 +39,10 @@ impl Linear {
             Init::Xavier => (2.0 / (in_dim + out_dim) as f32).sqrt(),
         };
         Self {
-            weight: Param::new(format!("{name}.weight"), Tensor::randn(in_dim, out_dim, std, rng)),
+            weight: Param::new(
+                format!("{name}.weight"),
+                Tensor::randn(in_dim, out_dim, std, rng),
+            ),
             bias: Param::new(format!("{name}.bias"), Tensor::zeros(1, out_dim)),
             in_dim,
             out_dim,
@@ -131,7 +134,9 @@ impl Mlp {
 
     /// Deep copy with independent parameter storage.
     pub fn deep_clone(&self) -> Mlp {
-        Mlp { layers: self.layers.iter().map(Linear::deep_clone).collect() }
+        Mlp {
+            layers: self.layers.iter().map(Linear::deep_clone).collect(),
+        }
     }
 }
 
@@ -223,7 +228,10 @@ mod tests {
             }
         }
         let fin = loss_value(&set);
-        assert!(fin < initial * 0.1, "loss did not decrease: {initial} -> {fin}");
+        assert!(
+            fin < initial * 0.1,
+            "loss did not decrease: {initial} -> {fin}"
+        );
         assert!(fin < 0.01, "final loss too high: {fin}");
     }
 }

@@ -22,7 +22,11 @@ impl Sgd {
                 Tensor::zeros(r, c)
             })
             .collect();
-        Self { lr, momentum, velocity }
+        Self {
+            lr,
+            momentum,
+            velocity,
+        }
     }
 
     /// Current learning rate.
@@ -41,7 +45,12 @@ impl Sgd {
             let lr = self.lr;
             let momentum = self.momentum;
             p.update(|value, grad| {
-                for ((v, g), x) in v.data_mut().iter_mut().zip(grad.data()).zip(value.data_mut()) {
+                for ((v, g), x) in v
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(value.data_mut())
+                {
                     *v = momentum * *v + g;
                     *x -= lr * *v;
                 }
@@ -101,7 +110,12 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
-        for ((p, m), v) in params.params().iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .params()
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             p.update(|value, grad| {
                 for (((x, g), m), v) in value
                     .data_mut()
@@ -176,11 +190,7 @@ mod tests {
         assert!((w - 3.0).abs() < 1e-2, "adam converged to {w}");
     }
 
-    fn quadratic_descent_with(
-        p: &Param,
-        set: &ParamSet,
-        mut step: impl FnMut(&ParamSet),
-    ) -> f32 {
+    fn quadratic_descent_with(p: &Param, set: &ParamSet, mut step: impl FnMut(&ParamSet)) -> f32 {
         for _ in 0..300 {
             set.zero_grads();
             let mut g = Graph::new();

@@ -29,7 +29,10 @@ impl Param {
     /// Create a parameter from an initial value.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.rows(), value.cols());
-        Self { inner: Arc::new(RwLock::new(ParamData { value, grad })), name: name.into() }
+        Self {
+            inner: Arc::new(RwLock::new(ParamData { value, grad })),
+            name: name.into(),
+        }
     }
 
     /// Parameter name (for diagnostics and serialization).
@@ -134,7 +137,11 @@ impl ParamSet {
 
     /// Global L2 norm of all gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.params.iter().map(|p| p.grad().sum_squares()).sum::<f32>().sqrt()
+        self.params
+            .iter()
+            .map(|p| p.grad().sum_squares())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scale gradients so their global norm does not exceed `max_norm`.
@@ -155,7 +162,10 @@ impl ParamSet {
 
     /// Serialize all parameter values as `(name, tensor)` pairs.
     pub fn state(&self) -> Vec<(String, Tensor)> {
-        self.params.iter().map(|p| (p.name().to_string(), p.value())).collect()
+        self.params
+            .iter()
+            .map(|p| (p.name().to_string(), p.value()))
+            .collect()
     }
 
     /// Load values by name. Unknown names are ignored; missing names are an

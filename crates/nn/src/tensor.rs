@@ -19,12 +19,20 @@ pub struct Tensor {
 impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from a row-major data vector.
@@ -39,13 +47,21 @@ impl Tensor {
     /// A 1×n row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { data, rows: 1, cols }
+        Self {
+            data,
+            rows: 1,
+            cols,
+        }
     }
 
     /// An n×1 column vector.
     pub fn col_vector(data: Vec<f32>) -> Self {
         let rows = data.len();
-        Self { data, rows, cols: 1 }
+        Self {
+            data,
+            rows,
+            cols: 1,
+        }
     }
 
     /// Gaussian-initialized tensor with the given standard deviation.
@@ -167,7 +183,11 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), rows: self.rows, cols: self.cols }
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 
     /// Elementwise binary combination into a new tensor.
@@ -177,7 +197,12 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
         Tensor {
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             rows: self.rows,
             cols: self.cols,
         }

@@ -32,7 +32,11 @@ pub struct CoherencyConfig {
 impl CoherencyConfig {
     /// Defaults matching the paper's examples (4 group attributes max).
     pub fn with_focal_attrs(focal_attrs: Vec<String>) -> Self {
-        Self { focal_attrs, max_group_cardinality: 50, max_group_attrs: 4 }
+        Self {
+            focal_attrs,
+            max_group_cardinality: 50,
+            max_group_attrs: 4,
+        }
     }
 }
 
@@ -74,27 +78,30 @@ rule!(InvalidOpRule, "invalid-op", info, {
 
 rule!(TooManyGroupAttrsRule, "group-on-many-attrs", info, {
     // Paper: "a group-by employed on more than four attributes is incoherent".
-    if info.op.op_type() == OpType::Group
-        && info.new_display.spec.group_keys.len() > 4
-    {
+    if info.op.op_type() == OpType::Group && info.new_display.spec.group_keys.len() > 4 {
         Vote::Incoherent
     } else {
         Vote::Abstain
     }
 });
 
-rule!(GroupOnContinuousRule, "group-on-continuous-numeric", info, {
-    // Paper: "a group-by on a continuous, numerical attribute is incoherent".
-    // The rule only flags the violation; voting Coherent for every
-    // categorical grouping would saturate the posterior and drown the
-    // rarer churn signals.
-    if let ResolvedOp::Group { key, .. } = info.op {
-        if role_of(info, key) == Some(AttrRole::Numeric) {
-            return Vote::Incoherent;
+rule!(
+    GroupOnContinuousRule,
+    "group-on-continuous-numeric",
+    info,
+    {
+        // Paper: "a group-by on a continuous, numerical attribute is incoherent".
+        // The rule only flags the violation; voting Coherent for every
+        // categorical grouping would saturate the posterior and drown the
+        // rarer churn signals.
+        if let ResolvedOp::Group { key, .. } = info.op {
+            if role_of(info, key) == Some(AttrRole::Numeric) {
+                return Vote::Incoherent;
+            }
         }
+        Vote::Abstain
     }
-    Vote::Abstain
-});
+);
 
 rule!(RepeatedOpRule, "repeated-op", info, {
     let recent = info.past_ops.iter().rev().take(3);
@@ -184,7 +191,9 @@ rule!(DrillIntoExtremeRule, "drill-into-extreme-group", info, {
     // its dominant or extreme-aggregate group is the most coherent move in
     // an EDA notebook; filtering it to a value that is not even among the
     // groups reads as a non sequitur.
-    let ResolvedOp::Filter(p) = info.op else { return Vote::Abstain };
+    let ResolvedOp::Filter(p) = info.op else {
+        return Vote::Abstain;
+    };
     if p.op != atena_dataframe::CmpOp::Eq {
         return Vote::Abstain;
     }
@@ -193,7 +202,9 @@ rule!(DrillIntoExtremeRule, "drill-into-extreme-group", info, {
         return Vote::Abstain;
     }
     let result = &prev.result;
-    let Ok(key_col) = result.column(&p.attr) else { return Vote::Abstain };
+    let Ok(key_col) = result.column(&p.attr) else {
+        return Vote::Abstain;
+    };
     let term_key = p.term.as_ref().key();
     let mut found = false;
     let mut is_top_count = false;
@@ -219,7 +230,9 @@ rule!(DrillIntoExtremeRule, "drill-into-extreme-group", info, {
         if field.name == "count" || !field.name.contains('(') {
             continue;
         }
-        let Ok(agg_col) = result.column(&field.name) else { continue };
+        let Ok(agg_col) = result.column(&field.name) else {
+            continue;
+        };
         let mut best: Option<(f64, usize)> = None;
         for r in 0..result.n_rows() {
             if let Some(v) = agg_col.get(r).as_f64() {
@@ -266,7 +279,13 @@ rule!(RefilterSameAttrRule, "refilter-same-attr", info, {
     // time > 50 ...) narrows the same sliver over and over — churn, not
     // exploration.
     if let ResolvedOp::Filter(p) = info.op {
-        if info.prev_display.spec.predicates.iter().any(|q| q.attr == p.attr) {
+        if info
+            .prev_display
+            .spec
+            .predicates
+            .iter()
+            .any(|q| q.attr == p.attr)
+        {
             return Vote::Incoherent;
         }
     }
@@ -368,7 +387,10 @@ impl CoherencyRule for FocalAttrRule {
         if self.focal.is_empty() || !info.outcome.is_applied() {
             return Vote::Abstain;
         }
-        if op_attrs(info.op).iter().any(|a| self.focal.iter().any(|f| f == a)) {
+        if op_attrs(info.op)
+            .iter()
+            .any(|a| self.focal.iter().any(|f| f == a))
+        {
             Vote::Coherent
         } else {
             Vote::Abstain
@@ -397,9 +419,7 @@ impl CoherencyRule for HighCardinalityKeyRule {
             // barely more rows than groups. A 254-group breakdown of a
             // 5000-row scan is exactly what an analyst wants to see.
             let rows = info.new_display.n_data_rows();
-            if info.op.op_type() == OpType::Group
-                && g.n_groups > self.max
-                && g.n_groups * 2 >= rows
+            if info.op.op_type() == OpType::Group && g.n_groups > self.max && g.n_groups * 2 >= rows
             {
                 return Vote::Incoherent;
             }
@@ -437,7 +457,9 @@ impl CoherencyClassifier {
             Box::new(GroupAfterFilterRule),
             Box::new(AggregateIdentifierRule),
             Box::new(FocalAttrRule::new(config.focal_attrs.clone())),
-            Box::new(HighCardinalityKeyRule::new(config.max_group_cardinality.max(1))),
+            Box::new(HighCardinalityKeyRule::new(
+                config.max_group_cardinality.max(1),
+            )),
         ];
         let model = LabelModel::untrained(rules.len());
         Self { rules, model }
@@ -490,14 +512,30 @@ mod tests {
                 AttrRole::Categorical,
                 (0..60).map(|i| Some(["AA", "DL", "UA"][i % 3])),
             )
-            .float("delay", AttrRole::Numeric, (0..60).map(|i| Some(i as f64 * 1.37)))
-            .int("flight_no", AttrRole::Identifier, (0..60).map(|i| Some(1000 + i as i64)))
+            .float(
+                "delay",
+                AttrRole::Numeric,
+                (0..60).map(|i| Some(i as f64 * 1.37)),
+            )
+            .int(
+                "flight_no",
+                AttrRole::Identifier,
+                (0..60).map(|i| Some(1000 + i as i64)),
+            )
             .build()
             .unwrap()
     }
 
     fn env() -> EdaEnv {
-        EdaEnv::new(base(), EnvConfig { episode_len: 12, n_bins: 5, history_window: 3, seed: 3 })
+        EdaEnv::new(
+            base(),
+            EnvConfig {
+                episode_len: 12,
+                n_bins: 5,
+                history_window: 3,
+                seed: 3,
+            },
+        )
     }
 
     fn classifier() -> CoherencyClassifier {
@@ -523,7 +561,11 @@ mod tests {
         e.reset();
         let c = classifier();
         // Group by airline (categorical), AVG delay (focal!).
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 2, agg: 1 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         let score = c.score(&info);
@@ -536,7 +578,11 @@ mod tests {
         e.reset();
         let c = classifier();
         // Group by delay (continuous float).
-        let op = e.resolve(&EdaAction::Group { key: 1, func: 0, agg: 0 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 1,
+            func: 0,
+            agg: 0,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         let score = c.score(&info);
@@ -549,11 +595,19 @@ mod tests {
         e.reset();
         let c = classifier();
         // AVG(flight_no) grouped by airline.
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 2, agg: 2 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 2,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         let votes = c.votes(&info);
-        let idx = c.rule_names().iter().position(|&n| n == "aggregate-identifier").unwrap();
+        let idx = c
+            .rule_names()
+            .iter()
+            .position(|&n| n == "aggregate-identifier")
+            .unwrap();
         assert_eq!(votes[idx], Vote::Incoherent);
     }
 
@@ -562,14 +616,22 @@ mod tests {
         let mut e = env();
         e.reset();
         let c = classifier();
-        let action = EdaAction::Group { key: 0, func: 2, agg: 1 };
+        let action = EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        };
         e.step(&action);
         // Applying the identical grouping again (spec dedups, so the display
         // is unchanged but the op repeats).
         let op = e.resolve(&action);
         let p = e.preview(&op);
         let info = e.step_info(&p);
-        let idx = c.rule_names().iter().position(|&n| n == "repeated-op").unwrap();
+        let idx = c
+            .rule_names()
+            .iter()
+            .position(|&n| n == "repeated-op")
+            .unwrap();
         assert_eq!(c.votes(&info)[idx], Vote::Incoherent);
     }
 
@@ -580,10 +642,22 @@ mod tests {
         let mut c = classifier();
         let mut rows = Vec::new();
         let mut rng_actions = vec![
-            EdaAction::Group { key: 0, func: 2, agg: 1 },
+            EdaAction::Group {
+                key: 0,
+                func: 2,
+                agg: 1,
+            },
             EdaAction::Back,
-            EdaAction::Filter { attr: 0, op: 0, bin: 4 },
-            EdaAction::Group { key: 1, func: 0, agg: 0 },
+            EdaAction::Filter {
+                attr: 0,
+                op: 0,
+                bin: 4,
+            },
+            EdaAction::Group {
+                key: 1,
+                func: 0,
+                agg: 0,
+            },
             EdaAction::Back,
             EdaAction::Back,
         ];
@@ -611,20 +685,33 @@ mod tests {
         // Group by airline with AVG(delay): the last airline index has the
         // largest delays in our ramp (delay grows with row index), so the
         // extreme group is deterministic. First apply the grouping.
-        e.step(&EdaAction::Group { key: 0, func: 2, agg: 1 });
+        e.step(&EdaAction::Group {
+            key: 0,
+            func: 2,
+            agg: 1,
+        });
         let grouped = e.session().current();
         // Find the extreme airline from the actual result.
         let result = &grouped.result;
         let mut best: Option<(f64, String)> = None;
         for r in 0..result.n_rows() {
             let v = result.value(r, "AVG(delay)").unwrap().as_f64().unwrap();
-            let k = result.value(r, "airline").unwrap().as_str().unwrap().to_string();
+            let k = result
+                .value(r, "airline")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
             if best.as_ref().is_none_or(|(b, _)| v > *b) {
                 best = Some((v, k));
             }
         }
         let extreme = best.unwrap().1;
-        let idx = c.rule_names().iter().position(|&n| n == "drill-into-extreme-group").unwrap();
+        let idx = c
+            .rule_names()
+            .iter()
+            .position(|&n| n == "drill-into-extreme-group")
+            .unwrap();
 
         // Filtering into the extreme group: coherent.
         let op = atena_env::ResolvedOp::Filter(atena_dataframe::Predicate::new(
@@ -653,10 +740,18 @@ mod tests {
         e.reset();
         let c = classifier();
         // Group by flight_no (Identifier).
-        let op = e.resolve(&EdaAction::Group { key: 2, func: 0, agg: 1 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 2,
+            func: 0,
+            agg: 1,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
-        let idx = c.rule_names().iter().position(|&n| n == "group-on-identifier").unwrap();
+        let idx = c
+            .rule_names()
+            .iter()
+            .position(|&n| n == "group-on-identifier")
+            .unwrap();
         assert_eq!(c.votes(&info)[idx], Vote::Incoherent);
     }
 
@@ -665,28 +760,60 @@ mod tests {
         use atena_dataframe::DataFrame;
         // 400 rows, 200 distinct keys -> shattered (2 rows per group).
         let shattered = DataFrame::builder()
-            .int("k", AttrRole::Categorical, (0..400).map(|i| Some((i / 2) as i64)))
+            .int(
+                "k",
+                AttrRole::Categorical,
+                (0..400).map(|i| Some((i / 2) as i64)),
+            )
             .int("v", AttrRole::Numeric, (0..400).map(|i| Some(i as i64)))
             .build()
             .unwrap();
-        let mut e = EdaEnv::new(shattered, EnvConfig { episode_len: 4, ..Default::default() });
+        let mut e = EdaEnv::new(
+            shattered,
+            EnvConfig {
+                episode_len: 4,
+                ..Default::default()
+            },
+        );
         e.reset();
         let c = classifier();
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 0, agg: 1 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 0,
+            agg: 1,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
-        let idx = c.rule_names().iter().position(|&n| n == "high-cardinality-key").unwrap();
+        let idx = c
+            .rule_names()
+            .iter()
+            .position(|&n| n == "high-cardinality-key")
+            .unwrap();
         assert_eq!(c.votes(&info)[idx], Vote::Incoherent);
 
         // 4000 rows over 200 groups (20 each): a legitimate breakdown.
         let dense = DataFrame::builder()
-            .int("k", AttrRole::Categorical, (0..4000).map(|i| Some((i % 200) as i64)))
+            .int(
+                "k",
+                AttrRole::Categorical,
+                (0..4000).map(|i| Some((i % 200) as i64)),
+            )
             .int("v", AttrRole::Numeric, (0..4000).map(|i| Some(i as i64)))
             .build()
             .unwrap();
-        let mut e = EdaEnv::new(dense, EnvConfig { episode_len: 4, ..Default::default() });
+        let mut e = EdaEnv::new(
+            dense,
+            EnvConfig {
+                episode_len: 4,
+                ..Default::default()
+            },
+        );
         e.reset();
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 0, agg: 1 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 0,
+            agg: 1,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         assert_eq!(c.votes(&info)[idx], Vote::Abstain);
@@ -705,7 +832,11 @@ mod tests {
         ));
         let p = e.preview(&op);
         let info = e.step_info(&p);
-        let idx = c.rule_names().iter().position(|&n| n == "useless-filter").unwrap();
+        let idx = c
+            .rule_names()
+            .iter()
+            .position(|&n| n == "useless-filter")
+            .unwrap();
         assert_eq!(c.votes(&info)[idx], Vote::Incoherent);
     }
 }

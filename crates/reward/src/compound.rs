@@ -6,9 +6,7 @@
 use crate::coherency::{CoherencyClassifier, CoherencyConfig};
 use crate::diversity::{step_diversity, DiversityConfig};
 use crate::interestingness::{step_interestingness, InterestingnessConfig};
-use atena_env::{
-    EdaAction, EdaEnv, OpOutcome, RewardBreakdown, RewardModel, StepInfo,
-};
+use atena_env::{EdaAction, EdaEnv, OpOutcome, RewardBreakdown, RewardModel, StepInfo};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -26,7 +24,11 @@ pub struct RewardWeights {
 
 impl Default for RewardWeights {
     fn default() -> Self {
-        Self { interestingness: 1.0, diversity: 1.0, coherency: 1.0 }
+        Self {
+            interestingness: 1.0,
+            diversity: 1.0,
+            coherency: 1.0,
+        }
     }
 }
 
@@ -45,12 +47,20 @@ pub struct RewardComponents {
 impl RewardComponents {
     /// All components enabled (full ATENA).
     pub fn all() -> Self {
-        Self { interestingness: true, diversity: true, coherency: true }
+        Self {
+            interestingness: true,
+            diversity: true,
+            coherency: true,
+        }
     }
 
     /// Interestingness only (the ATN-IO / Greedy-IO baselines).
     pub fn interestingness_only() -> Self {
-        Self { interestingness: true, diversity: false, coherency: false }
+        Self {
+            interestingness: true,
+            diversity: false,
+            coherency: false,
+        }
     }
 }
 
@@ -65,7 +75,10 @@ pub struct PenaltyConfig {
 
 impl Default for PenaltyConfig {
     fn default() -> Self {
-        Self { invalid_op: -1.0, back_at_root: -0.5 }
+        Self {
+            invalid_op: -1.0,
+            back_at_root: -0.5,
+        }
     }
 }
 
@@ -167,7 +180,13 @@ impl CompoundReward {
             // Equalize mean contributions; guard against dead components.
             let target = means.iter().copied().filter(|&m| m > 1e-6).sum::<f64>()
                 / means.iter().filter(|&&m| m > 1e-6).count().max(1) as f64;
-            let w = |mean: f64| if mean > 1e-6 { (target / mean).clamp(0.2, 5.0) } else { 1.0 };
+            let w = |mean: f64| {
+                if mean > 1e-6 {
+                    (target / mean).clamp(0.2, 5.0)
+                } else {
+                    1.0
+                }
+            };
             self.weights = RewardWeights {
                 interestingness: w(means[0]),
                 diversity: w(means[1]),
@@ -259,13 +278,25 @@ mod tests {
                 AttrRole::Categorical,
                 (0..80).map(|i| Some(["10.0.0.1", "10.0.0.2", "10.0.0.3"][i % 3])),
             )
-            .int("length", AttrRole::Numeric, (0..80).map(|i| Some((i * 13 % 97) as i64)))
+            .int(
+                "length",
+                AttrRole::Numeric,
+                (0..80).map(|i| Some((i * 13 % 97) as i64)),
+            )
             .build()
             .unwrap()
     }
 
     fn env() -> EdaEnv {
-        EdaEnv::new(base(), EnvConfig { episode_len: 8, n_bins: 6, history_window: 3, seed: 11 })
+        EdaEnv::new(
+            base(),
+            EnvConfig {
+                episode_len: 8,
+                n_bins: 6,
+                history_window: 3,
+                seed: 11,
+            },
+        )
     }
 
     #[test]
@@ -274,7 +305,11 @@ mod tests {
         e.reset();
         let reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![]));
         // SUM over a string column.
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 1, agg: 0 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 1,
+            agg: 0,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         let r = reward.score(&info);
@@ -286,12 +321,15 @@ mod tests {
     fn good_group_earns_positive_reward() {
         let mut e = env();
         e.reset();
-        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![
-            "src_ip".into(),
-        ]));
+        let mut reward =
+            CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["src_ip".into()]));
         reward.fit(&mut e, 200, 5);
         // Group by proto, COUNT(length): compact, coherent, novel.
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 0, agg: 2 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 0,
+            agg: 2,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         let r = reward.score(&info);
@@ -317,7 +355,11 @@ mod tests {
         e.reset();
         let reward = CompoundReward::new(CoherencyConfig::default())
             .with_components(RewardComponents::interestingness_only());
-        let op = e.resolve(&EdaAction::Group { key: 0, func: 0, agg: 2 });
+        let op = e.resolve(&EdaAction::Group {
+            key: 0,
+            func: 0,
+            agg: 2,
+        });
         let p = e.preview(&op);
         let info = e.step_info(&p);
         let r = reward.score(&info);
@@ -359,9 +401,8 @@ mod tests {
     #[test]
     fn full_random_episode_rewards_are_finite() {
         let mut e = env();
-        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![
-            "src_ip".into(),
-        ]));
+        let mut reward =
+            CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["src_ip".into()]));
         reward.fit(&mut e, 100, 1);
         e.reset_with_seed(77);
         let mut rng = StdRng::seed_from_u64(42);

@@ -29,7 +29,11 @@ pub fn min_distance(vector: &DisplayVector, earlier: &[&DisplayVector]) -> f64 {
         .map(|e| vector.euclidean_distance(e) / dim.sqrt())
         .fold(f64::INFINITY, f64::min)
         .min(f64::MAX)
-        .min(if earlier.is_empty() { 0.0 } else { f64::INFINITY })
+        .min(if earlier.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        })
 }
 
 /// Diversity score of a step in `[0, 1)`: squashed minimal distance to all

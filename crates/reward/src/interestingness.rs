@@ -43,7 +43,9 @@ impl Default for InterestingnessConfig {
 /// compact group-by results covering many tuples are informative and easy to
 /// understand.
 pub fn group_interestingness(cfg: &InterestingnessConfig, display: &Display) -> f64 {
-    let Some(g) = display.grouping.as_ref() else { return 0.0 };
+    let Some(g) = display.grouping.as_ref() else {
+        return 0.0;
+    };
     let r = display.n_data_rows();
     if r == 0 || g.n_groups == 0 {
         return 0.0;
@@ -81,7 +83,11 @@ pub fn filter_interestingness(
     }
     let schema = new.frame.schema();
     let mut attrs: Vec<&str> = if new.spec.is_grouped() {
-        new.spec.aggregations.iter().map(|(_, a)| a.as_str()).collect()
+        new.spec
+            .aggregations
+            .iter()
+            .map(|(_, a)| a.as_str())
+            .collect()
     } else {
         schema.fields().iter().map(|f| f.name.as_str()).collect()
     };
@@ -105,9 +111,10 @@ pub fn filter_interestingness(
                 continue;
             }
         }
-        let (Ok(p_new), Ok(p_prev)) =
-            (new.frame.value_distribution(attr), prev.frame.value_distribution(attr))
-        else {
+        let (Ok(p_new), Ok(p_prev)) = (
+            new.frame.value_distribution(attr),
+            prev.frame.value_distribution(attr),
+        ) else {
             continue;
         };
         if p_new.is_empty() {
@@ -173,10 +180,18 @@ mod tests {
     fn base() -> DataFrame {
         // 100 rows: protocol heavily skewed toward "tcp" except a block of
         // "icmp" rows with high port values.
-        let protocols: Vec<Option<&str>> =
-            (0..100).map(|i| Some(if i < 80 { "tcp" } else { "icmp" })).collect();
-        let ports: Vec<Option<i64>> =
-            (0..100).map(|i| Some(if i < 80 { (i % 5) as i64 } else { 9000 + i as i64 })).collect();
+        let protocols: Vec<Option<&str>> = (0..100)
+            .map(|i| Some(if i < 80 { "tcp" } else { "icmp" }))
+            .collect();
+        let ports: Vec<Option<i64>> = (0..100)
+            .map(|i| {
+                Some(if i < 80 {
+                    (i % 5) as i64
+                } else {
+                    9000 + i as i64
+                })
+            })
+            .collect();
         DataFrame::builder()
             .str("protocol", AttrRole::Categorical, protocols)
             .int("port", AttrRole::Numeric, ports)
@@ -227,7 +242,10 @@ mod tests {
         )
         .unwrap();
         let score = group_interestingness(&cfg, &d);
-        assert!(score < 0.25, "one-group display should score low, got {score}");
+        assert!(
+            score < 0.25,
+            "one-group display should score low, got {score}"
+        );
     }
 
     #[test]
@@ -264,7 +282,10 @@ mod tests {
             DisplaySpec::default().with_predicate(Predicate::new("port", CmpOp::Gt, 999999i64)),
         )
         .unwrap();
-        assert_eq!(filter_interestingness(&cfg, &root, &empty, Some("port")), 0.0);
+        assert_eq!(
+            filter_interestingness(&cfg, &root, &empty, Some("port")),
+            0.0
+        );
     }
 
     #[test]
@@ -272,15 +293,18 @@ mod tests {
         let cfg = InterestingnessConfig::default();
         let b = base();
         let root = Display::root(&b);
-        assert_eq!(display_interestingness(&cfg, &ResolvedOp::Back, &root, &root), 0.0);
+        assert_eq!(
+            display_interestingness(&cfg, &ResolvedOp::Back, &root, &root),
+            0.0
+        );
     }
 
     #[test]
     fn grouped_filter_uses_aggregated_attrs() {
         let cfg = InterestingnessConfig::default();
         let b = base();
-        let grouped_spec = DisplaySpec::default()
-            .with_grouping("protocol".into(), AggFunc::Avg, "port".into());
+        let grouped_spec =
+            DisplaySpec::default().with_grouping("protocol".into(), AggFunc::Avg, "port".into());
         let prev = Display::materialize(&b, grouped_spec.clone()).unwrap();
         let new = Display::materialize(
             &b,

@@ -51,7 +51,10 @@ impl LabelModel {
     /// An untrained model: every function at the initial accuracy, prior
     /// 0.5. Usable as-is (it degenerates to a majority vote).
     pub fn untrained(n_functions: usize) -> Self {
-        Self { accuracies: vec![0.7; n_functions], prior: 0.5 }
+        Self {
+            accuracies: vec![0.7; n_functions],
+            prior: 0.5,
+        }
     }
 
     /// Fit by EM on a matrix of votes (`rows` = unlabeled operations,
@@ -71,8 +74,10 @@ impl LabelModel {
 
         for _ in 0..Self::EM_ITERS {
             // E-step: posterior P(y = coherent | votes_i).
-            let posteriors: Vec<f64> =
-                votes.iter().map(|row| model.posterior_coherent(row)).collect();
+            let posteriors: Vec<f64> = votes
+                .iter()
+                .map(|row| model.posterior_coherent(row))
+                .collect();
 
             // M-step: re-estimate accuracies and prior.
             let mut new_acc = Vec::with_capacity(n_functions);
@@ -100,7 +105,10 @@ impl LabelModel {
             // inheriting that skew would pin every posterior low. The rules'
             // design polarity (a Coherent vote is evidence for coherent) is
             // what grounds the latent, not the probe's class balance.
-            model = Self { accuracies: new_acc, prior: model.prior };
+            model = Self {
+                accuracies: new_acc,
+                prior: model.prior,
+            };
         }
         model
     }
@@ -150,12 +158,7 @@ mod tests {
 
     /// Synthesize votes from a known generative process, fit, and verify the
     /// model separates reliable from unreliable functions.
-    fn synth_votes(
-        n: usize,
-        accs: &[f64],
-        abstain: f64,
-        seed: u64,
-    ) -> (Vec<Vec<Vote>>, Vec<bool>) {
+    fn synth_votes(n: usize, accs: &[f64], abstain: f64, seed: u64) -> (Vec<Vec<Vote>>, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut votes = Vec::with_capacity(n);
         let mut truth = Vec::with_capacity(n);
@@ -259,7 +262,11 @@ mod tests {
         // clamp.
         let votes: Vec<Vec<Vote>> = (0..200)
             .map(|i| {
-                let v = if i % 2 == 0 { Vote::Coherent } else { Vote::Incoherent };
+                let v = if i % 2 == 0 {
+                    Vote::Coherent
+                } else {
+                    Vote::Incoherent
+                };
                 vec![v; 4]
             })
             .collect();

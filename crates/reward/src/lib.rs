@@ -25,16 +25,18 @@ mod labelmodel;
 mod sigmoid;
 
 pub use coherency::{
-    AggregateCategoricalRule, AggregateIdentifierRule, BackAfterBackRule, CoherencyClassifier, CoherencyConfig,
-    CoherencyRule, DrillDownRule, DrillIntoExtremeRule, EmptyResultRule, FocalAttrRule, GroupAfterFilterRule,
-    GroupOnContinuousRule, GroupOnIdentifierRule, NoNovelViewRule, RefilterSameAttrRule, RegroupSameKeyRule, HighCardinalityKeyRule, InvalidOpRule, RepeatedOpRule,
-    SingletonGroupsRule, TooManyGroupAttrsRule, UselessFilterRule,
+    AggregateCategoricalRule, AggregateIdentifierRule, BackAfterBackRule, CoherencyClassifier,
+    CoherencyConfig, CoherencyRule, DrillDownRule, DrillIntoExtremeRule, EmptyResultRule,
+    FocalAttrRule, GroupAfterFilterRule, GroupOnContinuousRule, GroupOnIdentifierRule,
+    HighCardinalityKeyRule, InvalidOpRule, NoNovelViewRule, RefilterSameAttrRule,
+    RegroupSameKeyRule, RepeatedOpRule, SingletonGroupsRule, TooManyGroupAttrsRule,
+    UselessFilterRule,
 };
 pub use compound::{random_action, CompoundReward, PenaltyConfig, RewardComponents, RewardWeights};
 pub use diversity::{min_distance, step_diversity, DiversityConfig};
 pub use interestingness::{
-    display_interestingness, filter_interestingness, group_interestingness,
-    step_interestingness, InterestingnessConfig,
+    display_interestingness, filter_interestingness, group_interestingness, step_interestingness,
+    InterestingnessConfig,
 };
 pub use labelmodel::{LabelModel, Vote};
 pub use sigmoid::NormalizedSigmoid;

@@ -18,12 +18,18 @@ pub struct NormalizedSigmoid {
 impl NormalizedSigmoid {
     /// Increasing sigmoid.
     pub fn increasing(center: f64, width: f64) -> Self {
-        Self { center, width: width.abs() }
+        Self {
+            center,
+            width: width.abs(),
+        }
     }
 
     /// Decreasing sigmoid.
     pub fn decreasing(center: f64, width: f64) -> Self {
-        Self { center, width: -width.abs() }
+        Self {
+            center,
+            width: -width.abs(),
+        }
     }
 
     /// Evaluate at `x`; always in (0, 1).

@@ -16,7 +16,11 @@ fn base(n: usize) -> DataFrame {
             AttrRole::Categorical,
             (0..n).map(|i| Some(["x", "y", "z"][i % 3])),
         )
-        .int("num", AttrRole::Numeric, (0..n).map(|i| Some((i as i64 * 13) % 31)))
+        .int(
+            "num",
+            AttrRole::Numeric,
+            (0..n).map(|i| Some((i as i64 * 13) % 31)),
+        )
         .int("id", AttrRole::Identifier, (0..n).map(|i| Some(i as i64)))
         .build()
         .unwrap()

@@ -41,7 +41,10 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Architecture { found, expected } => {
-                write!(f, "architecture mismatch: checkpoint {found:?}, policy {expected:?}")
+                write!(
+                    f,
+                    "architecture mismatch: checkpoint {found:?}, policy {expected:?}"
+                )
             }
             CheckpointError::Params(m) => write!(f, "parameter mismatch: {m}"),
             CheckpointError::Serde(m) => write!(f, "checkpoint (de)serialization failed: {m}"),
@@ -57,7 +60,11 @@ impl Checkpoint {
 
     /// Snapshot a parameter set.
     pub fn capture(architecture: impl Into<String>, params: &ParamSet) -> Self {
-        Self { version: Self::VERSION, architecture: architecture.into(), params: params.state() }
+        Self {
+            version: Self::VERSION,
+            architecture: architecture.into(),
+            params: params.state(),
+        }
     }
 
     /// Restore into a parameter set, validating version, architecture tag,
@@ -76,7 +83,9 @@ impl Checkpoint {
                 expected: expected_architecture.to_string(),
             });
         }
-        params.load_state(&self.params).map_err(CheckpointError::Params)
+        params
+            .load_state(&self.params)
+            .map_err(CheckpointError::Params)
     }
 
     /// Serialize to JSON.
@@ -162,8 +171,12 @@ mod tests {
         let ckpt = Checkpoint::capture("t", source.params());
         // A policy with different hidden sizes cannot load it.
         let mut rng = StdRng::seed_from_u64(4);
-        let other =
-            TwofoldPolicy::new(10, head_sizes(), TwofoldConfig { hidden: [16, 16] }, &mut rng);
+        let other = TwofoldPolicy::new(
+            10,
+            head_sizes(),
+            TwofoldConfig { hidden: [16, 16] },
+            &mut rng,
+        );
         let err = ckpt.restore("t", other.params()).unwrap_err();
         assert!(matches!(err, CheckpointError::Params(_)));
     }

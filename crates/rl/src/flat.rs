@@ -22,14 +22,20 @@ impl FlatPolicy {
     pub fn new(obs_dim: usize, n_actions: usize, hidden: [usize; 2], rng: &mut StdRng) -> Self {
         assert!(n_actions > 0, "empty action table");
         let trunk = Mlp::new("trunk", &[obs_dim, hidden[0], hidden[1]], rng);
-        let action_head =
-            Linear::new("actions", trunk.out_dim(), n_actions, Init::Xavier, rng);
+        let action_head = Linear::new("actions", trunk.out_dim(), n_actions, Init::Xavier, rng);
         let value_head = Linear::new("value", trunk.out_dim(), 1, Init::Xavier, rng);
         let mut params = ParamSet::new();
         trunk.register(&mut params);
         action_head.register(&mut params);
         value_head.register(&mut params);
-        Self { trunk, action_head, value_head, params, n_actions, obs_dim }
+        Self {
+            trunk,
+            action_head,
+            value_head,
+            params,
+            n_actions,
+            obs_dim,
+        }
     }
 
     /// Number of output nodes in the action head.
@@ -81,7 +87,11 @@ impl Policy for FlatPolicy {
         let plogp = g.mul(p, lp_all);
         let rows = g.sum_rows(plogp);
         let entropy = g.neg(rows);
-        Evaluation { log_prob, entropy, value }
+        Evaluation {
+            log_prob,
+            entropy,
+            value,
+        }
     }
 
     fn params(&self) -> &ParamSet {
@@ -110,7 +120,9 @@ mod tests {
         let obs = vec![0.5f32; 10];
         for _ in 0..100 {
             let step = p.act(&obs, 1.0, &mut rng);
-            let ActionChoice::Flat { index } = step.choice else { panic!() };
+            let ActionChoice::Flat { index } = step.choice else {
+                panic!()
+            };
             assert!(index < 17);
             assert!(step.log_prob <= 0.0);
         }

@@ -9,7 +9,7 @@
 //! in.
 
 use crate::trainer::EpisodeRecord;
-use atena_env::{EdaAction, EdaEnv, RewardModel};
+use atena_env::{EdaAction, EdaEnv, RewardBreakdown, RewardModel};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -33,7 +33,11 @@ pub struct GreedyConfig {
 
 impl Default for GreedyConfig {
     fn default() -> Self {
-        Self { candidate_cap: None, seed: 0, oracle_terms: true }
+        Self {
+            candidate_cap: None,
+            seed: 0,
+            oracle_terms: true,
+        }
     }
 }
 
@@ -46,7 +50,7 @@ pub fn greedy_episode(
 ) -> EpisodeRecord {
     let mut rng = StdRng::seed_from_u64(config.seed);
     env.reset_with_seed(config.seed);
-    let mut total = 0.0f64;
+    let mut breakdown = RewardBreakdown::default();
     while !env.done() {
         let mut candidates: Vec<EdaAction> = env.action_space().enumerate_binned();
         if let Some(cap) = config.candidate_cap {
@@ -68,26 +72,32 @@ pub fn greedy_episode(
                 best = Some((score, *action, preview));
             }
         }
-        let (score, action, preview) =
+        let (_score, action, preview) =
             best.expect("candidate set is never empty (BACK always exists)");
         if config.oracle_terms {
-            total += score;
+            // Re-score the winner once to keep the full decomposition (the
+            // candidate loop only tracked totals).
+            breakdown += {
+                let info = env.step_info(&preview);
+                reward.score(&info)
+            };
             env.commit(preview);
         } else {
             // Re-resolve: the term is re-drawn from the chosen bin, and the
             // realized (not estimated) reward is accrued.
             let op = env.resolve(&action);
             let preview = env.preview(&op);
-            total += {
+            breakdown += {
                 let info = env.step_info(&preview);
-                reward.score(&info).total
+                reward.score(&info)
             };
             env.commit(preview);
         }
     }
     EpisodeRecord {
         ops: env.session().ops().iter().map(|o| o.op.clone()).collect(),
-        total_reward: total,
+        total_reward: breakdown.total,
+        breakdown,
     }
 }
 
@@ -96,20 +106,21 @@ pub fn greedy_episode(
 pub fn random_episode(env: &mut EdaEnv, reward: &dyn RewardModel, seed: u64) -> EpisodeRecord {
     let mut rng = StdRng::seed_from_u64(seed);
     env.reset_with_seed(rng.gen());
-    let mut total = 0.0f64;
+    let mut breakdown = RewardBreakdown::default();
     while !env.done() {
         let action = atena_reward::random_action(env, &mut rng);
         let op = env.resolve(&action);
         let preview = env.preview(&op);
-        total += {
+        breakdown += {
             let info = env.step_info(&preview);
-            reward.score(&info).total
+            reward.score(&info)
         };
         env.commit(preview);
     }
     EpisodeRecord {
         ops: env.session().ops().iter().map(|o| o.op.clone()).collect(),
-        total_reward: total,
+        total_reward: breakdown.total,
+        breakdown,
     }
 }
 
@@ -127,13 +138,25 @@ mod tests {
                 AttrRole::Categorical,
                 (0..50).map(|i| Some(if i % 4 == 0 { "udp" } else { "tcp" })),
             )
-            .int("len", AttrRole::Numeric, (0..50).map(|i| Some((i % 7) as i64)))
+            .int(
+                "len",
+                AttrRole::Numeric,
+                (0..50).map(|i| Some((i % 7) as i64)),
+            )
             .build()
             .unwrap()
     }
 
     fn env() -> EdaEnv {
-        EdaEnv::new(base(), EnvConfig { episode_len: 4, n_bins: 4, history_window: 3, seed: 0 })
+        EdaEnv::new(
+            base(),
+            EnvConfig {
+                episode_len: 4,
+                n_bins: 4,
+                history_window: 3,
+                seed: 0,
+            },
+        )
     }
 
     fn reward() -> CompoundReward {
@@ -172,7 +195,15 @@ mod tests {
     fn candidate_cap_still_completes() {
         let mut e = env();
         let r = reward();
-        let ep = greedy_episode(&mut e, &r, GreedyConfig { candidate_cap: Some(10), seed: 1, ..Default::default() });
+        let ep = greedy_episode(
+            &mut e,
+            &r,
+            GreedyConfig {
+                candidate_cap: Some(10),
+                seed: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(ep.ops.len(), 4);
     }
 
@@ -192,8 +223,24 @@ mod tests {
     fn greedy_is_deterministic_given_seed() {
         let mut e = env();
         let r = reward();
-        let a = greedy_episode(&mut e, &r, GreedyConfig { candidate_cap: None, seed: 9, ..Default::default() });
-        let b = greedy_episode(&mut e, &r, GreedyConfig { candidate_cap: None, seed: 9, ..Default::default() });
+        let a = greedy_episode(
+            &mut e,
+            &r,
+            GreedyConfig {
+                candidate_cap: None,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = greedy_episode(
+            &mut e,
+            &r,
+            GreedyConfig {
+                candidate_cap: None,
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.ops, b.ops);
     }
 }

@@ -29,8 +29,8 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use flat::FlatPolicy;
 pub use greedy::{greedy_episode, random_episode, GreedyConfig};
 pub use policy::{
-    active_heads, op_of_head_choice, ActionChoice, ActionMapper, Evaluation, MappedAction,
-    Policy, PolicyStep, N_HEADS,
+    active_heads, op_of_head_choice, ActionChoice, ActionMapper, Evaluation, MappedAction, Policy,
+    PolicyStep, N_HEADS,
 };
 pub use ppo::{PpoConfig, PpoLearner, UpdateStats};
 pub use rollout::{AdvantageEstimates, RolloutBuffer, RolloutStep};

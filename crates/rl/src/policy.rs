@@ -47,10 +47,16 @@ impl ActionChoice {
     pub fn to_eda_action(&self) -> Option<EdaAction> {
         match self {
             ActionChoice::Twofold { heads } => Some(match op_of_head_choice(heads[0]) {
-                OpType::Filter => {
-                    EdaAction::Filter { attr: heads[1], op: heads[2], bin: heads[3] }
-                }
-                OpType::Group => EdaAction::Group { key: heads[4], func: heads[5], agg: heads[6] },
+                OpType::Filter => EdaAction::Filter {
+                    attr: heads[1],
+                    op: heads[2],
+                    bin: heads[3],
+                },
+                OpType::Group => EdaAction::Group {
+                    key: heads[4],
+                    func: heads[5],
+                    agg: heads[6],
+                },
                 OpType::Back => EdaAction::Back,
             }),
             ActionChoice::Flat { .. } => None,
@@ -180,18 +186,45 @@ mod tests {
 
     #[test]
     fn twofold_choice_to_action() {
-        let c = ActionChoice::Twofold { heads: [0, 2, 1, 5, 0, 0, 0] };
-        assert_eq!(c.to_eda_action(), Some(EdaAction::Filter { attr: 2, op: 1, bin: 5 }));
-        let c = ActionChoice::Twofold { heads: [1, 0, 0, 0, 3, 2, 1] };
-        assert_eq!(c.to_eda_action(), Some(EdaAction::Group { key: 3, func: 2, agg: 1 }));
-        let c = ActionChoice::Twofold { heads: [2, 0, 0, 0, 0, 0, 0] };
+        let c = ActionChoice::Twofold {
+            heads: [0, 2, 1, 5, 0, 0, 0],
+        };
+        assert_eq!(
+            c.to_eda_action(),
+            Some(EdaAction::Filter {
+                attr: 2,
+                op: 1,
+                bin: 5
+            })
+        );
+        let c = ActionChoice::Twofold {
+            heads: [1, 0, 0, 0, 3, 2, 1],
+        };
+        assert_eq!(
+            c.to_eda_action(),
+            Some(EdaAction::Group {
+                key: 3,
+                func: 2,
+                agg: 1
+            })
+        );
+        let c = ActionChoice::Twofold {
+            heads: [2, 0, 0, 0, 0, 0, 0],
+        };
         assert_eq!(c.to_eda_action(), Some(EdaAction::Back));
         assert_eq!(ActionChoice::Flat { index: 3 }.to_eda_action(), None);
     }
 
     #[test]
     fn mapper_flat_binned() {
-        let table = vec![EdaAction::Back, EdaAction::Filter { attr: 0, op: 0, bin: 0 }];
+        let table = vec![
+            EdaAction::Back,
+            EdaAction::Filter {
+                attr: 0,
+                op: 0,
+                bin: 0,
+            },
+        ];
         let m = ActionMapper::FlatBinned(table);
         assert_eq!(m.flat_size(), Some(2));
         match m.map(&ActionChoice::Flat { index: 1 }) {

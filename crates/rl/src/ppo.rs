@@ -58,6 +58,10 @@ pub struct UpdateStats {
     pub entropy: f32,
     /// Pre-clip gradient norm of the last minibatch.
     pub grad_norm: f32,
+    /// Fraction of surrogate ratios that fell outside `[1-ε, 1+ε]` (a
+    /// standard PPO health signal: ~0 means the policy barely moved,
+    /// large values mean the clip is doing heavy lifting).
+    pub clip_fraction: f32,
 }
 
 /// The PPO learner: owns the optimizer, borrows the policy per update.
@@ -106,6 +110,7 @@ impl PpoLearner {
                 totals.value_loss += stats.value_loss;
                 totals.entropy += stats.entropy;
                 totals.grad_norm = stats.grad_norm;
+                totals.clip_fraction += stats.clip_fraction;
                 n_batches += 1;
             }
         }
@@ -113,6 +118,7 @@ impl PpoLearner {
             totals.policy_loss /= n_batches as f32;
             totals.value_loss /= n_batches as f32;
             totals.entropy /= n_batches as f32;
+            totals.clip_fraction /= n_batches as f32;
         }
         totals
     }
@@ -151,7 +157,11 @@ impl PpoLearner {
         let diff = g.sub(eval.log_prob, old_logp_node);
         let ratio = g.exp(diff);
         let surr1 = g.mul(ratio, adv_node);
-        let clipped = g.clamp(ratio, 1.0 - self.config.clip_eps, 1.0 + self.config.clip_eps);
+        let clipped = g.clamp(
+            ratio,
+            1.0 - self.config.clip_eps,
+            1.0 + self.config.clip_eps,
+        );
         let surr2 = g.mul(clipped, adv_node);
         let surr = g.min_elem(surr1, surr2);
         let surr_mean = g.mean_all(surr);
@@ -175,11 +185,19 @@ impl PpoLearner {
         let grad_norm = policy.params().clip_grad_norm(self.config.max_grad_norm);
         self.optimizer.step(policy.params());
 
+        let ratios = g.value(ratio);
+        let eps = self.config.clip_eps;
+        let clipped_n = ratios
+            .data()
+            .iter()
+            .filter(|&&r| r < 1.0 - eps || r > 1.0 + eps)
+            .count();
         UpdateStats {
             policy_loss: g.value(policy_loss).scalar(),
             value_loss: g.value(value_loss).scalar(),
             entropy: g.value(entropy_mean).scalar(),
             grad_norm,
+            clip_fraction: clipped_n as f32 / b.max(1) as f32,
         }
     }
 }
@@ -198,7 +216,11 @@ mod tests {
         let policy = FlatPolicy::new(1, 3, [16, 16], &mut rng);
         let mut learner = PpoLearner::new(
             &policy,
-            PpoConfig { learning_rate: 0.01, entropy_coef: 0.001, ..Default::default() },
+            PpoConfig {
+                learning_rate: 0.01,
+                entropy_coef: 0.001,
+                ..Default::default()
+            },
         );
         let arm_rewards = [0.1f32, 1.0, 0.3];
         for _ in 0..40 {
@@ -206,7 +228,9 @@ mod tests {
             for _ in 0..64 {
                 let obs = vec![1.0f32];
                 let step = policy.act(&obs, 1.0, &mut rng);
-                let ActionChoice::Flat { index } = step.choice else { panic!() };
+                let ActionChoice::Flat { index } = step.choice else {
+                    panic!()
+                };
                 let noise: f32 = rng.gen_range(-0.05..0.05);
                 buf.push(RolloutStep {
                     obs,
@@ -223,7 +247,9 @@ mod tests {
         let mut picks = [0usize; 3];
         for _ in 0..200 {
             let step = policy.act(&[1.0], 1.0, &mut rng);
-            let ActionChoice::Flat { index } = step.choice else { panic!() };
+            let ActionChoice::Flat { index } = step.choice else {
+                panic!()
+            };
             picks[index] += 1;
         }
         assert!(
@@ -247,7 +273,11 @@ mod tests {
         let policy = FlatPolicy::new(1, 2, [16, 16], &mut rng);
         let mut learner = PpoLearner::new(
             &policy,
-            PpoConfig { learning_rate: 0.01, value_coef: 1.0, ..Default::default() },
+            PpoConfig {
+                learning_rate: 0.01,
+                value_coef: 1.0,
+                ..Default::default()
+            },
         );
         // Constant reward 1.0 per single-step episode -> V(s) should -> 1.0.
         for _ in 0..60 {
@@ -277,13 +307,19 @@ mod tests {
         let policy = FlatPolicy::new(1, 2, [16, 16], &mut rng);
         let mut learner = PpoLearner::new(
             &policy,
-            PpoConfig { learning_rate: 0.01, entropy_coef: 5.0, ..Default::default() },
+            PpoConfig {
+                learning_rate: 0.01,
+                entropy_coef: 5.0,
+                ..Default::default()
+            },
         );
         for _ in 0..30 {
             let mut buf = RolloutBuffer::new();
             for _ in 0..32 {
                 let step = policy.act(&[1.0], 1.0, &mut rng);
-                let ActionChoice::Flat { index } = step.choice else { panic!() };
+                let ActionChoice::Flat { index } = step.choice else {
+                    panic!()
+                };
                 buf.push(RolloutStep {
                     obs: vec![1.0],
                     choice: step.choice,
@@ -298,10 +334,15 @@ mod tests {
         let mut picks = [0usize; 2];
         for _ in 0..300 {
             let step = policy.act(&[1.0], 1.0, &mut rng);
-            let ActionChoice::Flat { index } = step.choice else { panic!() };
+            let ActionChoice::Flat { index } = step.choice else {
+                panic!()
+            };
             picks[index] += 1;
         }
         // Entropy regularization keeps both arms alive.
-        assert!(picks[1] > 50, "entropy failed to preserve exploration: {picks:?}");
+        assert!(
+            picks[1] > 50,
+            "entropy failed to preserve exploration: {picks:?}"
+        );
     }
 }

@@ -87,7 +87,10 @@ impl RolloutBuffer {
             next_value = s.value;
             next_advantage = adv;
         }
-        AdvantageEstimates { advantages, returns }
+        AdvantageEstimates {
+            advantages,
+            returns,
+        }
     }
 }
 
@@ -109,8 +112,12 @@ impl AdvantageEstimates {
             return;
         }
         let mean = self.advantages.iter().sum::<f32>() / n as f32;
-        let var =
-            self.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / n as f32;
+        let var = self
+            .advantages
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f32>()
+            / n as f32;
         let std = var.sqrt().max(1e-6);
         for a in &mut self.advantages {
             *a = (*a - mean) / std;
@@ -186,13 +193,19 @@ mod tests {
         est.normalize_advantages();
         let mean: f32 = est.advantages.iter().sum::<f32>() / 4.0;
         assert!(mean.abs() < 1e-6);
-        let var: f32 =
-            est.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / 4.0;
+        let var: f32 = est
+            .advantages
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f32>()
+            / 4.0;
         assert!((var - 1.0).abs() < 1e-4);
 
         // Tiny inputs are left alone.
-        let mut single =
-            AdvantageEstimates { advantages: vec![7.0], returns: vec![0.0] };
+        let mut single = AdvantageEstimates {
+            advantages: vec![7.0],
+            returns: vec![0.0],
+        };
         single.normalize_advantages();
         assert_eq!(single.advantages, vec![7.0]);
     }

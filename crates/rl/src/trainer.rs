@@ -7,12 +7,14 @@
 use crate::policy::{ActionMapper, MappedAction, Policy};
 use crate::ppo::{PpoConfig, PpoLearner, UpdateStats};
 use crate::rollout::{RolloutBuffer, RolloutStep};
-use atena_env::{EdaEnv, EnvConfig, ResolvedOp, RewardModel};
 use atena_dataframe::DataFrame;
+use atena_env::{EdaEnv, EnvConfig, ResolvedOp, RewardBreakdown, RewardModel};
+use atena_telemetry::MetricsRegistry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Trainer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +58,9 @@ pub struct EpisodeRecord {
     pub ops: Vec<ResolvedOp>,
     /// Cumulative (non-normalized) episode reward.
     pub total_reward: f64,
+    /// Per-component decomposition of `total_reward` (summed per-step
+    /// breakdowns; `breakdown.total == total_reward`).
+    pub breakdown: RewardBreakdown,
 }
 
 /// One point of the learning curve.
@@ -86,6 +91,17 @@ struct Worker {
     env: EdaEnv,
     rng: StdRng,
     episode_reward: f64,
+    episode_breakdown: RewardBreakdown,
+}
+
+/// Everything worth reporting about one training iteration.
+struct IterationStats {
+    steps: usize,
+    rollout_secs: f64,
+    update_secs: f64,
+    temperature: f32,
+    mean_reward: f64,
+    update: UpdateStats,
 }
 
 /// Trains a policy on one dataset with a given reward model.
@@ -101,6 +117,8 @@ pub struct Trainer {
     best_episode: Option<EpisodeRecord>,
     total_steps: usize,
     total_episodes: usize,
+    total_iterations: usize,
+    telemetry: Arc<MetricsRegistry>,
 }
 
 impl Trainer {
@@ -122,7 +140,12 @@ impl Trainer {
                 wc.seed = config.seed.wrapping_add(i as u64 * 7919);
                 let mut env = EdaEnv::new(base.clone(), wc);
                 env.reset_with_seed(rng.gen());
-                Worker { env, rng: StdRng::seed_from_u64(rng.gen()), episode_reward: 0.0 }
+                Worker {
+                    env,
+                    rng: StdRng::seed_from_u64(rng.gen()),
+                    episode_reward: 0.0,
+                    episode_breakdown: RewardBreakdown::default(),
+                }
             })
             .collect();
         Self {
@@ -137,7 +160,16 @@ impl Trainer {
             best_episode: None,
             total_steps: 0,
             total_episodes: 0,
+            total_iterations: 0,
+            telemetry: atena_telemetry::global_arc(),
         }
+    }
+
+    /// Route this trainer's metrics and events to `registry` instead of the
+    /// process-wide one (used by tests to capture output in isolation).
+    pub fn with_telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.telemetry = registry;
+        self
     }
 
     /// The policy being trained.
@@ -152,12 +184,14 @@ impl Trainer {
         let mut last_update = UpdateStats::default();
         let start = self.total_steps;
         while self.total_steps - start < total_steps {
-            let progress =
-                ((self.total_steps - start) as f32 / total_steps.max(1) as f32).min(1.0);
+            let progress = ((self.total_steps - start) as f32 / total_steps.max(1) as f32).min(1.0);
             let temperature = self.config.temperature
                 + (self.config.temperature_final - self.config.temperature) * progress;
+            let rollout_start = Instant::now();
             let (buffer, episodes) = self.collect_rollouts(temperature);
-            self.total_steps += buffer.len();
+            let rollout_secs = rollout_start.elapsed().as_secs_f64();
+            let iter_steps = buffer.len();
+            self.total_steps += iter_steps;
             for ep in episodes {
                 self.total_episodes += 1;
                 self.recent_episodes.push(ep.total_reward);
@@ -166,6 +200,7 @@ impl Trainer {
                     let drop = self.recent_episodes.len() - window;
                     self.recent_episodes.drain(..drop);
                 }
+                self.record_episode(&ep.breakdown);
                 let better = self
                     .best_episode
                     .as_ref()
@@ -174,15 +209,33 @@ impl Trainer {
                     self.best_episode = Some(ep);
                 }
             }
-            last_update = self.learner.update(self.policy.as_ref(), &buffer, &mut self.rng);
+            let update_start = Instant::now();
+            last_update = self
+                .learner
+                .update(self.policy.as_ref(), &buffer, &mut self.rng);
+            let update_secs = update_start.elapsed().as_secs_f64();
+            let mean_reward = if self.recent_episodes.is_empty() {
+                f64::NAN
+            } else {
+                self.recent_episodes.iter().sum::<f64>() / self.recent_episodes.len() as f64
+            };
             if !self.recent_episodes.is_empty() {
                 curve.push(CurvePoint {
                     steps: self.total_steps,
-                    mean_episode_reward: self.recent_episodes.iter().sum::<f64>()
-                        / self.recent_episodes.len() as f64,
+                    mean_episode_reward: mean_reward,
                 });
             }
+            self.record_iteration(IterationStats {
+                steps: iter_steps,
+                rollout_secs,
+                update_secs,
+                temperature,
+                mean_reward,
+                update: last_update,
+            });
+            self.total_iterations += 1;
         }
+        self.telemetry.flush();
         TrainLog {
             curve,
             episodes: self.total_episodes,
@@ -192,6 +245,91 @@ impl Trainer {
         }
     }
 
+    /// Update the aggregate metrics and (when a JSONL sink is attached)
+    /// emit one `iteration` event bundle.
+    fn record_iteration(&self, s: IterationStats) {
+        let t = &self.telemetry;
+        t.counter("train.steps").add(s.steps as u64);
+        t.counter("train.iterations").inc();
+        t.gauge("train.temperature").set(s.temperature as f64);
+        t.histogram("train.rollout_secs").record(s.rollout_secs);
+        t.histogram("train.update_secs").record(s.update_secs);
+        let steps_per_sec = s.steps as f64 / (s.rollout_secs + s.update_secs).max(1e-9);
+        t.gauge("train.steps_per_sec").set(steps_per_sec);
+        if !t.has_sink() {
+            return;
+        }
+        let iter = self.total_iterations.to_string();
+        let labels: &[(&str, String)] = &[("iter", iter)];
+        t.emit("iteration", "train.steps_per_sec", steps_per_sec, labels);
+        t.emit(
+            "iteration",
+            "train.mean_episode_reward",
+            s.mean_reward,
+            labels,
+        );
+        t.emit(
+            "iteration",
+            "train.temperature",
+            s.temperature as f64,
+            labels,
+        );
+        t.emit("iteration", "train.rollout_secs", s.rollout_secs, labels);
+        t.emit("iteration", "train.update_secs", s.update_secs, labels);
+        t.emit(
+            "iteration",
+            "train.policy_loss",
+            s.update.policy_loss as f64,
+            labels,
+        );
+        t.emit(
+            "iteration",
+            "train.value_loss",
+            s.update.value_loss as f64,
+            labels,
+        );
+        t.emit(
+            "iteration",
+            "train.entropy",
+            s.update.entropy as f64,
+            labels,
+        );
+        t.emit(
+            "iteration",
+            "train.grad_norm",
+            s.update.grad_norm as f64,
+            labels,
+        );
+        t.emit(
+            "iteration",
+            "train.clip_fraction",
+            s.update.clip_fraction as f64,
+            labels,
+        );
+    }
+
+    /// Count the episode and (when a sink is attached) emit its reward
+    /// decomposition as `episode` events.
+    fn record_episode(&self, b: &RewardBreakdown) {
+        let t = &self.telemetry;
+        t.counter("train.episodes").inc();
+        if !t.has_sink() {
+            return;
+        }
+        let ep = self.total_episodes.to_string();
+        let labels: &[(&str, String)] = &[("episode", ep)];
+        t.emit(
+            "episode",
+            "reward.interestingness",
+            b.interestingness,
+            labels,
+        );
+        t.emit("episode", "reward.diversity", b.diversity, labels);
+        t.emit("episode", "reward.coherency", b.coherency, labels);
+        t.emit("episode", "reward.penalty", b.penalty, labels);
+        t.emit("episode", "reward.total", b.total, labels);
+    }
+
     /// Collect one iteration of rollouts from all workers in parallel.
     fn collect_rollouts(&mut self, temperature: f32) -> (RolloutBuffer, Vec<EpisodeRecord>) {
         let policy = &self.policy;
@@ -199,30 +337,32 @@ impl Trainer {
         let reward = &self.reward;
         let rollout_len = self.config.rollout_len;
 
-        let results: Vec<(RolloutBuffer, Vec<EpisodeRecord>)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .map(|worker| {
-                        let policy = Arc::clone(policy);
-                        let mapper = mapper.clone();
-                        let reward = Arc::clone(reward);
-                        scope.spawn(move |_| {
-                            run_worker(
-                                worker,
-                                policy.as_ref(),
-                                &mapper,
-                                reward.as_ref(),
-                                rollout_len,
-                                temperature,
-                            )
-                        })
+        let results: Vec<(RolloutBuffer, Vec<EpisodeRecord>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .map(|worker| {
+                    let policy = Arc::clone(policy);
+                    let mapper = mapper.clone();
+                    let reward = Arc::clone(reward);
+                    scope.spawn(move |_| {
+                        run_worker(
+                            worker,
+                            policy.as_ref(),
+                            &mapper,
+                            reward.as_ref(),
+                            rollout_len,
+                            temperature,
+                        )
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("rollout scope panicked");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("rollout scope panicked");
 
         let mut buffer = RolloutBuffer::new();
         let mut episodes = Vec::new();
@@ -240,17 +380,23 @@ impl Trainer {
         let worker = &mut self.workers[0];
         for _ in 0..n {
             worker.env.reset_with_seed(worker.rng.gen());
-            let mut total = 0.0f64;
+            let mut breakdown = RewardBreakdown::default();
             while !worker.env.done() {
                 let obs = worker.env.observation();
                 let step = self.policy.act(&obs, temperature, &mut worker.rng);
                 let mapped = self.mapper.map(&step.choice);
-                let r = step_env(&mut worker.env, &mapped, self.reward.as_ref());
-                total += r;
+                breakdown += step_env(&mut worker.env, &mapped, self.reward.as_ref());
             }
             out.push(EpisodeRecord {
-                ops: worker.env.session().ops().iter().map(|o| o.op.clone()).collect(),
-                total_reward: total,
+                ops: worker
+                    .env
+                    .session()
+                    .ops()
+                    .iter()
+                    .map(|o| o.op.clone())
+                    .collect(),
+                total_reward: breakdown.total,
+                breakdown,
             });
         }
         out
@@ -258,8 +404,9 @@ impl Trainer {
 }
 
 /// Apply a mapped action to the environment, scoring it with the reward
-/// model; returns the reward.
-fn step_env(env: &mut EdaEnv, action: &MappedAction, reward: &dyn RewardModel) -> f64 {
+/// model; returns the per-component reward breakdown.
+fn step_env(env: &mut EdaEnv, action: &MappedAction, reward: &dyn RewardModel) -> RewardBreakdown {
+    let start = Instant::now();
     let op = match action {
         MappedAction::Binned(a) => env.resolve(a),
         MappedAction::Term(a) => env.resolve_flat_term(a),
@@ -267,9 +414,11 @@ fn step_env(env: &mut EdaEnv, action: &MappedAction, reward: &dyn RewardModel) -
     let preview = env.preview(&op);
     let r = {
         let info = env.step_info(&preview);
-        reward.score(&info).total
+        reward.score(&info)
     };
     env.commit(preview);
+    env.step_latency_histogram()
+        .record_duration(start.elapsed());
     r
 }
 
@@ -288,22 +437,31 @@ fn run_worker(
         let step = policy.act(&obs, temperature, &mut worker.rng);
         let mapped = mapper.map(&step.choice);
         let r = step_env(&mut worker.env, &mapped, reward);
-        worker.episode_reward += r;
+        worker.episode_reward += r.total;
+        worker.episode_breakdown += r;
         let done = worker.env.done();
         buffer.push(RolloutStep {
             obs,
             choice: step.choice,
             log_prob: step.log_prob,
             value: step.value,
-            reward: r as f32,
+            reward: r.total as f32,
             done,
         });
         if done {
             episodes.push(EpisodeRecord {
-                ops: worker.env.session().ops().iter().map(|o| o.op.clone()).collect(),
+                ops: worker
+                    .env
+                    .session()
+                    .ops()
+                    .iter()
+                    .map(|o| o.op.clone())
+                    .collect(),
                 total_reward: worker.episode_reward,
+                breakdown: worker.episode_breakdown,
             });
             worker.episode_reward = 0.0;
+            worker.episode_breakdown = RewardBreakdown::default();
             let seed = worker.rng.gen();
             worker.env.reset_with_seed(seed);
         }
@@ -330,13 +488,22 @@ mod tests {
                 AttrRole::Categorical,
                 (0..60).map(|i| Some(["a", "b", "c"][i % 3])),
             )
-            .int("len", AttrRole::Numeric, (0..60).map(|i| Some((i * 31 % 47) as i64)))
+            .int(
+                "len",
+                AttrRole::Numeric,
+                (0..60).map(|i| Some((i * 31 % 47) as i64)),
+            )
             .build()
             .unwrap()
     }
 
     fn make_trainer(n_workers: usize, seed: u64) -> Trainer {
-        let env_config = EnvConfig { episode_len: 6, n_bins: 5, history_window: 3, seed };
+        let env_config = EnvConfig {
+            episode_len: 6,
+            n_bins: 5,
+            history_window: 3,
+            seed,
+        };
         let probe = EdaEnv::new(base(), env_config.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         let policy = TwofoldPolicy::new(
@@ -345,9 +512,7 @@ mod tests {
             TwofoldConfig { hidden: [32, 32] },
             &mut rng,
         );
-        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![
-            "src".into(),
-        ]));
+        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["src".into()]));
         let mut fit_env = EdaEnv::new(base(), env_config.clone());
         reward.fit(&mut fit_env, 120, seed);
         Trainer::new(
@@ -361,7 +526,11 @@ mod tests {
                 rollout_len: 48,
                 eval_window: 10,
                 seed,
-                ppo: PpoConfig { minibatch: 32, epochs: 2, ..Default::default() },
+                ppo: PpoConfig {
+                    minibatch: 32,
+                    epochs: 2,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )

@@ -57,7 +57,14 @@ impl TwofoldPolicy {
             h.register(&mut params);
         }
         value_head.register(&mut params);
-        Self { trunk, heads, value_head, params, head_sizes: sizes, obs_dim }
+        Self {
+            trunk,
+            heads,
+            value_head,
+            params,
+            head_sizes: sizes,
+            obs_dim,
+        }
     }
 
     /// Sizes of the softmax segments in canonical head order.
@@ -190,7 +197,12 @@ mod tests {
 
     fn policy() -> TwofoldPolicy {
         let mut rng = StdRng::seed_from_u64(0);
-        TwofoldPolicy::new(20, head_sizes(), TwofoldConfig { hidden: [32, 32] }, &mut rng)
+        TwofoldPolicy::new(
+            20,
+            head_sizes(),
+            TwofoldConfig { hidden: [32, 32] },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -209,7 +221,9 @@ mod tests {
         let mut ops_seen = std::collections::HashSet::new();
         for _ in 0..100 {
             let step = p.act(&obs, 1.0, &mut rng);
-            let ActionChoice::Twofold { heads } = step.choice else { panic!() };
+            let ActionChoice::Twofold { heads } = step.choice else {
+                panic!()
+            };
             assert!(heads[0] < 3);
             assert!(heads[1] < 4 && heads[2] < 8 && heads[3] < 10);
             assert!(heads[4] < 4 && heads[5] < 5 && heads[6] < 4);
@@ -228,8 +242,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut greedy_ops = std::collections::HashSet::new();
         for _ in 0..50 {
-            let step = p.act(&obs, 0.01, &mut rng);
-            let ActionChoice::Twofold { heads } = step.choice else { panic!() };
+            let step = p.act(&obs, 0.001, &mut rng);
+            let ActionChoice::Twofold { heads } = step.choice else {
+                panic!()
+            };
             greedy_ops.insert(heads);
         }
         // Near-zero temperature: essentially deterministic.
@@ -278,7 +294,9 @@ mod tests {
     fn back_choice_only_counts_op_head() {
         let p = policy();
         // A BACK choice: entropy/logp must only involve head 0.
-        let choice = ActionChoice::Twofold { heads: [2, 0, 0, 0, 0, 0, 0] };
+        let choice = ActionChoice::Twofold {
+            heads: [2, 0, 0, 0, 0, 0, 0],
+        };
         let obs = Tensor::row_vector(vec![0.0; 20]);
         let mut g = Graph::new();
         let eval = p.evaluate(&mut g, &obs, &[choice]);

@@ -23,31 +23,48 @@ fn main() {
         .collect();
     let country: Vec<Option<&str>> = (0..n)
         .map(|i| {
-            Some(if i % 4 == 1 && i % 3 == 0 { "FR" } else { ["US", "DE", "UK"][i % 3] })
+            Some(if i % 4 == 1 && i % 3 == 0 {
+                "FR"
+            } else {
+                ["US", "DE", "UK"][i % 3]
+            })
         })
         .collect();
     let status: Vec<Option<&str>> = (0..n)
-        .map(|i| Some(if i % 4 == 1 && i % 3 == 0 { "refunded" } else { "delivered" }))
+        .map(|i| {
+            Some(if i % 4 == 1 && i % 3 == 0 {
+                "refunded"
+            } else {
+                "delivered"
+            })
+        })
         .collect();
-    let amount: Vec<Option<f64>> =
-        (0..n).map(|i| Some(20.0 + (i % 37) as f64 * 3.5)).collect();
+    let amount: Vec<Option<f64>> = (0..n).map(|i| Some(20.0 + (i % 37) as f64 * 3.5)).collect();
 
     let df = DataFrame::builder()
         .str("category", AttrRole::Categorical, category)
         .str("country", AttrRole::Categorical, country)
         .str("status", AttrRole::Categorical, status)
         .float("amount", AttrRole::Numeric, amount)
-        .int("order_id", AttrRole::Identifier, (0..n).map(|i| Some(10_000 + i as i64)))
+        .int(
+            "order_id",
+            AttrRole::Identifier,
+            (0..n).map(|i| Some(10_000 + i as i64)),
+        )
         .build()
         .expect("consistent schema");
 
     println!("orders: {} rows × {} columns\n", df.n_rows(), df.n_cols());
 
     // 1. Build and calibrate the compound reward with custom focal attrs.
-    let env_config = EnvConfig { episode_len: 8, n_bins: 8, history_window: 3, seed: 7 };
+    let env_config = EnvConfig {
+        episode_len: 8,
+        n_bins: 8,
+        history_window: 3,
+        seed: 7,
+    };
     let mut env = EdaEnv::new(df.clone(), env_config);
-    let mut reward =
-        CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["status".into()]));
+    let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["status".into()]));
     reward.fit(&mut env, 300, 7);
     let w = reward.weights();
     println!(

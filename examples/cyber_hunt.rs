@@ -20,7 +20,10 @@ fn main() {
         dataset.frame.n_rows(),
         dataset.goal
     );
-    println!("The official solution plants {} insights.\n", dataset.insights.len());
+    println!(
+        "The official solution plants {} insights.\n",
+        dataset.insights.len()
+    );
 
     let mut config = AtenaConfig::quick();
     config.train_steps = std::env::var("ATENA_TRAIN_STEPS")
@@ -45,7 +48,11 @@ fn main() {
         if hit {
             found += 1;
         }
-        println!("  [{}] {}", if hit { "x" } else { " " }, insight.description);
+        println!(
+            "  [{}] {}",
+            if hit { "x" } else { " " },
+            insight.description
+        );
     }
     println!(
         "\n{}/{} insights surfaced ({:.0}%)",

@@ -1,0 +1,114 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`, all of which std has provided natively since
+//! Rust 1.63. This shim adapts the crossbeam calling convention (the spawn
+//! closure receives the scope, `scope` returns a `Result`) onto
+//! `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; lets spawned closures spawn further siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // A `Scope` is just a shared reference to std's (Sync) scope.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&this)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking unjoined child propagates the panic
+    /// instead of surfacing through `Err` — callers here join every handle
+    /// and treat `Err` as fatal anyway, so the difference is unobservable.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn threads_can_mutate_disjoint_borrows() {
+        let mut slots = vec![0u64; 4];
+        thread::scope(|s| {
+            let handles: Vec<_> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| s.spawn(move |_| *slot = i as u64 + 1))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let caught = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(caught.is_err());
+    }
+}

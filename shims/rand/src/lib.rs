@@ -1,0 +1,338 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the small slice of the rand 0.8 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`Rng`] extension
+//! methods (`gen`, `gen_range`, `gen_bool`), and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`).
+//!
+//! The generator is xoshiro256\*\* seeded through SplitMix64 — fast,
+//! high-quality, and fully deterministic for a given seed, which is all the
+//! experiments require. Streams are **not** bit-compatible with the real
+//! `rand` crate; nothing in the workspace depends on rand's exact streams.
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of reproducible generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed. Nearby seeds yield unrelated
+    /// streams (the seed is expanded through SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\*.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly from their "natural" distribution (`rng.gen()`):
+/// full range for integers, `[0, 1)` for floats, fair coin for `bool`.
+pub trait Standard01: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard01 for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard01 for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard01 for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard01 for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard01 for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly from a bounded interval.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draw from `[start, end)` if `inclusive` is false, `[start, end]` if
+    /// true. Panics if the interval is empty.
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (end as i128 - start as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                let r = (rng.next_u64() as u128) % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(if inclusive { start <= end } else { start < end },
+                        "cannot sample empty range");
+                let u: $t = Standard01::sample(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Range types accepted by [`Rng::gen_range`]. The single blanket impl per
+/// range shape keeps integer-literal inference working (`gen_range(0..12)`
+/// adopts the type demanded by the surrounding expression, as in real rand).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the type's natural distribution (see [`Standard01`]).
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related sampling.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-8i64..5);
+            assert!((-8..5).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = rng.gen_range(-0.05f32..0.05);
+            assert!((-0.05..0.05).contains(&f));
+            let w = rng.gen_range(10u64..=12);
+            assert!((10..=12).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits: {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_uniformish() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [1, 2, 3];
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_unsized_bound() {
+        fn draw<R: super::Rng + ?Sized>(rng: &mut R) -> u8 {
+            rng.gen_range(0..3u8)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(draw(&mut rng) < 3);
+        }
+    }
+}

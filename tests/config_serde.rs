@@ -15,12 +15,20 @@ fn atena_config_round_trips() {
 
 #[test]
 fn env_and_trainer_configs_round_trip() {
-    let env = EnvConfig { episode_len: 7, n_bins: 9, history_window: 2, seed: 42 };
+    let env = EnvConfig {
+        episode_len: 7,
+        n_bins: 9,
+        history_window: 2,
+        seed: 42,
+    };
     let back: EnvConfig = serde_json::from_str(&serde_json::to_string(&env).unwrap()).unwrap();
     assert_eq!(back, env);
 
     let trainer = TrainerConfig {
-        ppo: PpoConfig { clip_eps: 0.15, ..Default::default() },
+        ppo: PpoConfig {
+            clip_eps: 0.15,
+            ..Default::default()
+        },
         n_workers: 3,
         ..Default::default()
     };
@@ -47,7 +55,11 @@ fn checkpoints_survive_json_round_trip_through_training() {
     use rand::SeedableRng;
 
     let df = DataFrame::builder()
-        .str("c", AttrRole::Categorical, (0..30).map(|i| Some(["a", "b"][i % 2])))
+        .str(
+            "c",
+            AttrRole::Categorical,
+            (0..30).map(|i| Some(["a", "b"][i % 2])),
+        )
         .int("v", AttrRole::Numeric, (0..30).map(|i| Some(i as i64)))
         .build()
         .unwrap();

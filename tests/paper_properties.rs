@@ -35,7 +35,10 @@ fn explicit_term_space_is_largest() {
     let binned = space.flat_size_binned();
     let pre = space.head_sizes().pre_output_size();
     assert!(pre < binned);
-    assert!(with_terms > 100, "term enumeration suspiciously small: {with_terms}");
+    assert!(
+        with_terms > 100,
+        "term enumeration suspiciously small: {with_terms}"
+    );
 }
 
 /// The twofold policy's joint log-prob decomposes per the active heads:
@@ -61,9 +64,15 @@ fn twofold_policy_consistent_on_real_schema() {
             &[step.choice],
         );
         let lp = g.value(eval.log_prob).get(0, 0);
-        assert!((lp - step.log_prob).abs() < 1e-3, "{lp} vs {}", step.log_prob);
+        assert!(
+            (lp - step.log_prob).abs() < 1e-3,
+            "{lp} vs {}",
+            step.log_prob
+        );
         // The choice maps to a valid action for this env.
-        let ActionChoice::Twofold { heads } = step.choice else { panic!() };
+        let ActionChoice::Twofold { heads } = step.choice else {
+            panic!()
+        };
         assert!(heads[1] < env.action_space().n_attrs());
     }
 }
@@ -100,7 +109,12 @@ fn large_dataset_episode_mechanics() {
     let dataset = atena::data::cyber4();
     let mut env = EdaEnv::new(
         dataset.frame.clone(),
-        EnvConfig { episode_len: 6, n_bins: 10, history_window: 3, seed: 3 },
+        EnvConfig {
+            episode_len: 6,
+            n_bins: 10,
+            history_window: 3,
+            seed: 3,
+        },
     );
     let obs = env.reset();
     let dim = env.observation_dim();
