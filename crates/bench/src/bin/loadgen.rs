@@ -1,0 +1,299 @@
+//! HTTP load generator for `atena serve`: a std-only client that drives
+//! `POST /v1/notebook` from N concurrent keep-alive connections and reports
+//! p50/p95/p99 latency and sustained QPS.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:8080 --requests 200 --concurrency 8 \
+//!         --dataset cyber1 [--episode-len N] [--seed N]
+//! ```
+//!
+//! Identical requests must produce identical responses (the server decodes
+//! greedily from a fixed seed and caches); any divergence is reported and
+//! fails the run.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Config {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    dataset: String,
+    episode_len: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".into(),
+            requests: 100,
+            concurrency: 4,
+            dataset: "cyber1".into(),
+            episode_len: None,
+            seed: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+loadgen — concurrency driver for `atena serve`
+
+USAGE:
+  loadgen [--addr A] [--requests N] [--concurrency N]
+          [--dataset ID] [--episode-len N] [--seed N]
+";
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--requests" => {
+                config.requests = value
+                    .parse()
+                    .map_err(|_| "--requests expects an integer".to_string())?
+            }
+            "--concurrency" => {
+                config.concurrency = value
+                    .parse::<usize>()
+                    .map_err(|_| "--concurrency expects an integer".to_string())?
+                    .max(1)
+            }
+            "--dataset" => config.dataset = value.clone(),
+            "--episode-len" => {
+                config.episode_len = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--episode-len expects an integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                config.seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+fn request_body(config: &Config) -> String {
+    let mut body = format!("{{\"dataset\":{:?}", config.dataset);
+    if let Some(n) = config.episode_len {
+        body.push_str(&format!(",\"episode_len\":{n}"));
+    }
+    if let Some(s) = config.seed {
+        body.push_str(&format!(",\"seed\":{s}"));
+    }
+    body.push('}');
+    body
+}
+
+/// One keep-alive worker: reconnects on connection loss, issues requests
+/// until the shared budget is exhausted.
+fn worker(
+    config: &Config,
+    raw_request: &[u8],
+    remaining: &AtomicUsize,
+) -> Result<(Vec<Duration>, Vec<String>, usize), String> {
+    let mut latencies = Vec::new();
+    let mut bodies = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut stream: Option<TcpStream> = None;
+    loop {
+        // Claim one request from the shared budget.
+        if remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_err()
+        {
+            return Ok((latencies, bodies, cache_hits));
+        }
+        let conn = match stream.take() {
+            Some(s) => s,
+            None => {
+                let s = TcpStream::connect(&config.addr)
+                    .map_err(|e| format!("connect {}: {e}", config.addr))?;
+                s.set_read_timeout(Some(Duration::from_secs(30)))
+                    .map_err(|e| e.to_string())?;
+                s.set_nodelay(true).ok();
+                s
+            }
+        };
+        let mut conn = conn;
+        let start = Instant::now();
+        conn.write_all(raw_request).map_err(|e| e.to_string())?;
+        let (status, headers, body) = read_response(&mut conn)?;
+        latencies.push(start.elapsed());
+        if status != 200 {
+            return Err(format!("HTTP {status}: {body}"));
+        }
+        if headers
+            .iter()
+            .any(|(n, v)| n == "x-atena-cache" && v == "hit")
+        {
+            cache_hits += 1;
+        }
+        bodies.push(body);
+        stream = Some(conn); // reuse the connection
+    }
+}
+
+/// Read one HTTP response (head + Content-Length body) from the stream.
+fn read_response(stream: &mut TcpStream) -> Result<(u16, Vec<(String, String)>, String), String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(parsed) = try_parse(&buf)? {
+            return Ok(parsed);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("server closed mid-response".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn try_parse(buf: &[u8]) -> Result<Option<(u16, Vec<(String, String)>, String)>, String> {
+    let text = String::from_utf8_lossy(buf);
+    let Some((head, rest)) = text.split_once("\r\n\r\n") else {
+        return Ok(None);
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if rest.len() < len {
+        return Ok(None);
+    }
+    Ok(Some((status, headers, rest[..len].to_string())))
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let body = request_body(&config);
+    let raw_request = format!(
+        "POST /v1/notebook HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        config.addr,
+        body.len()
+    )
+    .into_bytes();
+
+    println!(
+        "loadgen: {} requests, {} connections -> http://{}/v1/notebook {body}",
+        config.requests, config.concurrency, config.addr
+    );
+    let remaining = Arc::new(AtomicUsize::new(config.requests));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..config.concurrency)
+        .map(|_| {
+            let config = config.clone();
+            let raw_request = raw_request.clone();
+            let remaining = Arc::clone(&remaining);
+            let failures = Arc::clone(&failures);
+            std::thread::spawn(move || match worker(&config, &raw_request, &remaining) {
+                Ok(result) => result,
+                Err(e) => {
+                    failures.lock().unwrap().push(e);
+                    (Vec::new(), Vec::new(), 0)
+                }
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut bodies: Vec<String> = Vec::new();
+    let mut cache_hits = 0usize;
+    for w in workers {
+        let (lat, bod, hits) = w.join().expect("worker panicked");
+        latencies.extend(lat);
+        bodies.extend(bod);
+        cache_hits += hits;
+    }
+    let elapsed = started.elapsed();
+
+    for failure in failures.lock().unwrap().iter() {
+        eprintln!("worker error: {failure}");
+    }
+    if latencies.is_empty() {
+        eprintln!("no successful requests");
+        std::process::exit(1);
+    }
+
+    // Identical requests must yield identical notebooks.
+    let reference = &bodies[0];
+    let divergent = bodies.iter().filter(|b| *b != reference).count();
+
+    latencies.sort();
+    let total: Duration = latencies.iter().sum();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!("requests     {:>10}", latencies.len());
+    println!("cache hits   {:>10}", cache_hits);
+    println!("wall time    {:>10.3} s", elapsed.as_secs_f64());
+    println!("QPS          {:>10.1}", latencies.len() as f64 / secs);
+    println!(
+        "latency mean {:>10.3} ms",
+        total.as_secs_f64() * 1e3 / latencies.len() as f64
+    );
+    for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        println!(
+            "latency {label}  {:>10.3} ms",
+            quantile(&latencies, q).as_secs_f64() * 1e3
+        );
+    }
+    if divergent > 0 {
+        eprintln!("FAIL: {divergent} responses diverged from the first");
+        std::process::exit(1);
+    }
+    println!("all responses identical");
+    if !failures.lock().unwrap().is_empty() {
+        std::process::exit(1);
+    }
+}

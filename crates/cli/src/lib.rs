@@ -9,6 +9,9 @@
 //!                           [--log-level L] [--metrics-out metrics.jsonl]
 //! atena demo <dataset-id>   [same options]   # cyber1..cyber4, flights1..flights4
 //! atena datasets                              # list the built-in datasets
+//! atena checkpoint save <dataset-id> --out <ckpt.json> [--steps N] ...
+//! atena checkpoint load <ckpt.json>           # validate + describe a checkpoint
+//! atena serve --checkpoint <ckpt.json> [--addr A] [--workers N] [--cache-size N]
 //! atena metrics summarize <metrics.jsonl>     # aggregate a telemetry stream
 //! atena help
 //! ```
@@ -49,8 +52,17 @@ USAGE:
   atena demo <dataset-id>   [OPTIONS]   run on a built-in experimental dataset
   atena datasets                        list built-in datasets
   atena export <dataset-id> <file.csv>  write a built-in dataset as CSV
+  atena checkpoint save <dataset-id> --out <ckpt.json> [OPTIONS]
+                                        train a policy, save it as a checkpoint
+  atena checkpoint load <ckpt.json>     validate + describe a saved checkpoint
+  atena serve --checkpoint <ckpt.json>  serve notebooks over HTTP
   atena metrics summarize <m.jsonl>     aggregate a telemetry JSONL file
   atena help                            show this help
+
+SERVE OPTIONS:
+  --addr <A>          bind address                 [default: 127.0.0.1:8080]
+  --workers <N>       worker threads               [default: 4]
+  --cache-size <N>    LRU response-cache entries   [default: 256]
 
 OPTIONS:
   --focal <c1,c2>     focal attributes (columns of particular interest)
@@ -95,6 +107,31 @@ pub enum Command {
     MetricsSummarize {
         /// Path of the JSONL file written via `--metrics-out`.
         path: String,
+    },
+    /// Train a policy on a built-in dataset and save it as a checkpoint.
+    CheckpointSave {
+        /// Dataset id (`cyber1` … `flights4`).
+        id: String,
+        /// Checkpoint output path (from `--out`).
+        out: String,
+        /// Training options (focal/steps/episode-len/strategy/seed).
+        opts: GenerateOpts,
+    },
+    /// Load, validate, and describe a saved checkpoint.
+    CheckpointLoad {
+        /// Checkpoint path.
+        path: String,
+    },
+    /// Serve notebook generation over HTTP from a saved checkpoint.
+    Serve {
+        /// Checkpoint path.
+        checkpoint: String,
+        /// Bind address.
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// LRU response-cache capacity.
+        cache_size: usize,
     },
     /// Print usage.
     Help,
@@ -256,6 +293,77 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 opts: parse_opts(&args[2..])?,
             })
         }
+        Some("checkpoint") => match args.get(1).map(String::as_str) {
+            Some("save") => {
+                let id = args
+                    .get(2)
+                    .filter(|p| !p.starts_with("--"))
+                    .ok_or_else(|| CliError::Usage("checkpoint save requires a dataset id".into()))?
+                    .clone();
+                let opts = parse_opts(&args[3..])?;
+                let out = opts.out.clone().ok_or_else(|| {
+                    CliError::Usage("checkpoint save requires --out <ckpt.json>".into())
+                })?;
+                if !opts.strategy.is_learned() {
+                    return Err(CliError::Usage(format!(
+                        "strategy {} has no trainable policy to checkpoint",
+                        opts.strategy.name()
+                    )));
+                }
+                Ok(Command::CheckpointSave { id, out, opts })
+            }
+            Some("load") => {
+                let path = args
+                    .get(2)
+                    .ok_or_else(|| {
+                        CliError::Usage("checkpoint load requires a checkpoint path".into())
+                    })?
+                    .clone();
+                Ok(Command::CheckpointLoad { path })
+            }
+            _ => Err(CliError::Usage(
+                "checkpoint supports: save <dataset-id> --out <ckpt.json> | load <ckpt.json>"
+                    .into(),
+            )),
+        },
+        Some("serve") => {
+            let mut checkpoint = None;
+            let mut addr = "127.0.0.1:8080".to_string();
+            let mut workers = 4usize;
+            let mut cache_size = 256usize;
+            let rest = &args[1..];
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
+                match flag {
+                    "--checkpoint" => checkpoint = Some(value.clone()),
+                    "--addr" => addr = value.clone(),
+                    "--workers" => {
+                        workers = value
+                            .parse()
+                            .map_err(|_| CliError::Usage("--workers expects an integer".into()))?;
+                    }
+                    "--cache-size" => {
+                        cache_size = value.parse().map_err(|_| {
+                            CliError::Usage("--cache-size expects an integer".into())
+                        })?;
+                    }
+                    other => return Err(CliError::Usage(format!("unknown option {other:?}"))),
+                }
+                i += 2;
+            }
+            let checkpoint = checkpoint
+                .ok_or_else(|| CliError::Usage("serve requires --checkpoint <ckpt.json>".into()))?;
+            Ok(Command::Serve {
+                checkpoint,
+                addr,
+                workers,
+                cache_size,
+            })
+        }
         Some("metrics") => match args.get(1).map(String::as_str) {
             Some("summarize") => {
                 let path = args
@@ -355,32 +463,41 @@ impl MetricSummary {
 }
 
 /// Aggregate a `--metrics-out` JSONL file into a per-`(kind, name)` table.
+///
+/// Tolerant of real-world telemetry files: malformed lines (truncated tail
+/// from a killed process, interleaved writes, non-event records) are skipped
+/// and counted rather than aborting the whole summary.
 pub fn summarize_metrics(path: &str) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
     let mut stats: std::collections::BTreeMap<(String, String), MetricSummary> =
         std::collections::BTreeMap::new();
-    for (i, line) in text.lines().enumerate() {
+    let mut skipped = 0usize;
+    for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
-        let v: serde_json::Value = serde_json::from_str(line)
-            .map_err(|e| CliError::Runtime(format!("{path}:{}: bad JSON: {e}", i + 1)))?;
-        let kind = v["kind"]
-            .as_str()
-            .ok_or_else(|| CliError::Runtime(format!("{path}:{}: missing \"kind\"", i + 1)))?
-            .to_string();
-        let name = v["name"]
-            .as_str()
-            .ok_or_else(|| CliError::Runtime(format!("{path}:{}: missing \"name\"", i + 1)))?
-            .to_string();
-        let value = v["value"]
-            .as_f64()
-            .ok_or_else(|| CliError::Runtime(format!("{path}:{}: missing \"value\"", i + 1)))?;
-        stats.entry((kind, name)).or_default().push(value);
+        let parsed = serde_json::from_str::<serde_json::Value>(line)
+            .ok()
+            .and_then(|v| {
+                Some((
+                    v["kind"].as_str()?.to_string(),
+                    v["name"].as_str()?.to_string(),
+                    v["value"].as_f64()?,
+                ))
+            });
+        match parsed {
+            Some((kind, name, value)) => stats.entry((kind, name)).or_default().push(value),
+            None => skipped += 1,
+        }
     }
+    let note = match skipped {
+        0 => String::new(),
+        1 => format!("({path}: 1 malformed line skipped)\n"),
+        n => format!("({path}: {n} malformed lines skipped)\n"),
+    };
     if stats.is_empty() {
-        return Ok(format!("{path}: no events\n"));
+        return Ok(format!("{path}: no events\n{note}"));
     }
     let mut out = format!(
         "{:<10} {:<34} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
@@ -398,6 +515,7 @@ pub fn summarize_metrics(path: &str) -> Result<String, CliError> {
             s.last
         ));
     }
+    out.push_str(&note);
     Ok(out)
 }
 
@@ -431,6 +549,83 @@ pub fn run(command: Command) -> Result<String, CliError> {
             ))
         }
         Command::MetricsSummarize { path } => summarize_metrics(&path),
+        Command::CheckpointSave { id, out, opts } => {
+            let dataset = atena_data::dataset_by_id(&id).ok_or_else(|| {
+                CliError::Runtime(format!(
+                    "unknown dataset {id:?}; run `atena datasets` for the list"
+                ))
+            })?;
+            let focal = if opts.focal.is_empty() {
+                dataset.focal_attrs()
+            } else {
+                opts.focal.clone()
+            };
+            atena_telemetry::info!(
+                "training {} for {} steps before checkpointing ...",
+                opts.strategy.name(),
+                opts.steps
+            );
+            let bundle = atena_core::train_policy_bundle(
+                &id,
+                dataset.frame,
+                focal,
+                config_for(&opts),
+                opts.strategy,
+            )
+            .map_err(|e| CliError::Runtime(format!("cannot train checkpoint: {e}")))?;
+            bundle
+                .save(std::path::Path::new(&out))
+                .map_err(|e| CliError::Runtime(format!("cannot save checkpoint: {e}")))?;
+            Ok(format!("{}\nwritten to {out}", bundle.describe()))
+        }
+        Command::CheckpointLoad { path } => {
+            let bundle = atena_core::PolicyBundle::load(std::path::Path::new(&path))
+                .map_err(|e| CliError::Runtime(format!("cannot load checkpoint: {e}")))?;
+            // Rebuilding the policy proves the parameter blob matches the
+            // recorded architecture, not just that the JSON parses.
+            bundle
+                .build_policy()
+                .map_err(|e| CliError::Runtime(format!("checkpoint is not loadable: {e}")))?;
+            Ok(bundle.describe())
+        }
+        Command::Serve {
+            checkpoint,
+            addr,
+            workers,
+            cache_size,
+        } => {
+            let bundle = atena_core::PolicyBundle::load(std::path::Path::new(&checkpoint))
+                .map_err(|e| CliError::Runtime(format!("cannot load checkpoint: {e}")))?;
+            let dataset = atena_data::dataset_by_id(&bundle.dataset).ok_or_else(|| {
+                CliError::Runtime(format!(
+                    "checkpoint was trained on dataset {:?}, which is not built in",
+                    bundle.dataset
+                ))
+            })?;
+            let description = bundle.describe();
+            let engine = atena_server::Engine::new(bundle, dataset.frame)
+                .map_err(|e| CliError::Runtime(format!("cannot build engine: {e}")))?;
+            let config = atena_server::ServerConfig {
+                addr,
+                workers,
+                cache_size,
+                ..Default::default()
+            };
+            let server = atena_server::Server::bind(config, engine)
+                .map_err(|e| CliError::Runtime(format!("cannot bind: {e}")))?;
+            let bound = server
+                .local_addr()
+                .map_err(|e| CliError::Runtime(format!("cannot resolve bound address: {e}")))?;
+            atena_server::install_handlers();
+            // Printed (and flushed) before blocking so scripts tailing our
+            // stdout learn the ephemeral port.
+            println!("loaded {description}");
+            println!("listening on {bound}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.run();
+            Ok(format!("server on {bound} shut down gracefully"))
+        }
         Command::Generate { path, opts } => {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
@@ -608,14 +803,149 @@ mod tests {
         assert!(out.contains("reward.total"), "{out}");
         // mean of 0.5 and 0.25
         assert!(out.contains("0.37500"), "{out}");
-        // malformed file is a runtime error
+    }
+
+    #[test]
+    fn summarize_tolerates_empty_and_malformed_files() {
+        let dir = std::env::temp_dir().join("atena-cli-metrics-robust");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Empty file: "no events", not an error.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let out = summarize_metrics(&empty.to_string_lossy()).unwrap();
+        assert!(out.contains("no events"), "{out}");
+
+        // Entirely malformed: still "no events", with a skipped count.
         let bad = dir.join("bad.jsonl");
         std::fs::write(&bad, "{not json\n").unwrap();
+        let out = summarize_metrics(&bad.to_string_lossy()).unwrap();
+        assert!(out.contains("no events"), "{out}");
+        assert!(out.contains("1 malformed line skipped"), "{out}");
+
+        // Truncated tail (process killed mid-write): the good lines still
+        // aggregate; the partial line is counted, not fatal.
+        let truncated = dir.join("truncated.jsonl");
+        std::fs::write(
+            &truncated,
+            "\
+{\"ts\":1.0,\"kind\":\"counter\",\"name\":\"steps\",\"value\":10,\"labels\":{}}
+{\"ts\":2.0,\"kind\":\"counter\",\"name\":\"steps\",\"value\":20,\"labels\":{}}
+{\"ts\":3.0,\"kind\":\"counter\",\"na",
+        )
+        .unwrap();
+        let out = summarize_metrics(&truncated.to_string_lossy()).unwrap();
+        assert!(out.contains("steps"), "{out}");
+        assert!(out.contains("1 malformed line skipped"), "{out}");
+        // Valid JSON that is not an event record (e.g. a log line) is also
+        // skipped rather than aborting.
+        let mixed = dir.join("mixed.jsonl");
+        std::fs::write(
+            &mixed,
+            "{\"msg\":\"hello\"}\n{\"ts\":1.0,\"kind\":\"gauge\",\"name\":\"g\",\"value\":1.5,\"labels\":{}}\n",
+        )
+        .unwrap();
+        let out = summarize_metrics(&mixed.to_string_lossy()).unwrap();
+        assert!(out.contains('g'), "{out}");
+        assert!(out.contains("1 malformed line skipped"), "{out}");
+    }
+
+    #[test]
+    fn parses_checkpoint_commands() {
+        let cmd = parse(&args(&[
+            "checkpoint",
+            "save",
+            "cyber1",
+            "--out",
+            "c.json",
+            "--steps",
+            "500",
+            "--episode-len",
+            "6",
+        ]))
+        .unwrap();
+        let Command::CheckpointSave { id, out, opts } = cmd else {
+            panic!()
+        };
+        assert_eq!(id, "cyber1");
+        assert_eq!(out, "c.json");
+        assert_eq!(opts.steps, 500);
+        assert_eq!(opts.episode_len, 6);
+        assert_eq!(
+            parse(&args(&["checkpoint", "load", "c.json"])).unwrap(),
+            Command::CheckpointLoad {
+                path: "c.json".into()
+            }
+        );
+        // --out is mandatory; greedy strategies have nothing to checkpoint.
         assert!(matches!(
-            run(Command::MetricsSummarize {
-                path: bad.to_string_lossy().into_owned()
-            }),
-            Err(CliError::Runtime(_))
+            parse(&args(&["checkpoint", "save", "cyber1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&[
+                "checkpoint",
+                "save",
+                "cyber1",
+                "--out",
+                "c.json",
+                "--strategy",
+                "greedy-cr"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["checkpoint"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let cmd = parse(&args(&[
+            "serve",
+            "--checkpoint",
+            "c.json",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--cache-size",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                checkpoint: "c.json".into(),
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                cache_size: 32,
+            }
+        );
+        // Defaults.
+        let Command::Serve {
+            addr,
+            workers,
+            cache_size,
+            ..
+        } = parse(&args(&["serve", "--checkpoint", "c.json"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:8080");
+        assert_eq!(workers, 4);
+        assert_eq!(cache_size, 256);
+        assert!(matches!(parse(&args(&["serve"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&[
+                "serve",
+                "--checkpoint",
+                "c.json",
+                "--workers",
+                "x"
+            ])),
+            Err(CliError::Usage(_))
         ));
     }
 

@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 mod atena;
+mod bundle;
 mod notebook;
 mod viz;
 
 pub use atena::{Atena, AtenaConfig, GenerationResult, Strategy};
+pub use bundle::{train_policy_bundle, BundleError, PolicyBundle};
 pub use notebook::{CellSummary, Notebook, NotebookEntry, NotebookSummary};
 pub use viz::{suggest_chart, ChartSpec};

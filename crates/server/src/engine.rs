@@ -1,0 +1,254 @@
+//! The inference engine: a [`PolicyBundle`] loaded once at startup, shared
+//! read-only across worker threads, decoding notebooks greedily (near-zero
+//! Boltzmann temperature) from the trained policy.
+
+use atena_core::{Notebook, NotebookSummary, PolicyBundle};
+use atena_dataframe::DataFrame;
+use atena_env::EdaEnv;
+use atena_rl::{Policy, TwofoldPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Near-deterministic decode temperature: low enough that the argmax of
+/// every softmax segment is selected with overwhelming probability.
+const DECODE_TEMPERATURE: f32 = 1e-3;
+
+/// Ceiling on per-request episode length, to bound worst-case work.
+pub const MAX_EPISODE_LEN: usize = 64;
+
+/// A validated notebook-generation request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NotebookRequest {
+    /// Dataset id; must match the loaded bundle's dataset.
+    pub dataset: String,
+    /// Operations to decode (defaults to the bundle's training value).
+    pub episode_len: usize,
+    /// Environment seed for term sampling (default 0). Responses are
+    /// deterministic per seed.
+    pub seed: u64,
+}
+
+/// What the engine serves for one request.
+#[derive(Debug, Clone, Serialize)]
+pub struct NotebookResponse {
+    /// Dataset id echoed back.
+    pub dataset: String,
+    /// Episode length used.
+    pub episode_len: usize,
+    /// Seed used.
+    pub seed: u64,
+    /// Strategy name of the loaded policy.
+    pub strategy: String,
+    /// The decoded notebook.
+    pub notebook: NotebookSummary,
+}
+
+/// Engine failures, mapped by the server onto HTTP statuses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Requested dataset is not the one the policy was trained on → 404.
+    UnknownDataset {
+        /// The dataset the request named.
+        requested: String,
+        /// The dataset the engine serves.
+        served: String,
+    },
+    /// Request parameters out of range → 400.
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDataset { requested, served } => write!(
+                f,
+                "dataset {requested:?} is not served; this server's policy was trained on {served:?}"
+            ),
+            EngineError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+/// The shared inference state: an immutable policy plus its dataset.
+pub struct Engine {
+    bundle: PolicyBundle,
+    policy: TwofoldPolicy,
+    frame: DataFrame,
+}
+
+impl Engine {
+    /// Build from a loaded bundle and the dataset frame it was trained on.
+    pub fn new(bundle: PolicyBundle, frame: DataFrame) -> Result<Self, String> {
+        let policy = bundle
+            .build_policy()
+            .map_err(|e| format!("cannot rebuild policy from bundle: {e}"))?;
+        let probe = EdaEnv::new(frame.clone(), bundle.env.clone());
+        if probe.observation_dim() != bundle.obs_dim {
+            return Err(format!(
+                "dataset/bundle mismatch: dataset yields observation dim {}, bundle expects {}",
+                probe.observation_dim(),
+                bundle.obs_dim
+            ));
+        }
+        Ok(Self {
+            bundle,
+            policy,
+            frame,
+        })
+    }
+
+    /// The dataset id this engine serves.
+    pub fn dataset(&self) -> &str {
+        &self.bundle.dataset
+    }
+
+    /// The loaded bundle's metadata.
+    pub fn bundle(&self) -> &PolicyBundle {
+        &self.bundle
+    }
+
+    /// Default episode length (the bundle's training value).
+    pub fn default_episode_len(&self) -> usize {
+        self.bundle.env.episode_len
+    }
+
+    /// Validate raw request fields into a [`NotebookRequest`].
+    pub fn validate(
+        &self,
+        dataset: &str,
+        episode_len: Option<usize>,
+        seed: Option<u64>,
+    ) -> Result<NotebookRequest, EngineError> {
+        if dataset != self.bundle.dataset {
+            return Err(EngineError::UnknownDataset {
+                requested: dataset.to_string(),
+                served: self.bundle.dataset.clone(),
+            });
+        }
+        let episode_len = episode_len.unwrap_or_else(|| self.default_episode_len());
+        if episode_len == 0 || episode_len > MAX_EPISODE_LEN {
+            return Err(EngineError::InvalidRequest(format!(
+                "episode_len must be in 1..={MAX_EPISODE_LEN}, got {episode_len}"
+            )));
+        }
+        Ok(NotebookRequest {
+            dataset: dataset.to_string(),
+            episode_len,
+            seed: seed.unwrap_or(0),
+        })
+    }
+
+    /// Greedy-decode one notebook. Deterministic for a given request: the
+    /// environment seed is fixed and the decode temperature is ≈0.
+    pub fn decode(&self, request: &NotebookRequest) -> NotebookResponse {
+        let mut env_config = self.bundle.env.clone();
+        env_config.episode_len = request.episode_len;
+        env_config.seed = request.seed;
+        let mut env = EdaEnv::new(self.frame.clone(), env_config);
+        env.reset_with_seed(request.seed);
+        let mut rng = StdRng::seed_from_u64(request.seed);
+        while !env.done() {
+            let obs = env.observation();
+            let step = self.policy.act(&obs, DECODE_TEMPERATURE, &mut rng);
+            let action = step
+                .choice
+                .to_eda_action()
+                .expect("twofold policy emits twofold choices");
+            env.step(&action);
+        }
+        let ops: Vec<_> = env.session().ops().iter().map(|o| o.op.clone()).collect();
+        let notebook = Notebook::replay(&self.bundle.dataset, &self.frame, &ops);
+        NotebookResponse {
+            dataset: request.dataset.clone(),
+            episode_len: request.episode_len,
+            seed: request.seed,
+            strategy: self.bundle.strategy.name().to_string(),
+            notebook: notebook.summary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_core::{train_policy_bundle, AtenaConfig, Strategy};
+    use atena_dataframe::AttrRole;
+
+    fn base() -> DataFrame {
+        DataFrame::builder()
+            .str(
+                "proto",
+                AttrRole::Categorical,
+                (0..60).map(|i| Some(if i % 5 == 0 { "udp" } else { "tcp" })),
+            )
+            .int(
+                "len",
+                AttrRole::Numeric,
+                (0..60).map(|i| Some((i * 13 % 31) as i64)),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn engine() -> Engine {
+        let mut config = AtenaConfig::quick();
+        config.train_steps = 300;
+        config.probe_steps = 60;
+        config.env.episode_len = 4;
+        let bundle = train_policy_bundle("tiny", base(), vec![], config, Strategy::Atena).unwrap();
+        Engine::new(bundle, base()).unwrap()
+    }
+
+    #[test]
+    fn decode_is_deterministic_per_request() {
+        let e = engine();
+        let req = e.validate("tiny", Some(3), Some(7)).unwrap();
+        let a = e.decode(&req);
+        let b = e.decode(&req);
+        assert_eq!(a.notebook.cells.len(), 3);
+        assert_eq!(
+            serde_json::to_string(&a.notebook).unwrap(),
+            serde_json::to_string(&b.notebook).unwrap()
+        );
+        // A different seed may (and usually does) draw different filter
+        // terms; at minimum it must still decode a full notebook.
+        let other = e.decode(&e.validate("tiny", Some(3), Some(8)).unwrap());
+        assert_eq!(other.notebook.cells.len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_dataset_and_bad_lengths() {
+        let e = engine();
+        assert!(matches!(
+            e.validate("flights1", None, None),
+            Err(EngineError::UnknownDataset { .. })
+        ));
+        assert!(matches!(
+            e.validate("tiny", Some(0), None),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            e.validate("tiny", Some(MAX_EPISODE_LEN + 1), None),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        let defaulted = e.validate("tiny", None, None).unwrap();
+        assert_eq!(defaulted.episode_len, e.default_episode_len());
+        assert_eq!(defaulted.seed, 0);
+    }
+
+    #[test]
+    fn mismatched_frame_rejected_at_startup() {
+        let mut config = AtenaConfig::quick();
+        config.train_steps = 200;
+        config.probe_steps = 50;
+        config.env.episode_len = 3;
+        let bundle = train_policy_bundle("tiny", base(), vec![], config, Strategy::Atena).unwrap();
+        // A frame with a different column count changes the observation dim.
+        let other = DataFrame::builder()
+            .int("only", AttrRole::Numeric, (0..10).map(|i| Some(i as i64)))
+            .build()
+            .unwrap();
+        assert!(Engine::new(bundle, other).is_err());
+    }
+}

@@ -1,0 +1,551 @@
+//! A minimal, strict HTTP/1.1 request parser and response writer built on
+//! `std::io` — no external dependencies.
+//!
+//! The parser is incremental: it owns a byte buffer, reads from any
+//! [`Read`] in chunks, and yields one request at a time. Bytes past the end
+//! of a request stay buffered, which is exactly what pipelined keep-alive
+//! clients need. Limits (header size, body size) are enforced *while*
+//! reading, so an oversized request is rejected without buffering it all.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on a request body, in bytes (overridable per connection).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), e.g. `/v1/notebook`.
+    pub target: String,
+    /// Protocol version string, e.g. `HTTP/1.1`.
+    pub version: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open. HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is present.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+
+    /// Path component of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Parse failures, each mapped to the HTTP status the server should answer
+/// with before closing the connection.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Clean EOF before any request bytes — the peer just closed.
+    Closed,
+    /// Malformed request line or headers → 400.
+    BadRequest(String),
+    /// Head grew past [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared body exceeds the configured cap → 413.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+    },
+    /// Body-bearing method without a `Content-Length` header → 411.
+    LengthRequired,
+    /// Socket read timed out mid-request → 408.
+    Timeout,
+    /// EOF mid-request or another transport failure — nothing to send.
+    Io(ErrorKind),
+}
+
+impl ParseError {
+    /// The HTTP status code to answer with, if an answer is possible.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            ParseError::Closed | ParseError::Io(_) => None,
+            ParseError::BadRequest(_) => Some((400, "Bad Request")),
+            ParseError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
+            ParseError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            ParseError::LengthRequired => Some((411, "Length Required")),
+            ParseError::Timeout => Some((408, "Request Timeout")),
+        }
+    }
+}
+
+/// Incremental request reader over any [`Read`] transport.
+pub struct RequestReader<R> {
+    transport: R,
+    buffer: Vec<u8>,
+    max_body: usize,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wrap a transport with the default body cap.
+    pub fn new(transport: R) -> Self {
+        Self::with_max_body(transport, DEFAULT_MAX_BODY_BYTES)
+    }
+
+    /// Wrap a transport with an explicit body cap.
+    pub fn with_max_body(transport: R, max_body: usize) -> Self {
+        Self {
+            transport,
+            buffer: Vec::new(),
+            max_body,
+        }
+    }
+
+    /// Read one full request. Leftover bytes (pipelined requests) stay
+    /// buffered for the next call.
+    pub fn read_request(&mut self) -> Result<Request, ParseError> {
+        let head_end = self.fill_until_head_end()?;
+        let head = self.buffer[..head_end].to_vec();
+        let (method, target, version, headers) = parse_head(&head)?;
+
+        let content_length = match header_value(&headers, "content-length") {
+            Some(raw) => Some(
+                raw.trim()
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::BadRequest("unparseable Content-Length".into()))?,
+            ),
+            None => None,
+        };
+        let body_len = match content_length {
+            Some(n) => n,
+            // Body-bearing methods must declare their length; we do not
+            // implement chunked transfer encoding.
+            None if method == "POST" || method == "PUT" || method == "PATCH" => {
+                self.buffer.drain(..head_end + 4);
+                return Err(ParseError::LengthRequired);
+            }
+            None => 0,
+        };
+        if body_len > self.max_body {
+            // Do not read (or keep) the oversized body.
+            self.buffer.clear();
+            return Err(ParseError::BodyTooLarge { declared: body_len });
+        }
+
+        let body_start = head_end + 4;
+        self.fill_until(body_start + body_len)?;
+        let body = self.buffer[body_start..body_start + body_len].to_vec();
+        self.buffer.drain(..body_start + body_len);
+        Ok(Request {
+            method,
+            target,
+            version,
+            headers,
+            body,
+        })
+    }
+
+    /// Grow the buffer until it contains the `\r\n\r\n` head terminator;
+    /// returns the terminator's offset.
+    fn fill_until_head_end(&mut self) -> Result<usize, ParseError> {
+        let mut scanned: usize = 0;
+        loop {
+            if let Some(pos) = find_head_end(&self.buffer[scanned.saturating_sub(3)..])
+                .map(|p| p + scanned.saturating_sub(3))
+            {
+                return Ok(pos);
+            }
+            scanned = self.buffer.len();
+            // A valid head must terminate within the first MAX_HEAD_BYTES;
+            // past that, no later read can make this request acceptable.
+            if scanned >= MAX_HEAD_BYTES {
+                return Err(ParseError::HeadTooLarge);
+            }
+            let at_start = self.buffer.is_empty();
+            self.fill_some(at_start)?;
+        }
+    }
+
+    /// Grow the buffer to at least `target` bytes.
+    fn fill_until(&mut self, target: usize) -> Result<(), ParseError> {
+        while self.buffer.len() < target {
+            self.fill_some(false)?;
+        }
+        Ok(())
+    }
+
+    /// One transport read. `clean_eof_ok` distinguishes "peer closed between
+    /// requests" (fine) from "peer closed mid-request" (an error).
+    fn fill_some(&mut self, clean_eof_ok: bool) -> Result<(), ParseError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.transport.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if clean_eof_ok && self.buffer.is_empty() {
+                        ParseError::Closed
+                    } else {
+                        ParseError::Io(ErrorKind::UnexpectedEof)
+                    });
+                }
+                Ok(n) => {
+                    self.buffer.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(if clean_eof_ok && self.buffer.is_empty() {
+                        // Idle keep-alive connection timed out waiting for the
+                        // next request: treat as a clean close.
+                        ParseError::Closed
+                    } else {
+                        ParseError::Timeout
+                    });
+                }
+                Err(e) => return Err(ParseError::Io(e.kind())),
+            }
+        }
+    }
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+type Head = (String, String, String, Vec<(String, String)>);
+
+fn parse_head(head: &[u8]) -> Result<Head, ParseError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ParseError::BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ParseError::BadRequest("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => {
+            (m.to_string(), t.to_string(), v.to_string())
+        }
+        _ => {
+            return Err(ParseError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::BadRequest(format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadRequest(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method, target, version, headers))
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Extra headers beyond the auto-added ones.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            reason,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A 200 JSON response.
+    pub fn ok_json(body: impl Into<Vec<u8>>) -> Self {
+        Self::json(200, "OK", body)
+    }
+
+    /// A JSON error response `{"error": message}`.
+    pub fn error(status: u16, reason: &'static str, message: &str) -> Self {
+        let mut body = String::with_capacity(message.len() + 16);
+        body.push_str("{\"error\":");
+        push_json_string(&mut body, message);
+        body.push('}');
+        Self::json(status, reason, body.into_bytes())
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serialize the response (with `Content-Length` and `Connection`
+    /// headers) to a writer.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Append a JSON string literal (quoted, escaped) to `out`.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transport that yields its script in fixed-size chunks, to exercise
+    /// partial reads.
+    struct Chunked {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Chunked {
+        fn new(data: impl Into<Vec<u8>>, chunk: usize) -> Self {
+            Self {
+                data: data.into(),
+                pos: 0,
+                chunk,
+            }
+        }
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    const POST: &str = "POST /v1/notebook HTTP/1.1\r\nHost: x\r\nContent-Length: 18\r\n\r\n{\"dataset\":\"c1\"}\r\n";
+
+    #[test]
+    fn parses_simple_get() {
+        let mut r = RequestReader::new(Chunked::new(
+            "GET /v1/healthz HTTP/1.1\r\nHost: a\r\n\r\n",
+            4096,
+        ));
+        let req = r.read_request().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/v1/healthz");
+        assert_eq!(req.header("host"), Some("a"));
+        assert_eq!(req.header("HOST"), Some("a"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_across_partial_reads() {
+        // 1-byte reads: every boundary is exercised.
+        for chunk in [1, 2, 3, 7, 4096] {
+            let mut r = RequestReader::new(Chunked::new(POST, chunk));
+            let req = r.read_request().unwrap();
+            assert_eq!(req.method, "POST", "chunk {chunk}");
+            assert_eq!(req.body, b"{\"dataset\":\"c1\"}\r\n", "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn pipelined_keep_alive_requests() {
+        let two = format!("{POST}GET /v1/metrics HTTP/1.1\r\n\r\n");
+        for chunk in [1, 5, 4096] {
+            let mut r = RequestReader::new(Chunked::new(two.clone(), chunk));
+            let first = r.read_request().unwrap();
+            assert_eq!(first.path(), "/v1/notebook");
+            let second = r.read_request().unwrap();
+            assert_eq!(second.path(), "/v1/metrics");
+            assert_eq!(r.read_request().unwrap_err(), ParseError::Closed);
+        }
+    }
+
+    #[test]
+    fn missing_content_length_on_post_is_411() {
+        let mut r = RequestReader::new(Chunked::new(
+            "POST /v1/notebook HTTP/1.1\r\nHost: x\r\n\r\n",
+            4096,
+        ));
+        let err = r.read_request().unwrap_err();
+        assert_eq!(err, ParseError::LengthRequired);
+        assert_eq!(err.status(), Some((411, "Length Required")));
+    }
+
+    #[test]
+    fn get_without_content_length_has_empty_body() {
+        let mut r = RequestReader::new(Chunked::new("GET / HTTP/1.0\r\n\r\n", 4096));
+        let req = r.read_request().unwrap();
+        assert!(req.body.is_empty());
+        // HTTP/1.0 defaults to close.
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_buffering() {
+        let mut r = RequestReader::with_max_body(
+            Chunked::new("POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 4096),
+            1024,
+        );
+        assert_eq!(
+            r.read_request().unwrap_err(),
+            ParseError::BodyTooLarge { declared: 999999 }
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        let mut r = RequestReader::new(Chunked::new(huge, 4096));
+        assert_eq!(r.read_request().unwrap_err(), ParseError::HeadTooLarge);
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bad in [
+            "NOPE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x HTTP/2.0\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+        ] {
+            let mut r = RequestReader::new(Chunked::new(bad, 4096));
+            let err = r.read_request().unwrap_err();
+            assert!(
+                matches!(err, ParseError::BadRequest(_)),
+                "{bad:?} gave {err:?}"
+            );
+            assert_eq!(err.status().unwrap().0, 400);
+        }
+    }
+
+    #[test]
+    fn eof_mid_request_is_io_error() {
+        let mut r = RequestReader::new(Chunked::new("GET /x HTTP/1.1\r\nHo", 4096));
+        assert!(matches!(r.read_request().unwrap_err(), ParseError::Io(_)));
+        // EOF mid-body, too.
+        let mut r = RequestReader::new(Chunked::new(
+            "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+            4096,
+        ));
+        assert!(matches!(r.read_request().unwrap_err(), ParseError::Io(_)));
+    }
+
+    #[test]
+    fn clean_eof_before_any_bytes_is_closed() {
+        let mut r = RequestReader::new(Chunked::new("", 4096));
+        assert_eq!(r.read_request().unwrap_err(), ParseError::Closed);
+    }
+
+    #[test]
+    fn connection_close_header_overrides_keep_alive() {
+        let mut r = RequestReader::new(Chunked::new(
+            "GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+            4096,
+        ));
+        assert!(!r.read_request().unwrap().keep_alive());
+        let mut r = RequestReader::new(Chunked::new(
+            "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+            4096,
+        ));
+        assert!(r.read_request().unwrap().keep_alive());
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut out = Vec::new();
+        Response::ok_json("{\"ok\":true}")
+            .with_header("X-Atena-Cache", "hit")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("X-Atena-Cache: hit\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_response_escapes_message() {
+        let r = Response::error(400, "Bad Request", "bad \"json\"\n");
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            "{\"error\":\"bad \\\"json\\\"\\n\"}"
+        );
+    }
+}

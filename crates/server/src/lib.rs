@@ -1,0 +1,473 @@
+//! # atena-server
+//!
+//! A from-scratch HTTP/1.1 inference service for ATENA notebook generation,
+//! built entirely on `std::net` — no external dependencies.
+//!
+//! At startup the server loads a [`PolicyBundle`](atena_core::PolicyBundle)
+//! (a trained twofold policy plus its dataset identity and environment
+//! configuration), rebuilds the policy once, and shares it read-only across
+//! a fixed pool of worker threads. Three endpoints are served:
+//!
+//! | Endpoint            | Method | Purpose                                  |
+//! |---------------------|--------|------------------------------------------|
+//! | `/v1/notebook`      | POST   | greedy-decode an EDA notebook as JSON    |
+//! | `/v1/healthz`       | GET    | liveness + loaded-policy metadata        |
+//! | `/v1/metrics`       | GET    | telemetry counters/histograms snapshot   |
+//!
+//! Identical `(dataset, episode_len, seed)` requests are answered from an
+//! LRU response cache without touching the policy; the `X-Atena-Cache`
+//! header reports `hit` or `miss`. Malformed requests, oversized bodies,
+//! and per-request socket timeouts are answered with precise 4xx statuses,
+//! and SIGTERM/SIGINT (or [`ServerHandle::shutdown`]) triggers a graceful
+//! drain: stop accepting, finish in-flight connections, join the pool.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod http;
+mod pool;
+mod signal;
+
+pub use cache::LruCache;
+pub use engine::{Engine, EngineError, NotebookRequest, NotebookResponse, MAX_EPISODE_LEN};
+pub use http::{ParseError, Request, RequestReader, Response, DEFAULT_MAX_BODY_BYTES};
+pub use pool::ThreadPool;
+pub use signal::{install_handlers, request_shutdown, shutdown_requested};
+
+use atena_telemetry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+use http::push_json_string;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// LRU response-cache capacity in entries (0 disables caching).
+    pub cache_size: usize,
+    /// Per-request socket read/write timeout.
+    pub request_timeout: Duration,
+    /// Request body cap in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            cache_size: 256,
+            request_timeout: Duration::from_secs(10),
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// Shared per-server state: the engine, the response cache, and telemetry.
+struct AppState {
+    engine: Engine,
+    cache: Mutex<LruCache<NotebookRequest, Arc<String>>>,
+    telemetry: Arc<MetricsRegistry>,
+    started: Instant,
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful drain and wait for the server to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Bind the listener and prepare shared state. Metrics go to the
+    /// process-wide telemetry registry.
+    pub fn bind(config: ServerConfig, engine: Engine) -> std::io::Result<Server> {
+        Self::bind_with_telemetry(config, engine, atena_telemetry::global_arc())
+    }
+
+    /// [`Server::bind`] with an explicit metrics registry (tests use a
+    /// private one per server to stay isolated).
+    pub fn bind_with_telemetry(
+        config: ServerConfig,
+        engine: Engine,
+        telemetry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(AppState {
+            engine,
+            cache: Mutex::new(LruCache::new(config.cache_size)),
+            telemetry,
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            state,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on this thread until a shutdown is requested via
+    /// [`ServerHandle::shutdown`], [`request_shutdown`], or a signal
+    /// (after [`install_handlers`]). Returns after the drain completes.
+    pub fn run(self) {
+        let Server {
+            listener,
+            state,
+            config,
+            shutdown,
+        } = self;
+        listener
+            .set_nonblocking(true)
+            .expect("cannot set listener nonblocking");
+        let pool = ThreadPool::new(config.workers);
+        let accept_pause = Duration::from_millis(10);
+        loop {
+            if shutdown.load(Ordering::SeqCst) || signal::shutdown_requested() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    state.telemetry.counter("server.connections").inc();
+                    let state = Arc::clone(&state);
+                    let shutdown = Arc::clone(&shutdown);
+                    let config = config.clone();
+                    pool.execute(move || handle_connection(stream, &state, &config, &shutdown));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(accept_pause);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    atena_telemetry::warn!("accept failed: {e}");
+                    std::thread::sleep(accept_pause);
+                }
+            }
+        }
+        // Drain: the pool's Drop closes the queue and joins every worker,
+        // letting in-flight connections finish their current request.
+        drop(pool);
+        state.telemetry.flush();
+    }
+
+    /// Run on a background thread; returns a handle for shutdown.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::Builder::new()
+            .name("atena-server-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Serve one connection: parse requests in a keep-alive loop, route each,
+/// and stop on close, error, or server drain.
+fn handle_connection(
+    stream: TcpStream,
+    state: &AppState,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(config.request_timeout));
+    let _ = stream.set_write_timeout(Some(config.request_timeout));
+    let mut reader = RequestReader::with_max_body(&stream, config.max_body_bytes);
+    let mut out = &stream;
+    loop {
+        let draining = shutdown.load(Ordering::SeqCst) || signal::shutdown_requested();
+        match reader.read_request() {
+            Ok(request) => {
+                let span = atena_telemetry::Span::enter(
+                    state.telemetry.histogram("server.http.latency_secs"),
+                );
+                let response = route(&request, state);
+                span.finish();
+                // During a drain, answer the in-flight request, then close.
+                let keep_alive = request.keep_alive() && !draining;
+                if response.write_to(&mut out, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(err) => {
+                // A clean disconnect between requests (`Closed`) is normal
+                // keep-alive teardown, not a protocol error.
+                if let Some((status, reason)) = err.status() {
+                    state.telemetry.counter("server.http.parse_errors").inc();
+                    let body = format!("{err:?}");
+                    let _ = Response::error(status, reason, &body).write_to(&mut out, false);
+                    drain_before_close(&stream);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Discard unread request bytes before dropping a connection we answered
+/// with a fatal error. Closing with data still queued makes the kernel send
+/// RST instead of FIN, which can destroy the error response in flight.
+fn drain_before_close(stream: &TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader: &TcpStream = stream;
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    // Cap the drain so a hostile client cannot pin a worker thread.
+    while drained < (1 << 20) {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Dispatch one parsed request.
+fn route(request: &Request, state: &AppState) -> Response {
+    let t = &state.telemetry;
+    t.counter("server.http.requests").inc();
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/v1/healthz") => {
+            t.counter("server.http.requests.healthz").inc();
+            Response::ok_json(healthz_json(state))
+        }
+        ("GET", "/v1/metrics") => {
+            t.counter("server.http.requests.metrics").inc();
+            let snapshot = t.snapshot();
+            Response::ok_json(metrics_json(
+                &snapshot,
+                state.started.elapsed().as_secs_f64(),
+            ))
+        }
+        ("POST", "/v1/notebook") => {
+            t.counter("server.http.requests.notebook").inc();
+            serve_notebook(request, state)
+        }
+        (_, "/v1/healthz" | "/v1/metrics" | "/v1/notebook") => {
+            t.counter("server.http.errors").inc();
+            Response::error(405, "Method Not Allowed", "wrong method for this endpoint")
+        }
+        (_, path) => {
+            t.counter("server.http.errors").inc();
+            Response::error(404, "Not Found", &format!("no route for {path}"))
+        }
+    }
+}
+
+/// `POST /v1/notebook`: validate the JSON body, consult the LRU cache, and
+/// decode on a miss.
+fn serve_notebook(request: &Request, state: &AppState) -> Response {
+    let t = &state.telemetry;
+    let fail = |status, reason, message: &str| {
+        t.counter("server.http.errors").inc();
+        Response::error(status, reason, message)
+    };
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => return fail(400, "Bad Request", "body is not valid UTF-8"),
+    };
+    let value: serde_json::Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return fail(400, "Bad Request", &format!("body is not valid JSON: {e}")),
+    };
+    let Some(dataset) = value.get("dataset").and_then(|d| d.as_str()) else {
+        return fail(
+            400,
+            "Bad Request",
+            "missing required string field \"dataset\"",
+        );
+    };
+    let episode_len = match optional_u64(&value, "episode_len") {
+        Ok(v) => v.map(|n| n as usize),
+        Err(m) => return fail(400, "Bad Request", &m),
+    };
+    let seed = match optional_u64(&value, "seed") {
+        Ok(v) => v,
+        Err(m) => return fail(400, "Bad Request", &m),
+    };
+
+    let validated = match state.engine.validate(dataset, episode_len, seed) {
+        Ok(v) => v,
+        Err(e @ EngineError::UnknownDataset { .. }) => {
+            return fail(404, "Not Found", &e.to_string());
+        }
+        Err(e @ EngineError::InvalidRequest(_)) => {
+            return fail(400, "Bad Request", &e.to_string());
+        }
+    };
+
+    if let Some(cached) = state
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(&validated)
+    {
+        t.counter("server.cache.hits").inc();
+        return Response::ok_json(cached.as_bytes().to_vec()).with_header("X-Atena-Cache", "hit");
+    }
+    t.counter("server.cache.misses").inc();
+
+    let span = atena_telemetry::Span::enter(t.histogram("server.notebook.decode_secs"));
+    let decoded = state.engine.decode(&validated);
+    span.finish();
+    let body = Arc::new(serde_json::to_string(&decoded).expect("response serializes"));
+    state
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .insert(validated, Arc::clone(&body));
+    Response::ok_json(body.as_bytes().to_vec()).with_header("X-Atena-Cache", "miss")
+}
+
+fn optional_u64(value: &serde_json::Value, field: &str) -> Result<Option<u64>, String> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {field:?} must be a non-negative integer")),
+    }
+}
+
+fn healthz_json(state: &AppState) -> String {
+    let bundle = state.engine.bundle();
+    let mut out = String::from("{\"status\":\"ok\",\"dataset\":");
+    push_json_string(&mut out, state.engine.dataset());
+    out.push_str(",\"strategy\":");
+    push_json_string(&mut out, bundle.strategy.name());
+    out.push_str(&format!(
+        ",\"episode_len\":{},\"train_steps\":{},\"uptime_secs\":{:.3}}}",
+        bundle.env.episode_len,
+        bundle.train_steps,
+        state.started.elapsed().as_secs_f64()
+    ));
+    out
+}
+
+/// Render a [`MetricsSnapshot`] as the `/v1/metrics` JSON document.
+fn metrics_json(snapshot: &MetricsSnapshot, uptime_secs: f64) -> String {
+    fn f64_json(v: f64) -> String {
+        if v.is_finite() {
+            v.to_string()
+        } else {
+            "null".to_string()
+        }
+    }
+    fn histogram_json(h: &HistogramSummary) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count,
+            f64_json(h.mean),
+            f64_json(h.min),
+            f64_json(h.max),
+            f64_json(h.p50),
+            f64_json(h.p95),
+            f64_json(h.p99),
+        )
+    }
+    let mut out = format!("{{\"uptime_secs\":{:.3},\"counters\":{{", uptime_secs);
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        out.push(':');
+        out.push_str(&f64_json(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        out.push(':');
+        out.push_str(&histogram_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atena_telemetry::Histogram;
+
+    #[test]
+    fn metrics_json_is_valid_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("server.http.requests").add(7);
+        reg.gauge("g").set(1.25);
+        let h: Histogram = reg.histogram("server.http.latency_secs");
+        h.record(0.002);
+        let text = metrics_json(&reg.snapshot(), 3.5);
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(v["counters"]["server.http.requests"].as_u64(), Some(7));
+        assert_eq!(v["gauges"]["g"].as_f64(), Some(1.25));
+        assert_eq!(
+            v["histograms"]["server.http.latency_secs"]["count"].as_u64(),
+            Some(1)
+        );
+        assert!(
+            v["histograms"]["server.http.latency_secs"]["p95"]
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(v["uptime_secs"].as_f64(), Some(3.5));
+    }
+}

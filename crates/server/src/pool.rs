@@ -1,0 +1,128 @@
+//! A fixed-size worker thread pool over `std::sync::mpsc`, in the classic
+//! shared-receiver shape: the acceptor sends boxed jobs down a channel; each
+//! worker locks the receiver, pulls one job, and runs it. Dropping the pool
+//! closes the channel, lets in-flight jobs finish, and joins every worker —
+//! the drain half of graceful shutdown.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed pool of named worker threads.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (clamped to at least 1).
+    pub fn new(size: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("atena-server-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while pulling the next job.
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return, // a worker panicked while holding the lock
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // channel closed: drain complete
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job. Returns `false` if the pool is already shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(s) => s.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Close the queue and join every worker, letting queued and in-flight
+    /// jobs complete. Called automatically on drop.
+    pub fn join(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // join waits for every job
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_drains_in_flight_jobs() {
+        let mut pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 6);
+        // After join the pool refuses new work instead of hanging.
+        assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.execute(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+}

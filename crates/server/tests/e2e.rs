@@ -1,0 +1,289 @@
+//! End-to-end serving test over real sockets: train a tiny policy, bundle
+//! it through a file (the checkpoint the CLI would produce), start the
+//! server on an ephemeral port, hammer it with concurrent clients, and
+//! check response identity, cache behaviour, metrics, and graceful
+//! shutdown.
+
+use atena_core::{train_policy_bundle, AtenaConfig, PolicyBundle, Strategy};
+use atena_dataframe::{AttrRole, DataFrame};
+use atena_server::{Engine, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn base() -> DataFrame {
+    DataFrame::builder()
+        .str(
+            "proto",
+            AttrRole::Categorical,
+            (0..60).map(|i| Some(if i % 5 == 0 { "udp" } else { "tcp" })),
+        )
+        .int(
+            "len",
+            AttrRole::Numeric,
+            (0..60).map(|i| Some((i * 13 % 31) as i64)),
+        )
+        .build()
+        .unwrap()
+}
+
+fn tiny_bundle() -> PolicyBundle {
+    let mut config = AtenaConfig::quick();
+    config.train_steps = 300;
+    config.probe_steps = 60;
+    config.env.episode_len = 4;
+    train_policy_bundle("tiny", base(), vec![], config, Strategy::Atena).unwrap()
+}
+
+/// One blocking HTTP exchange on a fresh connection.
+fn http_request(addr: SocketAddr, raw: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    // The server may respond-and-reset before consuming the whole request
+    // (oversized bodies), so a failed tail write is acceptable.
+    let _ = stream.write_all(raw.as_bytes());
+    read_one_response(&mut stream)
+}
+
+/// Read exactly one response: head, then Content-Length body bytes. A reset
+/// after a complete response has arrived (server rejecting an undrained
+/// body) is tolerated.
+fn read_one_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, String) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(parsed) = try_parse_response(&buf) {
+            return parsed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!(
+                "connection closed before a full response; got {:?}",
+                String::from_utf8_lossy(&buf)
+            ),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!(
+                "read error {e} before a full response; got {:?}",
+                String::from_utf8_lossy(&buf)
+            ),
+        }
+    }
+}
+
+fn try_parse_response(bytes: &[u8]) -> Option<(u16, Vec<(String, String)>, String)> {
+    let text = String::from_utf8_lossy(bytes).into_owned();
+    let (head, rest) = text.split_once("\r\n\r\n")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if rest.len() < len {
+        return None;
+    }
+    Some((status, headers, rest[..len].to_string()))
+}
+
+fn post_notebook(addr: SocketAddr, body: &str) -> (u16, Vec<(String, String)>, String) {
+    http_request(
+        addr,
+        &format!(
+            "POST /v1/notebook HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn checkpoint_serve_concurrent_cache_metrics_shutdown() {
+    // 1. Produce a server-loadable checkpoint through the filesystem, as
+    //    `atena checkpoint save` would.
+    let dir = std::env::temp_dir().join("atena-server-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("tiny.ckpt.json");
+    tiny_bundle().save(&ckpt).unwrap();
+
+    // 2. Load it back and serve on an ephemeral port with an isolated
+    //    metrics registry.
+    let bundle = PolicyBundle::load(&ckpt).unwrap();
+    let engine = Engine::new(bundle, base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 3,
+            cache_size: 16,
+            ..Default::default()
+        },
+        engine,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    // 3. Health check.
+    let (status, _, body) = http_request(
+        addr,
+        "GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(health["status"].as_str(), Some("ok"));
+    assert_eq!(health["dataset"].as_str(), Some("tiny"));
+
+    // 4. Concurrent identical requests over real sockets: every client must
+    //    get a 200 with the same notebook JSON.
+    let request_body = r#"{"dataset":"tiny","episode_len":3,"seed":5}"#;
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, headers, body) = post_notebook(addr, request_body);
+                let cache = header(&headers, "x-atena-cache").unwrap_or("?").to_string();
+                (status, cache, body)
+            })
+        })
+        .collect();
+    let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let reference = &results[0].2;
+    let parsed: serde_json::Value = serde_json::from_str(reference).unwrap();
+    assert_eq!(parsed["dataset"].as_str(), Some("tiny"));
+    assert_eq!(parsed["notebook"]["cells"].as_array().unwrap().len(), 3);
+    for (status, cache, body) in &results {
+        assert_eq!(*status, 200);
+        assert!(cache == "hit" || cache == "miss", "cache header: {cache}");
+        assert_eq!(body, reference, "divergent notebook across clients");
+    }
+
+    // 5. A repeat request is served from the cache.
+    let (status, headers, body) = post_notebook(addr, request_body);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-atena-cache"), Some("hit"));
+    assert_eq!(&body, reference);
+
+    // 6. /v1/metrics reports the cache hit and nonzero latency samples.
+    let (status, _, body) = http_request(
+        addr,
+        "GET /v1/metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let metrics: serde_json::Value = serde_json::from_str(&body).unwrap();
+    // 7 identical requests total (6 concurrent + 1 repeat). Concurrent
+    // clients may race to a miss before the first insert lands, but the
+    // sequential repeat is a guaranteed hit, every request is either a hit
+    // or a miss, and only misses evaluate the policy.
+    let hits = metrics["counters"]["server.cache.hits"].as_u64().unwrap();
+    let misses = metrics["counters"]["server.cache.misses"].as_u64().unwrap();
+    assert!(hits >= 1, "sequential repeat must hit the cache");
+    assert!((1..=6).contains(&misses), "misses: {misses}");
+    assert_eq!(hits + misses, 7);
+    let latency = &metrics["histograms"]["server.http.latency_secs"];
+    assert!(latency["count"].as_u64().unwrap() >= 8);
+    assert!(latency["p95"].as_f64().unwrap() > 0.0);
+    assert_eq!(
+        metrics["histograms"]["server.notebook.decode_secs"]["count"].as_u64(),
+        Some(misses),
+        "only cache misses may evaluate the policy"
+    );
+
+    // 7. Error paths: wrong dataset → 404; bad JSON → 400; unknown route →
+    //    404; wrong method → 405.
+    let (status, _, body) = post_notebook(addr, r#"{"dataset":"flights1"}"#);
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("error"));
+    let (status, _, _) = post_notebook(addr, "{nope");
+    assert_eq!(status, 400);
+    let (status, _, _) = post_notebook(addr, r#"{"episode_len":3}"#);
+    assert_eq!(status, 400);
+    let (status, _, _) = http_request(
+        addr,
+        "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 404);
+    let (status, _, _) = http_request(
+        addr,
+        "GET /v1/notebook HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+
+    // 8. Keep-alive: two requests on one connection.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, headers, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (status, headers, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("close"));
+    }
+
+    // 9. Graceful shutdown: the handle drains and joins; afterwards the
+    //    port stops accepting.
+    handle.shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err();
+    assert!(refused, "listener still accepting after shutdown");
+}
+
+#[test]
+fn oversized_body_rejected_over_socket() {
+    let engine = Engine::new(tiny_bundle(), base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_size: 4,
+            max_body_bytes: 128,
+            ..Default::default()
+        },
+        engine,
+        telemetry,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    let big = "x".repeat(4096);
+    let (status, _, body) = post_notebook(addr, &big);
+    assert_eq!(status, 413, "{body}");
+
+    // Missing Content-Length on POST → 411.
+    let (status, _, _) = http_request(
+        addr,
+        "POST /v1/notebook HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 411);
+
+    handle.shutdown();
+}

@@ -636,6 +636,26 @@ impl MetricsRegistry {
         }
     }
 
+    /// Point-in-time structured snapshot of every registered metric, for
+    /// machine-readable export (e.g. a server's `/v1/metrics` endpoint).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("telemetry registry poisoned");
+        MetricsSnapshot {
+            ts: unix_ts(),
+            counters: m
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: m.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            histograms: m
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), HistogramSummary::of(h)))
+                .collect(),
+        }
+    }
+
     /// Human-readable one-line-per-metric summary (for stderr reports).
     pub fn render_text(&self) -> String {
         let m = self.metrics.lock().expect("telemetry registry poisoned");
@@ -666,6 +686,70 @@ impl Drop for MetricsRegistry {
                 let _ = w.flush();
             }
         }
+    }
+}
+
+/// Aggregate view of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean of recorded samples (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Approximate 50th percentile (0 when empty).
+    pub p50: f64,
+    /// Approximate 95th percentile (0 when empty).
+    pub p95: f64,
+    /// Approximate 99th percentile (0 when empty).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min().unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+            p50: h.quantile(0.5).unwrap_or(0.0),
+            p95: h.quantile(0.95).unwrap_or(0.0),
+            p99: h.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Unix timestamp the snapshot was taken at.
+    pub ts: f64,
+    /// Counter name → total, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter total by exact name (`None` when absent).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by exact name (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 }
 
@@ -756,6 +840,25 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(reg.counter("shared").get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn snapshot_captures_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("reqs").add(3);
+        reg.gauge("temp").set(0.5);
+        let h = reg.histogram("lat");
+        for v in [0.001, 0.002, 0.004] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("reqs"), Some(3));
+        assert_eq!(snap.counter("absent"), None);
+        assert_eq!(snap.gauges, vec![("temp".to_string(), 0.5)]);
+        let lat = snap.histogram("lat").unwrap();
+        assert_eq!(lat.count, 3);
+        assert!(lat.p50 > 0.0 && lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+        assert!((lat.mean - 0.007 / 3.0).abs() < 1e-9);
     }
 
     #[test]
