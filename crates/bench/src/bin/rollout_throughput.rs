@@ -1,0 +1,220 @@
+//! Rollout-throughput driver for the `atena-runtime` scatter engine:
+//! collects identical rollout iterations at several worker counts and
+//! reports steps/sec plus the speedup over one worker — while asserting
+//! the determinism contract (every worker count must produce bit-identical
+//! trajectories).
+//!
+//! ```text
+//! rollout_throughput [--dataset flights1] [--lanes 8] [--rollout-len 96]
+//!                    [--iters 5] [--workers 1,2,4,8] [--seed 0]
+//! ```
+//!
+//! Note: the speedup column only shows >1 on multi-core machines; the
+//! determinism check is meaningful everywhere.
+
+use atena_bench::{f2, render_table};
+use atena_core::{Atena, AtenaConfig, Strategy};
+use atena_env::EdaEnv;
+use atena_rl::{
+    ActionMapper, ParallelRollouts, RolloutPlan, RolloutSource, TwofoldConfig, TwofoldPolicy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    dataset: String,
+    lanes: usize,
+    rollout_len: usize,
+    iters: u64,
+    workers: Vec<usize>,
+    seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            dataset: "flights1".into(),
+            lanes: 8,
+            rollout_len: 96,
+            iters: 5,
+            workers: vec![1, 2, 4, 8],
+            seed: 0,
+        }
+    }
+}
+
+const USAGE: &str = "\
+rollout_throughput — steps/sec of the deterministic rollout engine
+
+USAGE:
+  rollout_throughput [--dataset ID] [--lanes N] [--rollout-len N]
+                     [--iters N] [--workers 1,2,4,8] [--seed N]
+";
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value\n\n{USAGE}"))?;
+        match flag {
+            "--dataset" => config.dataset = value.clone(),
+            "--lanes" => config.lanes = value.parse().map_err(|_| "--lanes: integer expected")?,
+            "--rollout-len" => {
+                config.rollout_len = value
+                    .parse()
+                    .map_err(|_| "--rollout-len: integer expected")?
+            }
+            "--iters" => config.iters = value.parse().map_err(|_| "--iters: integer expected")?,
+            "--seed" => config.seed = value.parse().map_err(|_| "--seed: integer expected")?,
+            "--workers" => {
+                config.workers = value
+                    .split(',')
+                    .map(|w| w.trim().parse().map_err(|_| "--workers: integers expected"))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+        i += 2;
+    }
+    if config.workers.is_empty() {
+        return Err("--workers needs at least one count".into());
+    }
+    Ok(config)
+}
+
+/// One timed sweep at a worker count; returns (secs, trajectory digest).
+/// The digest folds every step reward in buffer order, so two sweeps with
+/// equal digests collected the same trajectories in the same order.
+fn sweep(
+    frame: &atena_dataframe::DataFrame,
+    env_config: &atena_env::EnvConfig,
+    plan_parts: &PlanParts,
+    config: &Config,
+    workers: usize,
+) -> (f64, u64) {
+    let mut source = ParallelRollouts::new(frame, env_config, config.lanes, config.seed, workers);
+    let start = Instant::now();
+    let mut digest = 0u64;
+    let mut steps = 0usize;
+    for iteration in 0..config.iters {
+        let plan = RolloutPlan {
+            policy: plan_parts.policy.as_ref(),
+            mapper: &plan_parts.mapper,
+            reward: plan_parts.reward.as_ref(),
+            rollout_len: config.rollout_len,
+            temperature: 1.0,
+            base_seed: config.seed,
+            iteration,
+        };
+        let (buffer, _episodes) = source.collect(&plan);
+        steps += buffer.len();
+        for step in buffer.steps() {
+            digest = digest
+                .rotate_left(7)
+                .wrapping_add(u64::from(step.reward.to_bits()));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let _ = steps;
+    (secs, digest)
+}
+
+struct PlanParts {
+    policy: Arc<TwofoldPolicy>,
+    mapper: ActionMapper,
+    reward: Arc<dyn atena_env::RewardModel>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Some(dataset) = atena_data::dataset_by_id(&config.dataset) else {
+        eprintln!("unknown dataset {:?}", config.dataset);
+        std::process::exit(2);
+    };
+    let focal = dataset.focal_attrs();
+    let frame = dataset.frame;
+
+    let mut atena_config = AtenaConfig::quick();
+    atena_config.env.seed = config.seed;
+    atena_config.probe_steps = 120;
+    let reward: Arc<dyn atena_env::RewardModel> = Arc::new(
+        Atena::new(&config.dataset, frame.clone())
+            .with_focal_attrs(focal)
+            .with_config(atena_config.clone())
+            .with_strategy(Strategy::Atena)
+            .build_reward(),
+    );
+    let probe = EdaEnv::new(frame.clone(), atena_config.env.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let policy = Arc::new(TwofoldPolicy::new(
+        probe.observation_dim(),
+        probe.action_space().head_sizes(),
+        TwofoldConfig { hidden: [64, 64] },
+        &mut rng,
+    ));
+    let plan_parts = PlanParts {
+        policy,
+        mapper: ActionMapper::Twofold,
+        reward,
+    };
+
+    let total_steps = config.lanes * config.rollout_len * config.iters as usize;
+    println!(
+        "rollout throughput on {:?}: {} lanes × {} steps × {} iters = {} env steps per sweep",
+        config.dataset, config.lanes, config.rollout_len, config.iters, total_steps
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    let mut digests: Vec<(usize, u64)> = Vec::new();
+    for &workers in &config.workers {
+        let (secs, digest) = sweep(&frame, &atena_config.env, &plan_parts, &config, workers);
+        digests.push((workers, digest));
+        let steps_per_sec = total_steps as f64 / secs.max(1e-9);
+        let baseline_sps = *baseline.get_or_insert(steps_per_sec);
+        rows.push(vec![
+            workers.to_string(),
+            f2(steps_per_sec),
+            f2(steps_per_sec / baseline_sps),
+            format!("{digest:016x}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["workers", "steps/sec", "speedup", "trajectory digest"],
+            &rows
+        )
+    );
+
+    let reference = digests[0].1;
+    let divergent: Vec<usize> = digests
+        .iter()
+        .filter(|(_, d)| *d != reference)
+        .map(|(w, _)| *w)
+        .collect();
+    if divergent.is_empty() {
+        println!(
+            "determinism: OK — all {} worker counts produced bit-identical trajectories",
+            digests.len()
+        );
+    } else {
+        eprintln!("determinism VIOLATED at worker counts {divergent:?}");
+        std::process::exit(1);
+    }
+}

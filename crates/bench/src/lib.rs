@@ -87,6 +87,9 @@ impl Scale {
                 seed,
             },
             trainer: TrainerConfig {
+                // Lanes track the worker knob so experiment scale is
+                // unchanged; extra threads beyond lanes would idle anyway.
+                n_lanes: self.n_workers,
                 n_workers: self.n_workers,
                 rollout_len: 96,
                 seed,

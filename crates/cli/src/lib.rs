@@ -9,6 +9,7 @@
 //!                           [--log-level L] [--metrics-out metrics.jsonl]
 //! atena demo <dataset-id>   [same options]   # cyber1..cyber4, flights1..flights4
 //! atena datasets                              # list the built-in datasets
+//! atena train <dataset-id>  [--workers N] [--out <ckpt.json>] [--steps N] ...
 //! atena checkpoint save <dataset-id> --out <ckpt.json> [--steps N] ...
 //! atena checkpoint load <ckpt.json>           # validate + describe a checkpoint
 //! atena serve --checkpoint <ckpt.json> [--addr A] [--workers N] [--cache-size N]
@@ -52,6 +53,8 @@ USAGE:
   atena demo <dataset-id>   [OPTIONS]   run on a built-in experimental dataset
   atena datasets                        list built-in datasets
   atena export <dataset-id> <file.csv>  write a built-in dataset as CSV
+  atena train <dataset-id>  [OPTIONS]   train a policy on a built-in dataset
+                                        (pass --out <ckpt.json> to save it)
   atena checkpoint save <dataset-id> --out <ckpt.json> [OPTIONS]
                                         train a policy, save it as a checkpoint
   atena checkpoint load <ckpt.json>     validate + describe a saved checkpoint
@@ -71,6 +74,8 @@ OPTIONS:
   --strategy <S>      atena | atn-io | ots-drl | ots-drl-b |
                       greedy-cr | greedy-io              [default: atena]
   --seed <N>          random seed                        [default: 0]
+  --workers <N>       rollout threads for training; changes speed, never
+                      results (DESIGN.md §4h)   [default: available parallelism]
   --out <file.md>     write the notebook as Markdown (default: stdout)
   --json <file.json>  also write the notebook summary as JSON
   --log-level <L>     error | warn | info | debug        [default: $ATENA_LOG or info]
@@ -102,6 +107,13 @@ pub enum Command {
         id: String,
         /// Output path.
         path: String,
+    },
+    /// Train a policy on a built-in dataset (optionally saving it).
+    Train {
+        /// Dataset id (`cyber1` … `flights4`).
+        id: String,
+        /// Training options; `opts.out` (when set) is the checkpoint path.
+        opts: GenerateOpts,
     },
     /// Aggregate a telemetry JSONL file into a per-metric table.
     MetricsSummarize {
@@ -150,6 +162,9 @@ pub struct GenerateOpts {
     pub strategy: Strategy,
     /// Seed.
     pub seed: u64,
+    /// Rollout threads for training (`None` = available parallelism).
+    /// Execution-only: never affects results.
+    pub workers: Option<usize>,
     /// Markdown output path (stdout when `None`).
     pub out: Option<String>,
     /// JSON output path.
@@ -168,6 +183,7 @@ impl Default for GenerateOpts {
             episode_len: 12,
             strategy: Strategy::Atena,
             seed: 0,
+            workers: None,
             out: None,
             json: None,
             log_level: None,
@@ -226,6 +242,14 @@ fn parse_opts(args: &[String]) -> Result<GenerateOpts, CliError> {
                 opts.seed = value(i)?
                     .parse()
                     .map_err(|_| CliError::Usage("--seed expects an integer".into()))?;
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--workers expects an integer".into()))?,
+                );
                 i += 2;
             }
             "--out" => {
@@ -292,6 +316,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 id,
                 opts: parse_opts(&args[2..])?,
             })
+        }
+        Some("train") => {
+            let id = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("train requires a dataset id".into()))?
+                .clone();
+            let opts = parse_opts(&args[2..])?;
+            if !opts.strategy.is_learned() {
+                return Err(CliError::Usage(format!(
+                    "strategy {} has no trainable policy",
+                    opts.strategy.name()
+                )));
+            }
+            Ok(Command::Train { id, opts })
         }
         Some("checkpoint") => match args.get(1).map(String::as_str) {
             Some("save") => {
@@ -390,10 +429,15 @@ fn config_for(opts: &GenerateOpts) -> AtenaConfig {
     config.env.episode_len = opts.episode_len;
     config.env.seed = opts.seed;
     config.trainer.seed = opts.seed;
+    // Thread count only — the determinism contract (DESIGN.md §4h)
+    // guarantees results don't depend on it, so defaulting to whatever
+    // the machine has is safe.
+    config.trainer.n_workers = opts.workers.unwrap_or_else(atena_runtime::default_workers);
     config
 }
 
-fn generate(name: &str, frame: DataFrame, opts: &GenerateOpts) -> Result<String, CliError> {
+/// Apply `--log-level` / `--metrics-out` to the global telemetry registry.
+fn apply_telemetry_opts(opts: &GenerateOpts) -> Result<(), CliError> {
     if let Some(level) = opts.log_level {
         atena_telemetry::set_level(level);
     }
@@ -403,6 +447,11 @@ fn generate(name: &str, frame: DataFrame, opts: &GenerateOpts) -> Result<String,
             .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
         atena_telemetry::info!("streaming telemetry to {path}");
     }
+    Ok(())
+}
+
+fn generate(name: &str, frame: DataFrame, opts: &GenerateOpts) -> Result<String, CliError> {
+    apply_telemetry_opts(opts)?;
     atena_telemetry::info!(
         "strategy {}, {} steps, {}-op notebook ...",
         opts.strategy.name(),
@@ -462,7 +511,11 @@ impl MetricSummary {
     }
 }
 
-/// Aggregate a `--metrics-out` JSONL file into a per-`(kind, name)` table.
+/// Aggregate a `--metrics-out` JSONL file into a per-`(name, kind)` table.
+///
+/// Rows are sorted alphabetically by metric name (then kind), so the output
+/// is stable across runs and diffable in CI logs regardless of event order
+/// in the stream.
 ///
 /// Tolerant of real-world telemetry files: malformed lines (truncated tail
 /// from a killed process, interleaved writes, non-event records) are skipped
@@ -487,7 +540,9 @@ pub fn summarize_metrics(path: &str) -> Result<String, CliError> {
                 ))
             });
         match parsed {
-            Some((kind, name, value)) => stats.entry((kind, name)).or_default().push(value),
+            // Keyed (name, kind): the BTreeMap iterates name-major, which
+            // is the sorted order the table prints in.
+            Some((kind, name, value)) => stats.entry((name, kind)).or_default().push(value),
             None => skipped += 1,
         }
     }
@@ -500,14 +555,14 @@ pub fn summarize_metrics(path: &str) -> Result<String, CliError> {
         return Ok(format!("{path}: no events\n{note}"));
     }
     let mut out = format!(
-        "{:<10} {:<34} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
-        "kind", "name", "count", "mean", "min", "max", "last"
+        "{:<34} {:<10} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+        "name", "kind", "count", "mean", "min", "max", "last"
     );
-    for ((kind, name), s) in &stats {
+    for ((name, kind), s) in &stats {
         out.push_str(&format!(
-            "{:<10} {:<34} {:>8} {:>12.5} {:>12.5} {:>12.5} {:>12.5}\n",
-            kind,
+            "{:<34} {:<10} {:>8} {:>12.5} {:>12.5} {:>12.5} {:>12.5}\n",
             name,
+            kind,
             s.count,
             s.sum / s.count as f64,
             s.min,
@@ -549,7 +604,39 @@ pub fn run(command: Command) -> Result<String, CliError> {
             ))
         }
         Command::MetricsSummarize { path } => summarize_metrics(&path),
+        Command::Train { id, opts } => {
+            apply_telemetry_opts(&opts)?;
+            let dataset = atena_data::dataset_by_id(&id).ok_or_else(|| {
+                CliError::Runtime(format!(
+                    "unknown dataset {id:?}; run `atena datasets` for the list"
+                ))
+            })?;
+            let focal = if opts.focal.is_empty() {
+                dataset.focal_attrs()
+            } else {
+                opts.focal.clone()
+            };
+            let config = config_for(&opts);
+            atena_telemetry::info!(
+                "training {} for {} steps on {} rollout threads ...",
+                opts.strategy.name(),
+                opts.steps,
+                config.trainer.n_workers
+            );
+            let bundle =
+                atena_core::train_policy_bundle(&id, dataset.frame, focal, config, opts.strategy)
+                    .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+            let mut out = bundle.describe();
+            if let Some(path) = &opts.out {
+                bundle
+                    .save(std::path::Path::new(path))
+                    .map_err(|e| CliError::Runtime(format!("cannot save checkpoint: {e}")))?;
+                out.push_str(&format!("\nwritten to {path}"));
+            }
+            Ok(out)
+        }
         Command::CheckpointSave { id, out, opts } => {
+            apply_telemetry_opts(&opts)?;
             let dataset = atena_data::dataset_by_id(&id).ok_or_else(|| {
                 CliError::Runtime(format!(
                     "unknown dataset {id:?}; run `atena datasets` for the list"
@@ -848,6 +935,82 @@ mod tests {
         let out = summarize_metrics(&mixed.to_string_lossy()).unwrap();
         assert!(out.contains('g'), "{out}");
         assert!(out.contains("1 malformed line skipped"), "{out}");
+    }
+
+    #[test]
+    fn parses_train_command() {
+        let cmd = parse(&args(&[
+            "train",
+            "cyber2",
+            "--steps",
+            "400",
+            "--workers",
+            "4",
+            "--out",
+            "c.json",
+        ]))
+        .unwrap();
+        let Command::Train { id, opts } = cmd else {
+            panic!()
+        };
+        assert_eq!(id, "cyber2");
+        assert_eq!(opts.steps, 400);
+        assert_eq!(opts.workers, Some(4));
+        assert_eq!(opts.out.as_deref(), Some("c.json"));
+        // --out is optional; --workers defaults to None (auto-detect).
+        let Command::Train { opts, .. } = parse(&args(&["train", "cyber2"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.workers, None);
+        assert_eq!(opts.out, None);
+        assert!(matches!(parse(&args(&["train"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["train", "cyber2", "--workers", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        // Non-learned strategies have nothing to train.
+        assert!(matches!(
+            parse(&args(&["train", "cyber2", "--strategy", "greedy-io"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn workers_flag_parses_on_generate_paths() {
+        let Command::Demo { opts, .. } =
+            parse(&args(&["demo", "cyber1", "--workers", "2"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.workers, Some(2));
+        let config = config_for(&opts);
+        assert_eq!(config.trainer.n_workers, 2);
+        // Unset: auto-detect yields at least one thread.
+        let auto = config_for(&GenerateOpts::default());
+        assert!(auto.trainer.n_workers >= 1);
+    }
+
+    #[test]
+    fn summarize_prints_metrics_sorted_by_name() {
+        let dir = std::env::temp_dir().join("atena-cli-metrics-sorted");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        // Deliberately unsorted input, with kinds that would sort the old
+        // kind-major way.
+        std::fs::write(
+            &path,
+            "\
+{\"ts\":1.0,\"kind\":\"iteration\",\"name\":\"zeta.metric\",\"value\":1.0,\"labels\":{}}
+{\"ts\":1.0,\"kind\":\"counter\",\"name\":\"runtime.worker.0.items\",\"value\":5.0,\"labels\":{}}
+{\"ts\":1.0,\"kind\":\"episode\",\"name\":\"alpha.metric\",\"value\":2.0,\"labels\":{}}
+",
+        )
+        .unwrap();
+        let out = summarize_metrics(&path.to_string_lossy()).unwrap();
+        let alpha = out.find("alpha.metric").unwrap();
+        let runtime = out.find("runtime.worker.0.items").unwrap();
+        let zeta = out.find("zeta.metric").unwrap();
+        assert!(alpha < runtime && runtime < zeta, "not name-sorted:\n{out}");
     }
 
     #[test]

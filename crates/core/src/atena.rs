@@ -57,6 +57,7 @@ impl AtenaConfig {
                 seed: 0,
             },
             trainer: TrainerConfig {
+                n_lanes: 2,
                 n_workers: 2,
                 rollout_len: 64,
                 ..Default::default()

@@ -168,17 +168,44 @@ pub struct EdaEnv {
 impl EdaEnv {
     /// Create an environment over a dataset.
     pub fn new(base: DataFrame, config: EnvConfig) -> Self {
+        Self::with_shared_base(Arc::new(base), config)
+    }
+
+    /// Create an environment over an already-shared dataset.
+    ///
+    /// The frame is refcounted, not copied, so a fleet of environments
+    /// over the same dataset (e.g. rollout lanes) pays for one copy of
+    /// the column data total rather than one per environment.
+    pub fn with_shared_base(base: Arc<DataFrame>, config: EnvConfig) -> Self {
         let space = ActionSpace::from_frame(&base, config.n_bins);
         let root = Display::root(&base);
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
-            base: Arc::new(base),
+            base,
             space,
             config,
             session: SessionTree::new(root),
             step: 0,
             rng,
             telemetry: EnvTelemetry::from_global(),
+        }
+    }
+
+    /// Cheaply fork this environment for another rollout lane: shares the
+    /// base frame and the (immutable) action space, starts a fresh
+    /// session at step 0 with `seed`. Unlike re-running [`EdaEnv::new`],
+    /// no column data is copied and the action space is not rebuilt.
+    pub fn fork_with_seed(&self, seed: u64) -> Self {
+        let mut config = self.config.clone();
+        config.seed = seed;
+        Self {
+            base: Arc::clone(&self.base),
+            space: self.space.clone(),
+            config,
+            session: SessionTree::new(Display::root(&self.base)),
+            step: 0,
+            rng: StdRng::seed_from_u64(seed),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -194,6 +221,12 @@ impl EdaEnv {
 
     /// The base dataset.
     pub fn base(&self) -> &DataFrame {
+        &self.base
+    }
+
+    /// The refcounted base dataset (lets callers verify or reuse sharing
+    /// across forked environments).
+    pub fn base_arc(&self) -> &Arc<DataFrame> {
         &self.base
     }
 

@@ -10,8 +10,10 @@
 //!   distinct action (OTS-DRL / OTS-DRL-B);
 //! - [`PpoLearner`] — advantage actor-critic with PPO clipping, GAE(λ), and
 //!   entropy regularization;
-//! - [`Trainer`] — parallel rollout actors (crossbeam) with synchronous
-//!   updates, convergence-curve logging, and best-episode extraction;
+//! - [`Trainer`] — deterministic rollout collection over the
+//!   `atena-runtime` worker pool (serial and parallel [`RolloutSource`]s
+//!   are bit-identical at a seed) with synchronous PPO updates,
+//!   convergence-curve logging, and best-episode extraction;
 //! - [`greedy_episode`] — the non-learned Greedy-IO / Greedy-CR baselines.
 
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ mod greedy;
 mod policy;
 mod ppo;
 mod rollout;
+mod source;
 mod trainer;
 mod twofold;
 
@@ -34,5 +37,6 @@ pub use policy::{
 };
 pub use ppo::{PpoConfig, PpoLearner, UpdateStats};
 pub use rollout::{AdvantageEstimates, RolloutBuffer, RolloutStep};
+pub use source::{ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts};
 pub use trainer::{CurvePoint, EpisodeRecord, TrainLog, Trainer, TrainerConfig};
 pub use twofold::{TwofoldConfig, TwofoldPolicy};

@@ -1,0 +1,400 @@
+//! Rollout sources: where the trainer's experience comes from.
+//!
+//! A [`RolloutSource`] owns a fleet of episode *lanes* — independent
+//! [`EdaEnv`]s that persist across iterations — and collects one
+//! iteration's worth of trajectory fragments from them on demand. The
+//! determinism contract (DESIGN.md §4h) is enforced here:
+//!
+//! - lane `l`'s randomness at iteration `k` comes from the counter-derived
+//!   stream `stream_seed(base_seed, l, k)` — never from a shared stateful
+//!   RNG, so it cannot depend on scheduling;
+//! - fragments are merged in lane order, so the buffer layout depends
+//!   only on `(n_lanes, rollout_len)`.
+//!
+//! [`SerialRollouts`] walks the lanes in order on the calling thread and
+//! is the reference schedule; [`ParallelRollouts`] shards the same lanes
+//! over an [`atena_runtime::Runtime`] and produces bit-identical output
+//! because neither the streams nor the merge order involve threads.
+
+use crate::policy::{ActionMapper, MappedAction, Policy};
+use crate::rollout::{RolloutBuffer, RolloutStep};
+use crate::trainer::EpisodeRecord;
+use atena_dataframe::DataFrame;
+use atena_env::{EdaEnv, EnvConfig, RewardBreakdown, RewardModel};
+use atena_runtime::{stream_seed, Runtime, STREAM_ENV, STREAM_INIT};
+use atena_telemetry::MetricsRegistry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a source needs to collect one iteration of experience.
+///
+/// Borrowed, not owned: the plan is rebuilt by the trainer each iteration
+/// with the current temperature and iteration counter.
+pub struct RolloutPlan<'a> {
+    /// The policy to sample actions from (read-only snapshot).
+    pub policy: &'a dyn Policy,
+    /// Decodes policy choices into environment actions.
+    pub mapper: &'a ActionMapper,
+    /// Scores each transition.
+    pub reward: &'a dyn RewardModel,
+    /// Steps to collect per lane.
+    pub rollout_len: usize,
+    /// Boltzmann exploration temperature.
+    pub temperature: f32,
+    /// Master seed the per-lane streams are derived from.
+    pub base_seed: u64,
+    /// Training iteration counter (selects the per-lane RNG stream).
+    pub iteration: u64,
+}
+
+/// One episode lane: an environment plus the running episode totals that
+/// survive across iteration boundaries (episodes need not align with
+/// rollout fragments).
+struct Lane {
+    env: EdaEnv,
+    episode_reward: f64,
+    episode_breakdown: RewardBreakdown,
+}
+
+/// A supplier of rollout experience over a fixed fleet of lanes.
+///
+/// Implementations must uphold the determinism contract: `collect`'s
+/// output is a pure function of the lane states and the plan — in
+/// particular it must not depend on how many threads executed it.
+pub trait RolloutSource: Send {
+    /// Collect `rollout_len` steps from every lane; fragments merged in
+    /// lane order.
+    fn collect(&mut self, plan: &RolloutPlan<'_>) -> (RolloutBuffer, Vec<EpisodeRecord>);
+
+    /// Number of episode lanes.
+    fn n_lanes(&self) -> usize;
+
+    /// Mutable access to one lane's environment (used for evaluation
+    /// episodes, which borrow lane 0).
+    fn lane_env_mut(&mut self, lane: usize) -> &mut EdaEnv;
+
+    /// Reroute any metrics this source records to `registry`.
+    fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>);
+}
+
+/// Build the lane fleet: one cheap fork of a template environment per
+/// lane (shared base frame, shared action-space construction), each with
+/// its own counter-derived config seed and initial episode seed.
+fn make_lanes(
+    base: &DataFrame,
+    env_config: &EnvConfig,
+    n_lanes: usize,
+    base_seed: u64,
+) -> Vec<Lane> {
+    let mut template_config = env_config.clone();
+    template_config.seed = stream_seed(base_seed, 0, STREAM_ENV);
+    let template = EdaEnv::with_shared_base(Arc::new(base.clone()), template_config);
+    (0..n_lanes.max(1))
+        .map(|lane| {
+            let lane = lane as u64;
+            let mut env = template.fork_with_seed(stream_seed(base_seed, lane, STREAM_ENV));
+            env.reset_with_seed(stream_seed(base_seed, lane, STREAM_INIT));
+            Lane {
+                env,
+                episode_reward: 0.0,
+                episode_breakdown: RewardBreakdown::default(),
+            }
+        })
+        .collect()
+}
+
+/// Apply a mapped action to the environment, scoring it with the reward
+/// model; returns the per-component reward breakdown.
+pub(crate) fn step_env(
+    env: &mut EdaEnv,
+    action: &MappedAction,
+    reward: &dyn RewardModel,
+) -> RewardBreakdown {
+    let start = Instant::now();
+    let op = match action {
+        MappedAction::Binned(a) => env.resolve(a),
+        MappedAction::Term(a) => env.resolve_flat_term(a),
+    };
+    let preview = env.preview(&op);
+    let r = {
+        let info = env.step_info(&preview);
+        reward.score(&info)
+    };
+    env.commit(preview);
+    env.step_latency_histogram()
+        .record_duration(start.elapsed());
+    r
+}
+
+/// Snapshot the environment's completed session as an [`EpisodeRecord`].
+pub(crate) fn episode_record(env: &EdaEnv, breakdown: RewardBreakdown) -> EpisodeRecord {
+    EpisodeRecord {
+        ops: env.session().ops().iter().map(|o| o.op.clone()).collect(),
+        total_reward: breakdown.total,
+        breakdown,
+    }
+}
+
+/// Collect one fragment from one lane. The lane's RNG for this iteration
+/// is derived fresh from its coordinates, so this function's effects are
+/// identical wherever (and on whatever thread) it runs.
+fn run_lane(
+    lane: &mut Lane,
+    lane_id: usize,
+    plan: &RolloutPlan<'_>,
+) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+    let mut rng =
+        StdRng::seed_from_u64(stream_seed(plan.base_seed, lane_id as u64, plan.iteration));
+    let mut buffer = RolloutBuffer::new();
+    let mut episodes = Vec::new();
+    for _ in 0..plan.rollout_len {
+        let obs = lane.env.observation();
+        let step = plan.policy.act(&obs, plan.temperature, &mut rng);
+        let mapped = plan.mapper.map(&step.choice);
+        let r = step_env(&mut lane.env, &mapped, plan.reward);
+        lane.episode_reward += r.total;
+        lane.episode_breakdown += r;
+        let done = lane.env.done();
+        buffer.push(RolloutStep {
+            obs,
+            choice: step.choice,
+            log_prob: step.log_prob,
+            value: step.value,
+            reward: r.total as f32,
+            done,
+        });
+        if done {
+            episodes.push(episode_record(&lane.env, lane.episode_breakdown));
+            lane.episode_reward = 0.0;
+            lane.episode_breakdown = RewardBreakdown::default();
+            let seed = rng.gen();
+            lane.env.reset_with_seed(seed);
+        }
+    }
+    (buffer, episodes)
+}
+
+/// Merge per-lane fragments (already in lane order) into one buffer.
+fn merge(results: Vec<(RolloutBuffer, Vec<EpisodeRecord>)>) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+    let mut buffer = RolloutBuffer::new();
+    let mut episodes = Vec::new();
+    for (b, eps) in results {
+        buffer.extend(b);
+        episodes.extend(eps);
+    }
+    (buffer, episodes)
+}
+
+/// The reference schedule: lanes walked in order on the calling thread.
+pub struct SerialRollouts {
+    lanes: Vec<Lane>,
+}
+
+impl SerialRollouts {
+    /// Build `n_lanes` lanes over `base` seeded from `base_seed`.
+    pub fn new(base: &DataFrame, env_config: &EnvConfig, n_lanes: usize, base_seed: u64) -> Self {
+        Self {
+            lanes: make_lanes(base, env_config, n_lanes, base_seed),
+        }
+    }
+}
+
+impl RolloutSource for SerialRollouts {
+    fn collect(&mut self, plan: &RolloutPlan<'_>) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+        let results = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(lane_id, lane)| run_lane(lane, lane_id, plan))
+            .collect();
+        merge(results)
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn lane_env_mut(&mut self, lane: usize) -> &mut EdaEnv {
+        &mut self.lanes[lane].env
+    }
+
+    fn set_telemetry(&mut self, _registry: Arc<MetricsRegistry>) {}
+}
+
+/// The parallel schedule: the same lanes, sharded over a [`Runtime`].
+///
+/// Bit-identical to [`SerialRollouts`] at the same seed and lane count —
+/// `run_lane` is coordinate-seeded and the runtime merges shard results
+/// in lane order. Worker count only changes wall-clock time.
+pub struct ParallelRollouts {
+    lanes: Vec<Lane>,
+    runtime: Runtime,
+    telemetry: Arc<MetricsRegistry>,
+}
+
+impl ParallelRollouts {
+    /// Build `n_lanes` lanes over `base` collected by `workers` threads.
+    pub fn new(
+        base: &DataFrame,
+        env_config: &EnvConfig,
+        n_lanes: usize,
+        base_seed: u64,
+        workers: usize,
+    ) -> Self {
+        Self {
+            lanes: make_lanes(base, env_config, n_lanes, base_seed),
+            runtime: Runtime::new(workers),
+            telemetry: atena_telemetry::global_arc(),
+        }
+    }
+
+    /// The underlying runtime (worker count etc.).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+}
+
+impl RolloutSource for ParallelRollouts {
+    fn collect(&mut self, plan: &RolloutPlan<'_>) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+        let results = self.runtime.scatter(&mut self.lanes, |lane_id, lane| {
+            run_lane(lane, lane_id, plan)
+        });
+        // Per-worker environment-step throughput, attributed by shard.
+        for (w, range) in self.runtime.shards(results.len()).into_iter().enumerate() {
+            let steps: usize = results[range].iter().map(|(b, _)| b.len()).sum();
+            self.telemetry
+                .counter(&format!("runtime.worker.{w}.steps"))
+                .add(steps as u64);
+        }
+        merge(results)
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn lane_env_mut(&mut self, lane: usize) -> &mut EdaEnv {
+        &mut self.lanes[lane].env
+    }
+
+    fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.telemetry = Arc::clone(&registry);
+        self.runtime = self.runtime.clone().with_telemetry(registry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twofold::{TwofoldConfig, TwofoldPolicy};
+    use atena_dataframe::AttrRole;
+    use atena_reward::{CoherencyConfig, CompoundReward};
+
+    fn base() -> DataFrame {
+        DataFrame::builder()
+            .str(
+                "proto",
+                AttrRole::Categorical,
+                (0..48).map(|i| Some(if i % 4 == 0 { "udp" } else { "tcp" })),
+            )
+            .int(
+                "len",
+                AttrRole::Numeric,
+                (0..48).map(|i| Some((i * 17 % 29) as i64)),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn fixture() -> (
+        Arc<TwofoldPolicy>,
+        ActionMapper,
+        Arc<CompoundReward>,
+        EnvConfig,
+    ) {
+        let env_config = EnvConfig {
+            episode_len: 4,
+            n_bins: 5,
+            history_window: 3,
+            seed: 9,
+        };
+        let probe = EdaEnv::new(base(), env_config.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let policy = TwofoldPolicy::new(
+            probe.observation_dim(),
+            probe.action_space().head_sizes(),
+            TwofoldConfig { hidden: [16, 16] },
+            &mut rng,
+        );
+        let mut reward =
+            CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["proto".into()]));
+        let mut fit_env = EdaEnv::new(base(), env_config.clone());
+        reward.fit(&mut fit_env, 60, 9);
+        (
+            Arc::new(policy),
+            ActionMapper::Twofold,
+            Arc::new(reward),
+            env_config,
+        )
+    }
+
+    fn collect_with(source: &mut dyn RolloutSource, iterations: u64) -> String {
+        let (policy, mapper, reward, _) = fixture();
+        let mut transcript = String::new();
+        for iteration in 0..iterations {
+            let plan = RolloutPlan {
+                policy: policy.as_ref(),
+                mapper: &mapper,
+                reward: reward.as_ref(),
+                rollout_len: 24,
+                temperature: 1.0,
+                base_seed: 9,
+                iteration,
+            };
+            let (buffer, episodes) = source.collect(&plan);
+            transcript.push_str(&format!("{:?}|{:?}\n", buffer.steps(), episodes));
+        }
+        transcript
+    }
+
+    #[test]
+    fn serial_and_parallel_sources_are_bit_identical() {
+        let (_, _, _, env_config) = fixture();
+        let frame = base();
+        let mut serial = SerialRollouts::new(&frame, &env_config, 4, 9);
+        let reference = collect_with(&mut serial, 3);
+        for workers in [1, 2, 4, 7] {
+            let registry = Arc::new(MetricsRegistry::new());
+            let mut parallel = ParallelRollouts::new(&frame, &env_config, 4, 9, workers);
+            parallel.set_telemetry(Arc::clone(&registry));
+            let transcript = collect_with(&mut parallel, 3);
+            assert_eq!(
+                transcript, reference,
+                "workers={workers} diverged from serial"
+            );
+            let snap = registry.snapshot();
+            let steps: u64 = (0..workers)
+                .filter_map(|w| snap.counter(&format!("runtime.worker.{w}.steps")))
+                .sum();
+            assert_eq!(steps, 3 * 4 * 24, "workers={workers} step accounting");
+        }
+    }
+
+    #[test]
+    fn lane_fleet_shares_one_base_frame() {
+        let (_, _, _, env_config) = fixture();
+        let source = SerialRollouts::new(&base(), &env_config, 6, 1);
+        assert_eq!(source.n_lanes(), 6);
+        // All lanes observe the same dataset through the same Arc.
+        let rows = source.lanes[0].env.base().n_rows();
+        for lane in &source.lanes {
+            assert_eq!(lane.env.base().n_rows(), rows);
+            assert!(std::sync::Arc::ptr_eq(
+                lane.env.base_arc(),
+                source.lanes[0].env.base_arc()
+            ));
+        }
+    }
+}

@@ -1,14 +1,19 @@
-//! The training loop: parallel rollout actors (crossbeam-scoped threads,
-//! the synchronous-update realization of A3C — see DESIGN.md §3.2) feeding
-//! the PPO learner, with mean-episode-reward tracking for the convergence
+//! The training loop: a deterministic rollout source (serial or sharded
+//! over the `atena-runtime` worker pool — see DESIGN.md §4h) feeding the
+//! PPO learner, with mean-episode-reward tracking for the convergence
 //! experiments (Figure 5) and best-episode extraction for notebook
-//! generation.
+//! generation. Worker count changes wall-clock speed only: at a fixed
+//! seed the `TrainLog` is bit-identical for any `n_workers`.
 
-use crate::policy::{ActionMapper, MappedAction, Policy};
+use crate::policy::{ActionMapper, Policy};
 use crate::ppo::{PpoConfig, PpoLearner, UpdateStats};
-use crate::rollout::{RolloutBuffer, RolloutStep};
+use crate::rollout::RolloutBuffer;
+use crate::source::{
+    episode_record, step_env, ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts,
+};
 use atena_dataframe::DataFrame;
-use atena_env::{EdaEnv, EnvConfig, ResolvedOp, RewardBreakdown, RewardModel};
+use atena_env::{EnvConfig, ResolvedOp, RewardBreakdown, RewardModel};
+use atena_runtime::{stream_seed, STREAM_EVAL};
 use atena_telemetry::MetricsRegistry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,9 +26,15 @@ use std::time::Instant;
 pub struct TrainerConfig {
     /// PPO hyperparameters.
     pub ppo: PpoConfig,
-    /// Steps each worker collects per iteration.
+    /// Steps each lane collects per iteration.
     pub rollout_len: usize,
-    /// Number of parallel rollout workers.
+    /// Number of episode lanes (independent environments collected per
+    /// iteration). Part of the result: changing it changes the data the
+    /// learner sees, like changing `rollout_len`.
+    pub n_lanes: usize,
+    /// Number of rollout threads. Execution-only: any value produces
+    /// bit-identical results at the same seed (the determinism contract,
+    /// DESIGN.md §4h); more threads only collect the same lanes faster.
     pub n_workers: usize,
     /// Boltzmann exploration temperature at the start of training.
     pub temperature: f32,
@@ -42,6 +53,7 @@ impl Default for TrainerConfig {
         Self {
             ppo: PpoConfig::default(),
             rollout_len: 96,
+            n_lanes: 4,
             n_workers: 4,
             temperature: 1.0,
             temperature_final: 1.0,
@@ -87,13 +99,6 @@ pub struct TrainLog {
     pub last_update: UpdateStats,
 }
 
-struct Worker {
-    env: EdaEnv,
-    rng: StdRng,
-    episode_reward: f64,
-    episode_breakdown: RewardBreakdown,
-}
-
 /// Everything worth reporting about one training iteration.
 struct IterationStats {
     steps: usize,
@@ -111,8 +116,9 @@ pub struct Trainer {
     reward: Arc<dyn RewardModel>,
     learner: PpoLearner,
     config: TrainerConfig,
-    workers: Vec<Worker>,
+    source: Box<dyn RolloutSource>,
     rng: StdRng,
+    eval_rng: StdRng,
     recent_episodes: Vec<f64>,
     best_episode: Option<EpisodeRecord>,
     total_steps: usize,
@@ -122,8 +128,9 @@ pub struct Trainer {
 }
 
 impl Trainer {
-    /// Create a trainer. Each worker gets an independent environment over
-    /// (a cheap clone of) the dataset.
+    /// Create a trainer. The lane fleet shares one copy of the dataset;
+    /// `config.n_workers` picks the serial or parallel rollout source
+    /// (which, per the determinism contract, does not affect results).
     pub fn new(
         policy: Arc<dyn Policy>,
         mapper: ActionMapper,
@@ -133,29 +140,27 @@ impl Trainer {
         config: TrainerConfig,
     ) -> Self {
         let learner = PpoLearner::new(policy.as_ref(), config.ppo);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let workers = (0..config.n_workers.max(1))
-            .map(|i| {
-                let mut wc = env_config.clone();
-                wc.seed = config.seed.wrapping_add(i as u64 * 7919);
-                let mut env = EdaEnv::new(base.clone(), wc);
-                env.reset_with_seed(rng.gen());
-                Worker {
-                    env,
-                    rng: StdRng::seed_from_u64(rng.gen()),
-                    episode_reward: 0.0,
-                    episode_breakdown: RewardBreakdown::default(),
-                }
-            })
-            .collect();
+        let n_lanes = config.n_lanes.max(1);
+        let source: Box<dyn RolloutSource> = if config.n_workers <= 1 {
+            Box::new(SerialRollouts::new(base, &env_config, n_lanes, config.seed))
+        } else {
+            Box::new(ParallelRollouts::new(
+                base,
+                &env_config,
+                n_lanes,
+                config.seed,
+                config.n_workers,
+            ))
+        };
         Self {
             policy,
             mapper,
             reward,
             learner,
             config,
-            workers,
-            rng,
+            source,
+            rng: StdRng::seed_from_u64(config.seed),
+            eval_rng: StdRng::seed_from_u64(stream_seed(config.seed, 0, STREAM_EVAL)),
             recent_episodes: Vec::new(),
             best_episode: None,
             total_steps: 0,
@@ -168,7 +173,8 @@ impl Trainer {
     /// Route this trainer's metrics and events to `registry` instead of the
     /// process-wide one (used by tests to capture output in isolation).
     pub fn with_telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
-        self.telemetry = registry;
+        self.telemetry = Arc::clone(&registry);
+        self.source.set_telemetry(registry);
         self
     }
 
@@ -330,143 +336,41 @@ impl Trainer {
         t.emit("episode", "reward.total", b.total, labels);
     }
 
-    /// Collect one iteration of rollouts from all workers in parallel.
+    /// Collect one iteration of rollouts from the source.
     fn collect_rollouts(&mut self, temperature: f32) -> (RolloutBuffer, Vec<EpisodeRecord>) {
-        let policy = &self.policy;
-        let mapper = &self.mapper;
-        let reward = &self.reward;
-        let rollout_len = self.config.rollout_len;
-
-        let results: Vec<(RolloutBuffer, Vec<EpisodeRecord>)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .map(|worker| {
-                    let policy = Arc::clone(policy);
-                    let mapper = mapper.clone();
-                    let reward = Arc::clone(reward);
-                    scope.spawn(move |_| {
-                        run_worker(
-                            worker,
-                            policy.as_ref(),
-                            &mapper,
-                            reward.as_ref(),
-                            rollout_len,
-                            temperature,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("rollout scope panicked");
-
-        let mut buffer = RolloutBuffer::new();
-        let mut episodes = Vec::new();
-        for (b, eps) in results {
-            buffer.extend(b);
-            episodes.extend(eps);
-        }
-        (buffer, episodes)
+        let plan = RolloutPlan {
+            policy: self.policy.as_ref(),
+            mapper: &self.mapper,
+            reward: self.reward.as_ref(),
+            rollout_len: self.config.rollout_len,
+            temperature,
+            base_seed: self.config.seed,
+            iteration: self.total_iterations as u64,
+        };
+        self.source.collect(&plan)
     }
 
     /// Run `n` evaluation episodes at a (typically low) temperature without
-    /// learning; returns the episode records.
+    /// learning; returns the episode records. Evaluation draws from its own
+    /// RNG stream (`STREAM_EVAL`), so it never perturbs training
+    /// randomness — and is itself independent of the worker count.
     pub fn evaluate(&mut self, n: usize, temperature: f32) -> Vec<EpisodeRecord> {
         let mut out = Vec::with_capacity(n);
-        let worker = &mut self.workers[0];
         for _ in 0..n {
-            worker.env.reset_with_seed(worker.rng.gen());
+            let seed = self.eval_rng.gen();
+            let env = self.source.lane_env_mut(0);
+            env.reset_with_seed(seed);
             let mut breakdown = RewardBreakdown::default();
-            while !worker.env.done() {
-                let obs = worker.env.observation();
-                let step = self.policy.act(&obs, temperature, &mut worker.rng);
+            while !env.done() {
+                let obs = env.observation();
+                let step = self.policy.act(&obs, temperature, &mut self.eval_rng);
                 let mapped = self.mapper.map(&step.choice);
-                breakdown += step_env(&mut worker.env, &mapped, self.reward.as_ref());
+                breakdown += step_env(env, &mapped, self.reward.as_ref());
             }
-            out.push(EpisodeRecord {
-                ops: worker
-                    .env
-                    .session()
-                    .ops()
-                    .iter()
-                    .map(|o| o.op.clone())
-                    .collect(),
-                total_reward: breakdown.total,
-                breakdown,
-            });
+            out.push(episode_record(env, breakdown));
         }
         out
     }
-}
-
-/// Apply a mapped action to the environment, scoring it with the reward
-/// model; returns the per-component reward breakdown.
-fn step_env(env: &mut EdaEnv, action: &MappedAction, reward: &dyn RewardModel) -> RewardBreakdown {
-    let start = Instant::now();
-    let op = match action {
-        MappedAction::Binned(a) => env.resolve(a),
-        MappedAction::Term(a) => env.resolve_flat_term(a),
-    };
-    let preview = env.preview(&op);
-    let r = {
-        let info = env.step_info(&preview);
-        reward.score(&info)
-    };
-    env.commit(preview);
-    env.step_latency_histogram()
-        .record_duration(start.elapsed());
-    r
-}
-
-fn run_worker(
-    worker: &mut Worker,
-    policy: &dyn Policy,
-    mapper: &ActionMapper,
-    reward: &dyn RewardModel,
-    rollout_len: usize,
-    temperature: f32,
-) -> (RolloutBuffer, Vec<EpisodeRecord>) {
-    let mut buffer = RolloutBuffer::new();
-    let mut episodes = Vec::new();
-    for _ in 0..rollout_len {
-        let obs = worker.env.observation();
-        let step = policy.act(&obs, temperature, &mut worker.rng);
-        let mapped = mapper.map(&step.choice);
-        let r = step_env(&mut worker.env, &mapped, reward);
-        worker.episode_reward += r.total;
-        worker.episode_breakdown += r;
-        let done = worker.env.done();
-        buffer.push(RolloutStep {
-            obs,
-            choice: step.choice,
-            log_prob: step.log_prob,
-            value: step.value,
-            reward: r.total as f32,
-            done,
-        });
-        if done {
-            episodes.push(EpisodeRecord {
-                ops: worker
-                    .env
-                    .session()
-                    .ops()
-                    .iter()
-                    .map(|o| o.op.clone())
-                    .collect(),
-                total_reward: worker.episode_reward,
-                breakdown: worker.episode_breakdown,
-            });
-            worker.episode_reward = 0.0;
-            worker.episode_breakdown = RewardBreakdown::default();
-            let seed = worker.rng.gen();
-            worker.env.reset_with_seed(seed);
-        }
-    }
-    (buffer, episodes)
 }
 
 #[cfg(test)]
@@ -474,6 +378,7 @@ mod tests {
     use super::*;
     use crate::twofold::{TwofoldConfig, TwofoldPolicy};
     use atena_dataframe::AttrRole;
+    use atena_env::EdaEnv;
     use atena_reward::{CoherencyConfig, CompoundReward};
 
     fn base() -> DataFrame {
@@ -522,6 +427,7 @@ mod tests {
             &base(),
             env_config,
             TrainerConfig {
+                n_lanes: 2,
                 n_workers,
                 rollout_len: 48,
                 eval_window: 10,
@@ -578,6 +484,20 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_results() {
+        // The determinism contract at trainer level: the full TrainLog —
+        // curve, counters, best episode, final update diagnostics — is
+        // bit-identical across worker counts at a fixed seed.
+        let run = |n_workers| {
+            let mut t = make_trainer(n_workers, 11);
+            format!("{:?}", t.train(192))
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(4), serial);
+    }
+
+    #[test]
     fn evaluate_produces_full_episodes() {
         let mut t = make_trainer(1, 5);
         let eps = t.evaluate(3, 0.5);
@@ -585,5 +505,15 @@ mod tests {
         for e in eps {
             assert_eq!(e.ops.len(), 6);
         }
+    }
+
+    #[test]
+    fn evaluate_is_worker_count_independent() {
+        let run = |n_workers| {
+            let mut t = make_trainer(n_workers, 13);
+            t.train(96);
+            format!("{:?}", t.evaluate(4, 0.5))
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -65,6 +65,7 @@ fn train_streams_iteration_and_episode_events() {
         &base(),
         env_config,
         TrainerConfig {
+            n_lanes: 2,
             n_workers: 2,
             rollout_len: 48,
             seed: 11,
@@ -77,7 +78,7 @@ fn train_streams_iteration_and_episode_events() {
         },
     )
     .with_telemetry(Arc::clone(&registry));
-    // Two iterations' worth of steps (2 workers x 48 per iteration).
+    // Two iterations' worth of steps (2 lanes x 48 per iteration).
     trainer.train(192);
 
     let text = std::fs::read_to_string(&path).unwrap();

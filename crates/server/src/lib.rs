@@ -100,7 +100,14 @@ impl ServerHandle {
 
     /// Request a graceful drain and wait for the server to finish.
     pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    /// Set the drain flag, unblock the accept loop with a self-connect,
+    /// and join the server thread.
+    fn finish(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        signal::wake_addr(self.addr);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -109,10 +116,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.finish();
     }
 }
 
@@ -160,32 +164,42 @@ impl Server {
             config,
             shutdown,
         } = self;
-        listener
-            .set_nonblocking(true)
-            .expect("cannot set listener nonblocking");
         let pool = ThreadPool::new(config.workers);
-        let accept_pause = Duration::from_millis(10);
+        // The accept is fully blocking: zero idle CPU and no accept-latency
+        // floor. Shutdown paths (handle, request_shutdown, signals via the
+        // self-pipe watcher) unblock it with a throwaway self-connect, so
+        // the loop re-checks the drain flag after every accept.
+        let addr = listener.local_addr().ok();
+        if let Some(a) = addr {
+            signal::register_listener(a);
+        }
         loop {
             if shutdown.load(Ordering::SeqCst) || signal::shutdown_requested() {
                 break;
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    if shutdown.load(Ordering::SeqCst) || signal::shutdown_requested() {
+                        // A shutdown wake-up (or a client racing the
+                        // drain): close it unanswered and stop accepting.
+                        drop(stream);
+                        break;
+                    }
                     state.telemetry.counter("server.connections").inc();
                     let state = Arc::clone(&state);
                     let shutdown = Arc::clone(&shutdown);
                     let config = config.clone();
                     pool.execute(move || handle_connection(stream, &state, &config, &shutdown));
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(accept_pause);
-                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
                     atena_telemetry::warn!("accept failed: {e}");
-                    std::thread::sleep(accept_pause);
+                    std::thread::sleep(Duration::from_millis(10));
                 }
             }
+        }
+        if let Some(a) = addr {
+            signal::deregister_listener(a);
         }
         // Drain: the pool's Drop closes the queue and joins every worker,
         // letting in-flight connections finish their current request.

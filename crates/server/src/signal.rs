@@ -1,37 +1,141 @@
-//! SIGTERM / SIGINT handling without external crates: a C `signal(2)`
-//! handler (via the libc already linked into every Rust binary) that flips a
-//! process-wide atomic flag. The server's accept loop polls the flag and
-//! drains when it is set.
+//! SIGTERM / SIGINT handling without external crates, built for a
+//! *blocking* accept loop.
+//!
+//! A C `signal(2)` handler (via the libc already linked into every Rust
+//! binary) flips a process-wide atomic flag and pokes a self-pipe — the
+//! only two async-signal-safe actions it takes. A watcher thread blocks on
+//! the pipe's read end and, when poked, wakes every registered listener
+//! out of its blocking `accept` with a throwaway loopback connection. The
+//! accept loop re-checks the flag after every accepted connection, so the
+//! wake-up connection itself is never treated as a client.
+//!
+//! (`signal(2)` on glibc has BSD semantics: handlers are installed with
+//! `SA_RESTART`, so a blocking `accept` would never observe `EINTR` — the
+//! self-connect is the reliable wake-up, not interruption.)
 
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Set once a termination signal has been observed.
 static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
 
+/// Bound addresses of accept loops currently running, so a shutdown can
+/// connect to each and unblock it.
+static LISTENERS: Mutex<Vec<SocketAddr>> = Mutex::new(Vec::new());
+
+/// Track a running accept loop's bound address.
+pub(crate) fn register_listener(addr: SocketAddr) {
+    LISTENERS
+        .lock()
+        .expect("listener registry poisoned")
+        .push(addr);
+}
+
+/// Forget a stopped accept loop's address.
+pub(crate) fn deregister_listener(addr: SocketAddr) {
+    let mut listeners = LISTENERS.lock().expect("listener registry poisoned");
+    if let Some(pos) = listeners.iter().position(|a| *a == addr) {
+        listeners.swap_remove(pos);
+    }
+}
+
+/// Unblock one listener with a throwaway connection. A wildcard bind
+/// (`0.0.0.0` / `::`) is rewritten to loopback, which reaches the same
+/// socket and is always connectable.
+pub(crate) fn wake_addr(mut addr: SocketAddr) {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+/// Unblock every registered listener.
+pub(crate) fn wake_listeners() {
+    let addrs: Vec<SocketAddr> = LISTENERS
+        .lock()
+        .expect("listener registry poisoned")
+        .clone();
+    for addr in addrs {
+        wake_addr(addr);
+    }
+}
+
 #[cfg(unix)]
 mod sys {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
     pub const SIGINT: i32 = 2;
     pub const SIGTERM: i32 = 15;
 
     extern "C" {
         /// POSIX `signal(2)`; always available since Rust binaries link libc.
         pub fn signal(signum: i32, handler: usize) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
-    /// Async-signal-safe: a relaxed atomic store only.
+    /// Write end of the self-pipe the handler pokes.
+    static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    /// Async-signal-safe: an atomic store and a `write(2)` only. The
+    /// non-signal-safe work (connecting to listeners) happens on the
+    /// watcher thread.
     pub extern "C" fn on_signal(_signum: i32) {
         super::SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+        let fd = WAKE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = 1u8;
+            unsafe {
+                write(fd, &byte, 1);
+            }
+        }
+    }
+
+    /// Create the self-pipe and the thread that turns signal pokes into
+    /// listener wake-ups. Called once; failure degrades to flag-only
+    /// signaling (the next accepted connection still observes the drain).
+    pub fn spawn_watcher() {
+        let mut fds = [-1i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return;
+        }
+        let [read_fd, write_fd] = fds;
+        WAKE_FD.store(write_fd, Ordering::SeqCst);
+        let _ = std::thread::Builder::new()
+            .name("atena-signal-watch".into())
+            .spawn(move || loop {
+                let mut buf = [0u8; 16];
+                let n = unsafe { read(read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n == 0 {
+                    return; // write end closed: process is tearing down
+                }
+                if n > 0 {
+                    super::wake_listeners();
+                }
+                // n < 0 (EINTR): retry the read.
+            });
     }
 }
 
-/// Install handlers for SIGINT and SIGTERM that request a graceful drain.
-/// Idempotent; a no-op on non-Unix targets.
+/// Install handlers for SIGINT and SIGTERM that request a graceful drain
+/// and wake any blocking accept loops. Idempotent; a no-op on non-Unix
+/// targets.
 pub fn install_handlers() {
     #[cfg(unix)]
-    unsafe {
-        let handler = sys::on_signal as extern "C" fn(i32) as usize;
-        sys::signal(sys::SIGINT, handler);
-        sys::signal(sys::SIGTERM, handler);
+    {
+        static INIT: std::sync::Once = std::sync::Once::new();
+        INIT.call_once(sys::spawn_watcher);
+        unsafe {
+            let handler = sys::on_signal as extern "C" fn(i32) as usize;
+            sys::signal(sys::SIGINT, handler);
+            sys::signal(sys::SIGTERM, handler);
+        }
     }
 }
 
@@ -40,9 +144,11 @@ pub fn shutdown_requested() -> bool {
     SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
 }
 
-/// Request shutdown programmatically (tests, embedding).
+/// Request shutdown programmatically (tests, embedding): sets the flag and
+/// unblocks every registered accept loop.
 pub fn request_shutdown() {
     SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    wake_listeners();
 }
 
 #[cfg(test)]
@@ -51,9 +157,27 @@ mod tests {
 
     #[test]
     fn programmatic_request_flips_flag() {
-        // Note: the flag is process-wide; this test only ever sets it.
-        assert!(!shutdown_requested() || true);
+        // Note: the flag is process-wide, so only assert the set direction.
         request_shutdown();
         assert!(shutdown_requested());
+    }
+
+    #[test]
+    fn listener_registry_add_remove() {
+        let addr: SocketAddr = "127.0.0.1:54321".parse().unwrap();
+        register_listener(addr);
+        assert!(LISTENERS.lock().unwrap().contains(&addr));
+        deregister_listener(addr);
+        assert!(!LISTENERS.lock().unwrap().contains(&addr));
+        // Deregistering an unknown address is a no-op, not a panic.
+        deregister_listener(addr);
+    }
+
+    #[test]
+    fn wake_addr_rewrites_wildcard_and_tolerates_refusal() {
+        // Nothing listens here; the wake must swallow the failure either
+        // way, including for a wildcard IP.
+        wake_addr("0.0.0.0:1".parse().unwrap());
+        wake_addr("127.0.0.1:1".parse().unwrap());
     }
 }

@@ -287,3 +287,33 @@ fn oversized_body_rejected_over_socket() {
 
     handle.shutdown();
 }
+
+#[test]
+fn idle_shutdown_is_prompt() {
+    // The accept loop blocks in accept(2) with no polling; shutdown must
+    // wake it with a self-connect rather than waiting for a client. If the
+    // wake were lost, handle.shutdown() would join forever.
+    let engine = Engine::new(tiny_bundle(), base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_size: 4,
+            ..Default::default()
+        },
+        engine,
+        telemetry,
+    )
+    .unwrap();
+    let handle = server.spawn().unwrap();
+    // Let the loop reach its blocking accept with zero traffic.
+    std::thread::sleep(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "idle shutdown took {:?}",
+        start.elapsed()
+    );
+}

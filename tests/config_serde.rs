@@ -29,6 +29,7 @@ fn env_and_trainer_configs_round_trip() {
             clip_eps: 0.15,
             ..Default::default()
         },
+        n_lanes: 5,
         n_workers: 3,
         ..Default::default()
     };

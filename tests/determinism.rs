@@ -1,0 +1,118 @@
+//! The determinism contract (DESIGN.md §4h), enforced end-to-end: the
+//! worker count changes how fast rollouts are collected, never what is
+//! learned. At a fixed seed the full `TrainLog` and the final checkpoint
+//! blob must be **bit-identical** for `workers=1` vs `workers=4`.
+//!
+//! Triage rule (KNOWN_FAILURES.md): any "parallel run differs from serial"
+//! report is a bug in whatever made randomness or merge order depend on
+//! scheduling — never something to paper over by loosening these asserts.
+
+use atena::core::{train_policy_bundle, AtenaConfig, Strategy};
+use atena::dataframe::{AttrRole, DataFrame};
+use atena::env::{EdaEnv, EnvConfig};
+use atena::reward::{CoherencyConfig, CompoundReward};
+use atena::rl::{ActionMapper, PpoConfig, Trainer, TrainerConfig, TwofoldConfig, TwofoldPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn base() -> DataFrame {
+    DataFrame::builder()
+        .str(
+            "proto",
+            AttrRole::Categorical,
+            (0..60).map(|i| Some(if i % 5 == 0 { "udp" } else { "tcp" })),
+        )
+        .str(
+            "src",
+            AttrRole::Categorical,
+            (0..60).map(|i| Some(["a", "b", "c"][i % 3])),
+        )
+        .int(
+            "len",
+            AttrRole::Numeric,
+            (0..60).map(|i| Some((i * 13 % 31) as i64)),
+        )
+        .build()
+        .unwrap()
+}
+
+fn quick_config(workers: usize) -> AtenaConfig {
+    let mut c = AtenaConfig::quick();
+    c.train_steps = 400;
+    c.probe_steps = 80;
+    c.env.episode_len = 4;
+    c.trainer.n_workers = workers;
+    c
+}
+
+#[test]
+fn checkpoint_blob_is_bit_identical_across_worker_counts() {
+    // The bundle JSON covers everything a served policy is: every f32
+    // parameter, the best observed reward, and the step provenance. String
+    // equality of the serialized form is bit-identity.
+    let run = |workers: usize| {
+        train_policy_bundle(
+            "det",
+            base(),
+            vec![],
+            quick_config(workers),
+            Strategy::Atena,
+        )
+        .unwrap()
+        .to_json()
+        .unwrap()
+    };
+    let serial = run(1);
+    assert_eq!(run(4), serial, "workers=4 checkpoint differs from serial");
+}
+
+#[test]
+fn train_log_is_bit_identical_across_worker_counts() {
+    let run = |n_workers: usize| {
+        let seed = 23;
+        let env_config = EnvConfig {
+            episode_len: 6,
+            n_bins: 5,
+            history_window: 3,
+            seed,
+        };
+        let probe = EdaEnv::new(base(), env_config.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = TwofoldPolicy::new(
+            probe.observation_dim(),
+            probe.action_space().head_sizes(),
+            TwofoldConfig { hidden: [32, 32] },
+            &mut rng,
+        );
+        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["src".into()]));
+        let mut fit_env = EdaEnv::new(base(), env_config.clone());
+        reward.fit(&mut fit_env, 120, seed);
+        let mut trainer = Trainer::new(
+            Arc::new(policy),
+            ActionMapper::Twofold,
+            Arc::new(reward),
+            &base(),
+            env_config,
+            TrainerConfig {
+                n_lanes: 4,
+                n_workers,
+                rollout_len: 32,
+                eval_window: 10,
+                seed,
+                ppo: PpoConfig {
+                    minibatch: 32,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // Debug-format the full log: curve points, episode/step counters,
+        // best episode (ops + f64 rewards), and final update diagnostics
+        // all print at full precision, so equal strings ⇔ equal values.
+        format!("{:?}", trainer.train(256))
+    };
+    let serial = run(1);
+    assert_eq!(run(4), serial, "workers=4 TrainLog differs from serial");
+}

@@ -17,6 +17,7 @@ fn quick_config(train_steps: usize, episode_len: usize) -> AtenaConfig {
             seed: 0,
         },
         trainer: TrainerConfig {
+            n_lanes: 2,
             n_workers: 2,
             rollout_len: 64,
             seed: 0,
