@@ -1,0 +1,139 @@
+//! Per-phase cost profile of the environment step loop, with and without
+//! the shared display cache — run `profile_step [cache_capacity]`.
+//!
+//! Mimics the rollout engine's lane structure: 8 lanes sharing one base
+//! frame (and, when capacity > 0, one display cache), stepped round-robin.
+
+use atena_core::{Atena, AtenaConfig, Strategy};
+use atena_env::{DisplayCache, EdaEnv};
+use atena_rl::{ActionMapper, Policy, TwofoldConfig, TwofoldPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let capacity: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
+    let ds = atena_data::dataset_by_id("flights1").unwrap();
+    let focal = ds.focal_attrs();
+    let frame = ds.frame;
+    let mut cfg = AtenaConfig::quick();
+    cfg.probe_steps = 120;
+    let reward: Arc<dyn atena_env::RewardModel> = Arc::new(
+        Atena::new("flights1", frame.clone())
+            .with_focal_attrs(focal)
+            .with_config(cfg.clone())
+            .with_strategy(Strategy::Atena)
+            .build_reward(),
+    );
+    let probe = EdaEnv::new(frame.clone(), cfg.env.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+    let policy = TwofoldPolicy::new(
+        probe.observation_dim(),
+        probe.action_space().head_sizes(),
+        TwofoldConfig { hidden: [64, 64] },
+        &mut rng,
+    );
+    let mapper = ActionMapper::Twofold;
+
+    let cache = (capacity > 0).then(|| Arc::new(DisplayCache::new(capacity)));
+    let mut template = EdaEnv::new(frame.clone(), cfg.env.clone());
+    if let Some(cache) = &cache {
+        template = template.with_display_cache(Arc::clone(cache));
+    }
+    let n_lanes = 8;
+    let mut lanes: Vec<(EdaEnv, StdRng)> = (0..n_lanes)
+        .map(|lane| {
+            (
+                template.fork_with_seed(1000 + lane as u64),
+                StdRng::seed_from_u64(77 + lane as u64),
+            )
+        })
+        .collect();
+
+    let mut t_act = Duration::ZERO;
+    let mut t_resolve = Duration::ZERO;
+    let mut t_preview = Duration::ZERO;
+    let mut t_reward = Duration::ZERO;
+    let mut t_commit = Duration::ZERO;
+    let mut t_preview_hit = Duration::ZERO;
+    let mut t_preview_miss = Duration::ZERO;
+    let (mut n_hit, mut n_miss) = (0u64, 0u64);
+    let mut slow: Vec<(Duration, String)> = Vec::new();
+    let mut ep = 0u64;
+    let start = Instant::now();
+    for _round in 0..240 {
+        for (env, rng) in lanes.iter_mut() {
+            let s0 = Instant::now();
+            let obs = env.observation();
+            let step = policy.act(&obs, 1.0, rng);
+            let mapped = mapper.map(&step.choice);
+            let s1 = Instant::now();
+            let op = match &mapped {
+                atena_rl::MappedAction::Binned(a) => env.resolve(a),
+                atena_rl::MappedAction::Term(a) => env.resolve_flat_term(a),
+            };
+            let hits_before = cache.as_ref().map(|c| c.stats().hits).unwrap_or(0);
+            let s2 = Instant::now();
+            let preview = env.preview(&op);
+            let s3 = Instant::now();
+            let was_hit = cache.as_ref().map(|c| c.stats().hits).unwrap_or(0) > hits_before;
+            if was_hit {
+                t_preview_hit += s3 - s2;
+                n_hit += 1;
+            } else {
+                t_preview_miss += s3 - s2;
+                n_miss += 1;
+            }
+            let r = {
+                let info = env.step_info(&preview);
+                reward.score(&info)
+            };
+            let _ = r;
+            let s4 = Instant::now();
+            env.commit(preview);
+            let s5 = Instant::now();
+            t_act += s1 - s0;
+            t_resolve += s2 - s1;
+            t_preview += s3 - s2;
+            t_reward += s4 - s3;
+            t_commit += s5 - s4;
+            let total = s5 - s0;
+            if total > Duration::from_millis(2) {
+                slow.push((
+                    total,
+                    format!(
+                        "{op:?} | resolve={:?} preview={:?} reward={:?}",
+                        s2 - s1,
+                        s3 - s2,
+                        s4 - s3
+                    ),
+                ));
+            }
+            if env.done() {
+                ep += 1;
+                env.reset_with_seed(5000 + ep);
+            }
+        }
+    }
+    let steps = 240 * n_lanes;
+    println!(
+        "cache={capacity} steps={steps} total={:?} ({:.0} steps/sec)",
+        start.elapsed(),
+        steps as f64 / start.elapsed().as_secs_f64()
+    );
+    println!("act={t_act:?} resolve={t_resolve:?} preview={t_preview:?} reward={t_reward:?} commit={t_commit:?}");
+    if let Some(cache) = &cache {
+        println!("cache stats: {:?}", cache.stats());
+    }
+    println!(
+        "preview: {n_hit} hit previews in {t_preview_hit:?}, {n_miss} miss/uncached previews in {t_preview_miss:?}"
+    );
+    slow.sort_by(|a, b| b.0.cmp(&a.0));
+    for (d, what) in slow.iter().take(10) {
+        println!("{d:>12?}  {what}");
+    }
+}

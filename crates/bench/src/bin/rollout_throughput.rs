@@ -1,22 +1,28 @@
 //! Rollout-throughput driver for the `atena-runtime` scatter engine:
-//! collects identical rollout iterations at several worker counts and
-//! reports steps/sec plus the speedup over one worker — while asserting
-//! the determinism contract (every worker count must produce bit-identical
-//! trajectories).
+//! collects identical rollout iterations at several worker counts — each
+//! both with and without the shared display cache — and reports steps/sec,
+//! the speedup over one worker, and the cache's hit rate and speedup,
+//! while asserting the determinism contract (every worker count and cache
+//! configuration must produce bit-identical trajectories).
 //!
 //! ```text
 //! rollout_throughput [--dataset flights1] [--lanes 8] [--rollout-len 96]
-//!                    [--iters 5] [--workers 1,2,4,8] [--seed 0]
+//!                    [--iters 5] [--workers 1,2,4,8] [--cache 4096]
+//!                    [--seed 0]
 //! ```
+//!
+//! With `$ATENA_METRICS_OUT` set, telemetry (including the `env.cache.*`
+//! hit/miss/eviction counters) streams to that file as JSONL.
 //!
 //! Note: the speedup column only shows >1 on multi-core machines; the
 //! determinism check is meaningful everywhere.
 
-use atena_bench::{f2, render_table};
+use atena_bench::{f2, finish_telemetry, init_telemetry, render_table};
 use atena_core::{Atena, AtenaConfig, Strategy};
-use atena_env::EdaEnv;
+use atena_env::{DisplayCache, DisplayCacheStats, EdaEnv};
 use atena_rl::{
-    ActionMapper, ParallelRollouts, RolloutPlan, RolloutSource, TwofoldConfig, TwofoldPolicy,
+    ActionMapper, ParallelRollouts, Policy, RolloutPlan, RolloutSource, TwofoldConfig,
+    TwofoldPolicy,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +35,10 @@ struct Config {
     rollout_len: usize,
     iters: u64,
     workers: Vec<usize>,
+    cache: usize,
+    temperature: f32,
+    decode_episodes: u64,
+    decode_seeds: u64,
     seed: u64,
 }
 
@@ -40,6 +50,10 @@ impl Default for Config {
             rollout_len: 96,
             iters: 5,
             workers: vec![1, 2, 4, 8],
+            cache: 4096,
+            temperature: 1.0,
+            decode_episodes: 48,
+            decode_seeds: 4,
             seed: 0,
         }
     }
@@ -50,7 +64,9 @@ rollout_throughput — steps/sec of the deterministic rollout engine
 
 USAGE:
   rollout_throughput [--dataset ID] [--lanes N] [--rollout-len N]
-                     [--iters N] [--workers 1,2,4,8] [--seed N]
+                     [--iters N] [--workers 1,2,4,8] [--cache N]
+                     [--temperature T] [--decode-episodes N]
+                     [--decode-seeds N] [--seed N]
 ";
 
 fn parse_args(args: &[String]) -> Result<Config, String> {
@@ -73,6 +89,29 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                     .map_err(|_| "--rollout-len: integer expected")?
             }
             "--iters" => config.iters = value.parse().map_err(|_| "--iters: integer expected")?,
+            "--cache" => config.cache = value.parse().map_err(|_| "--cache: integer expected")?,
+            "--temperature" => {
+                config.temperature = value
+                    .parse()
+                    .map_err(|_| "--temperature: number expected")?
+            }
+            "--decode-episodes" => {
+                config.decode_episodes = value
+                    .parse()
+                    .map_err(|_| "--decode-episodes: integer expected")?
+            }
+            "--decode-seeds" => {
+                config.decode_seeds = value
+                    .parse()
+                    .map_err(|_| "--decode-seeds: non-zero integer expected")
+                    .and_then(|v| {
+                        if v == 0 {
+                            Err("--decode-seeds: must be non-zero")
+                        } else {
+                            Ok(v)
+                        }
+                    })?
+            }
             "--seed" => config.seed = value.parse().map_err(|_| "--seed: integer expected")?,
             "--workers" => {
                 config.workers = value
@@ -90,32 +129,39 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     Ok(config)
 }
 
-/// One timed sweep at a worker count; returns (secs, trajectory digest).
-/// The digest folds every step reward in buffer order, so two sweeps with
-/// equal digests collected the same trajectories in the same order.
+/// One timed sweep at a worker count and display-cache capacity; returns
+/// (secs, trajectory digest, cache stats). The digest folds every step
+/// reward in buffer order, so two sweeps with equal digests collected the
+/// same trajectories in the same order.
 fn sweep(
     frame: &atena_dataframe::DataFrame,
     env_config: &atena_env::EnvConfig,
     plan_parts: &PlanParts,
     config: &Config,
     workers: usize,
-) -> (f64, u64) {
-    let mut source = ParallelRollouts::new(frame, env_config, config.lanes, config.seed, workers);
+    cache_capacity: usize,
+) -> (f64, u64, DisplayCacheStats) {
+    let mut source = ParallelRollouts::with_cache_capacity(
+        frame,
+        env_config,
+        config.lanes,
+        config.seed,
+        workers,
+        cache_capacity,
+    );
     let start = Instant::now();
     let mut digest = 0u64;
-    let mut steps = 0usize;
     for iteration in 0..config.iters {
         let plan = RolloutPlan {
             policy: plan_parts.policy.as_ref(),
             mapper: &plan_parts.mapper,
             reward: plan_parts.reward.as_ref(),
             rollout_len: config.rollout_len,
-            temperature: 1.0,
+            temperature: config.temperature,
             base_seed: config.seed,
             iteration,
         };
         let (buffer, _episodes) = source.collect(&plan);
-        steps += buffer.len();
         for step in buffer.steps() {
             digest = digest
                 .rotate_left(7)
@@ -123,8 +169,11 @@ fn sweep(
         }
     }
     let secs = start.elapsed().as_secs_f64();
-    let _ = steps;
-    (secs, digest)
+    let stats = source
+        .display_cache()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+    (secs, digest, stats)
 }
 
 struct PlanParts {
@@ -133,7 +182,55 @@ struct PlanParts {
     reward: Arc<dyn atena_env::RewardModel>,
 }
 
+/// One timed greedy-decode replay sweep — the inference server's workload:
+/// `episodes` episodes decoded at near-zero temperature, cycling through a
+/// pool of `seed_pool` request seeds, so every seed after the first pass
+/// replays an identical operation path. This is the workload the display
+/// cache is designed for (cross-request reuse); the digest folds every
+/// observation bit of every step, so cached and uncached replays must be
+/// bit-identical.
+fn decode_sweep(
+    frame: &atena_dataframe::DataFrame,
+    env_config: &atena_env::EnvConfig,
+    policy: &TwofoldPolicy,
+    cache_capacity: usize,
+    episodes: u64,
+    seed_pool: u64,
+) -> (f64, u64, u64, DisplayCacheStats) {
+    const DECODE_TEMPERATURE: f32 = 1e-3;
+    let cache = (cache_capacity > 0).then(|| Arc::new(DisplayCache::new(cache_capacity)));
+    let mut env = EdaEnv::new(frame.clone(), env_config.clone());
+    if let Some(cache) = &cache {
+        env = env.with_display_cache(Arc::clone(cache));
+    }
+    let start = Instant::now();
+    let mut digest = 0u64;
+    let mut steps = 0u64;
+    for episode in 0..episodes {
+        let seed = episode % seed_pool;
+        env.reset_with_seed(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        while !env.done() {
+            let obs = env.observation();
+            let step = policy.act(&obs, DECODE_TEMPERATURE, &mut rng);
+            let action = step
+                .choice
+                .to_eda_action()
+                .expect("twofold policy emits twofold choices");
+            let transition = env.step(&action);
+            steps += 1;
+            for x in &transition.observation {
+                digest = digest.rotate_left(7).wrapping_add(u64::from(x.to_bits()));
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = cache.map(|c| c.stats()).unwrap_or_default();
+    (secs, digest, steps, stats)
+}
+
 fn main() {
+    init_telemetry("rollout_throughput");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config = match parse_args(&args) {
         Ok(c) => c,
@@ -175,46 +272,115 @@ fn main() {
 
     let total_steps = config.lanes * config.rollout_len * config.iters as usize;
     println!(
-        "rollout throughput on {:?}: {} lanes × {} steps × {} iters = {} env steps per sweep",
-        config.dataset, config.lanes, config.rollout_len, config.iters, total_steps
+        "rollout throughput on {:?}: {} lanes × {} steps × {} iters = {} env steps per sweep (display cache: {})",
+        config.dataset, config.lanes, config.rollout_len, config.iters, total_steps, config.cache
     );
 
     let mut rows = Vec::new();
     let mut baseline = None;
-    let mut digests: Vec<(usize, u64)> = Vec::new();
+    let mut digests: Vec<(String, u64)> = Vec::new();
     for &workers in &config.workers {
-        let (secs, digest) = sweep(&frame, &atena_config.env, &plan_parts, &config, workers);
-        digests.push((workers, digest));
-        let steps_per_sec = total_steps as f64 / secs.max(1e-9);
-        let baseline_sps = *baseline.get_or_insert(steps_per_sec);
+        let (plain_secs, plain_digest, _) =
+            sweep(&frame, &atena_config.env, &plan_parts, &config, workers, 0);
+        let (cached_secs, cached_digest, stats) = sweep(
+            &frame,
+            &atena_config.env,
+            &plan_parts,
+            &config,
+            workers,
+            config.cache,
+        );
+        digests.push((format!("workers={workers} uncached"), plain_digest));
+        digests.push((format!("workers={workers} cached"), cached_digest));
+        let plain_sps = total_steps as f64 / plain_secs.max(1e-9);
+        let cached_sps = total_steps as f64 / cached_secs.max(1e-9);
+        let baseline_sps = *baseline.get_or_insert(cached_sps);
         rows.push(vec![
             workers.to_string(),
-            f2(steps_per_sec),
-            f2(steps_per_sec / baseline_sps),
-            format!("{digest:016x}"),
+            f2(plain_sps),
+            f2(cached_sps),
+            f2(cached_sps / plain_sps),
+            f2(cached_sps / baseline_sps),
+            format!("{:.1}%", 100.0 * stats.hit_rate()),
+            format!("{cached_digest:016x}"),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["workers", "steps/sec", "speedup", "trajectory digest"],
+            &[
+                "workers",
+                "steps/sec",
+                "cached steps/sec",
+                "cache speedup",
+                "scaling",
+                "hit rate",
+                "trajectory digest"
+            ],
             &rows
         )
     );
 
     let reference = digests[0].1;
-    let divergent: Vec<usize> = digests
+    let divergent: Vec<&str> = digests
         .iter()
         .filter(|(_, d)| *d != reference)
-        .map(|(w, _)| *w)
+        .map(|(label, _)| label.as_str())
         .collect();
     if divergent.is_empty() {
         println!(
-            "determinism: OK — all {} worker counts produced bit-identical trajectories",
+            "determinism: OK — all {} configurations (worker counts × cache on/off) \
+             produced bit-identical trajectories",
             digests.len()
         );
     } else {
-        eprintln!("determinism VIOLATED at worker counts {divergent:?}");
+        eprintln!("determinism VIOLATED at {divergent:?}");
+        finish_telemetry();
         std::process::exit(1);
     }
+
+    // The server workload: greedy decode replay over a small request-seed
+    // pool. This is where the cache structurally pays — after one pass over
+    // the pool, every operation path replays out of the cache — whereas the
+    // exploration sweep above draws fresh RNG filter terms per episode and
+    // rarely repeats an exact path.
+    let (plain_secs, plain_digest, steps, _) = decode_sweep(
+        &frame,
+        &atena_config.env,
+        &plan_parts.policy,
+        0,
+        config.decode_episodes,
+        config.decode_seeds,
+    );
+    let (cached_secs, cached_digest, _, stats) = decode_sweep(
+        &frame,
+        &atena_config.env,
+        &plan_parts.policy,
+        config.cache,
+        config.decode_episodes,
+        config.decode_seeds,
+    );
+    let plain_sps = steps as f64 / plain_secs.max(1e-9);
+    let cached_sps = steps as f64 / cached_secs.max(1e-9);
+    println!(
+        "greedy decode replay ({} episodes × {} steps over {} request seeds, server workload):\n  \
+         uncached {:.0} steps/sec, cached {:.0} steps/sec — cache speedup {:.2}×, hit rate {:.1}%",
+        config.decode_episodes,
+        atena_config.env.episode_len,
+        config.decode_seeds,
+        plain_sps,
+        cached_sps,
+        cached_sps / plain_sps,
+        100.0 * stats.hit_rate(),
+    );
+    if plain_digest == cached_digest {
+        println!("decode determinism: OK — cached replay bit-identical to uncached");
+    } else {
+        eprintln!(
+            "decode determinism VIOLATED: uncached {plain_digest:016x} != cached {cached_digest:016x}"
+        );
+        finish_telemetry();
+        std::process::exit(1);
+    }
+    finish_telemetry();
 }

@@ -3,6 +3,7 @@
 use crate::column::Column;
 use crate::error::{DataFrameError, Result};
 use crate::filter::Predicate;
+use crate::memo::FrameMemo;
 use crate::schema::{AttrRole, Field, Schema};
 use crate::value::{DType, Value, ValueRef};
 use serde::{Deserialize, Serialize};
@@ -19,6 +20,11 @@ pub struct DataFrame {
     schema: Schema,
     columns: Vec<Arc<Column>>,
     n_rows: usize,
+    /// Lazily computed derived statistics, shared by clones of this frame
+    /// (immutability makes that sound; see `memo.rs`). Deserialized frames
+    /// start with a cold memo.
+    #[serde(skip)]
+    memo: Arc<FrameMemo>,
 }
 
 impl DataFrame {
@@ -28,7 +34,38 @@ impl DataFrame {
             schema: Schema::default(),
             columns: Vec::new(),
             n_rows: 0,
+            memo: Arc::default(),
         }
+    }
+
+    /// The per-frame memo of derived statistics (crate-internal).
+    pub(crate) fn memo(&self) -> &FrameMemo {
+        &self.memo
+    }
+
+    /// Look up — or build and memoize — a caller-defined value derived from
+    /// this frame's content. The memo is shared by every clone of the frame,
+    /// so downstream crates can hang their own per-frame caches off it.
+    ///
+    /// `key` must uniquely identify the derivation among values of type `T`
+    /// (hash its parameters with [`crate::StableHasher`]); entries are also
+    /// keyed by `T`'s type, so distinct types never collide. `build` must be
+    /// a deterministic pure function of the frame's content — a memo hit
+    /// returns bit-identical data to recomputation, which is what the
+    /// determinism contract requires. `build` runs under the memo lock
+    /// (exactly one build per key) and must not recurse into this method.
+    pub fn memo_extension<T: Send + Sync + 'static>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let mut map = self.memo.extensions.lock().unwrap();
+        let entry = map
+            .entry((key, std::any::TypeId::of::<T>()))
+            .or_insert_with(|| Arc::new(build()) as Arc<dyn std::any::Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("entry is keyed by TypeId, so the downcast cannot fail")
     }
 
     /// Create a frame from (field, column) pairs, validating lengths and
@@ -58,6 +95,7 @@ impl DataFrame {
             schema: Schema::new(fields)?,
             columns,
             n_rows,
+            memo: Arc::default(),
         })
     }
 
@@ -135,6 +173,7 @@ impl DataFrame {
             schema: self.schema.clone(),
             columns,
             n_rows: rows.len(),
+            memo: Arc::default(),
         }
     }
 
@@ -184,6 +223,7 @@ impl DataFrame {
             schema: Schema::new(fields)?,
             columns,
             n_rows: self.n_rows,
+            memo: Arc::default(),
         })
     }
 

@@ -38,7 +38,9 @@ mod error;
 mod filter;
 mod frame;
 mod groupby;
+mod hashing;
 mod join;
+mod memo;
 mod schema;
 mod stats;
 mod value;
@@ -48,6 +50,7 @@ pub use error::{DataFrameError, Result};
 pub use filter::{CmpOp, Predicate};
 pub use frame::{DataFrame, DataFrameBuilder};
 pub use groupby::{AggFunc, Groups};
+pub use hashing::StableHasher;
 pub use join::JoinKind;
 pub use schema::{AttrRole, Field, Schema};
 pub use stats::{entropy_of_counts, ColumnStats, NumericSummary, ValueDistribution};

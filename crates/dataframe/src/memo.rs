@@ -1,0 +1,46 @@
+//! Per-frame memoization of derived statistics.
+//!
+//! Frames are immutable, so anything computed from a frame's content —
+//! column statistics, value distributions, the content fingerprint — can be
+//! computed once and shared by every clone. The memo rides on the frame
+//! behind an `Arc`: cloning a frame (or sharing it through the display
+//! cache across rollout lanes) shares the memo, so a distribution computed
+//! by one lane is reused by all of them.
+//!
+//! Soundness: every memoized quantity is a pure function of the frame's
+//! content, and each is computed by exactly the same code path a cold call
+//! would take — a memo hit returns bit-identical values to recomputation,
+//! which is what the determinism contract (DESIGN.md §4h/§4i) requires.
+
+use crate::stats::{ColumnStats, ValueDistribution};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Lazily filled derived data for one frame. Held as `Arc<FrameMemo>` in
+/// [`crate::DataFrame`]; excluded from serialization and equality (a
+/// deserialized frame simply starts cold).
+#[derive(Default)]
+pub struct FrameMemo {
+    /// Statistics for every column in schema order ([`crate::DataFrame::all_column_stats`]).
+    pub(crate) stats: OnceLock<Vec<ColumnStats>>,
+    /// Value distributions by column name ([`crate::DataFrame::value_distribution_shared`]).
+    pub(crate) distributions: Mutex<HashMap<String, Arc<ValueDistribution>>>,
+    /// Content fingerprint ([`crate::DataFrame::fingerprint`]).
+    pub(crate) fingerprint: OnceLock<u64>,
+    /// Caller-defined derived values keyed by (parameter hash, type)
+    /// ([`crate::DataFrame::memo_extension`]). Lets downstream crates hang
+    /// their own pure-function-of-the-frame caches off the shared memo
+    /// without this crate knowing their types.
+    pub(crate) extensions: Mutex<HashMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>>,
+}
+
+impl fmt::Debug for FrameMemo {
+    /// Deliberately constant: debug-formatted frames appear in transcripts
+    /// that the determinism suite compares bit-for-bit, and whether a memo
+    /// happens to be filled is schedule-dependent.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FrameMemo")
+    }
+}

@@ -7,6 +7,7 @@ use crate::error::Result;
 use crate::frame::DataFrame;
 use crate::value::ValueKey;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Descriptive statistics of a single column, as consumed by the
 /// observation-vector encoder (paper §4.1: "three descriptive features for
@@ -140,23 +141,49 @@ impl ValueDistribution {
 }
 
 impl DataFrame {
+    /// Statistics for every column as a borrowed slice, computed once per
+    /// frame and shared by clones (see `memo.rs` for the soundness argument).
+    fn stats_slice(&self) -> &[ColumnStats] {
+        self.memo().stats.get_or_init(|| {
+            (0..self.n_cols())
+                .map(|i| stats_of(self.column_at(i)))
+                .collect()
+        })
+    }
+
     /// Descriptive statistics for one column.
     pub fn column_stats(&self, name: &str) -> Result<ColumnStats> {
-        let col = self.column(name)?;
-        Ok(stats_of(col))
+        let idx = self.schema().index_of(name)?;
+        Ok(self.stats_slice()[idx].clone())
     }
 
     /// Statistics for every column, in schema order.
     pub fn all_column_stats(&self) -> Vec<ColumnStats> {
-        (0..self.n_cols())
-            .map(|i| stats_of(self.column_at(i)))
-            .collect()
+        self.stats_slice().to_vec()
     }
 
     /// Value probability distribution of one column (non-null values).
     pub fn value_distribution(&self, name: &str) -> Result<ValueDistribution> {
+        Ok((*self.value_distribution_shared(name)?).clone())
+    }
+
+    /// Like [`DataFrame::value_distribution`], but returns the memoized,
+    /// `Arc`-shared distribution — the hot path for the KL-divergence
+    /// interestingness reward, which queries the same (frame, attribute)
+    /// pair once per step of every episode that visits the display.
+    pub fn value_distribution_shared(&self, name: &str) -> Result<Arc<ValueDistribution>> {
+        if let Some(d) = self.memo().distributions.lock().unwrap().get(name) {
+            return Ok(Arc::clone(d));
+        }
         let col = self.column(name)?;
-        Ok(ValueDistribution::from_counts(&col.value_counts()))
+        let dist = Arc::new(ValueDistribution::from_counts(&col.value_counts()));
+        self.memo()
+            .distributions
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&dist));
+        Ok(dist)
     }
 
     /// A per-column summary table (name, dtype, rows, nulls, distinct,

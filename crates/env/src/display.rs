@@ -5,8 +5,10 @@
 //! records how it was derived from the base dataset; the materialized
 //! frames and the fixed-size [`DisplayVector`] encoding are cached on it.
 
-use atena_dataframe::{AggFunc, DataFrame, Predicate, Result};
+use crate::binning::FrequencyBins;
+use atena_dataframe::{AggFunc, DataFrame, Predicate, Result, StableHasher};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Declarative description of a display: filters applied to the base
 /// dataset, plus the (possibly stacked) grouping state.
@@ -164,6 +166,26 @@ impl Display {
             grouping,
             vector,
         })
+    }
+
+    /// Log-frequency bins for `attr` over this display's data view,
+    /// memoized on the underlying *frame* per `(attr, n_bins)`. Group
+    /// displays stacked on one data view, clones of a display, and every
+    /// lane sharing the base dataset all see the same frame memo, so root
+    /// and group-chain bins are built once per process, not once per lane.
+    /// `None` if the attribute doesn't exist. [`FrequencyBins::build`] is a
+    /// deterministic, RNG-free pure function of the column, so memoization
+    /// cannot perturb sampling streams (DESIGN.md §4i).
+    pub fn frequency_bins(&self, attr: &str, n_bins: usize) -> Option<Arc<FrequencyBins>> {
+        let column = self.frame.column(attr).ok()?;
+        let mut hasher = StableHasher::new();
+        hasher.write_str("frequency_bins");
+        hasher.write_str(attr);
+        hasher.write_usize(n_bins);
+        Some(
+            self.frame
+                .memo_extension(hasher.finish(), || FrequencyBins::build(column, n_bins)),
+        )
     }
 
     /// The root display of a session: the raw dataset, unfiltered and

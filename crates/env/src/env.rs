@@ -3,8 +3,8 @@
 //! displays after each one.
 
 use crate::action::{ActionSpace, EdaAction, FlatTermAction, ResolvedOp};
-use crate::binning::FrequencyBins;
-use crate::display::{Display, DisplayVector};
+use crate::cache::DisplayCache;
+use crate::display::{Display, DisplaySpec, DisplayVector};
 use crate::session::{AppliedOp, OpOutcome, SessionTree};
 use atena_dataframe::{AggFunc, CmpOp, DataFrame, Predicate};
 use rand::rngs::StdRng;
@@ -153,6 +153,15 @@ impl EnvTelemetry {
     }
 }
 
+/// A lane's handle to a shared [`DisplayCache`]: the cache plus the base
+/// dataset's fingerprint, computed once at attach time so the per-step hot
+/// path never re-hashes the column data.
+#[derive(Debug, Clone)]
+struct CacheHandle {
+    cache: Arc<DisplayCache>,
+    base_fp: u64,
+}
+
 /// The episodic EDA environment.
 #[derive(Debug)]
 pub struct EdaEnv {
@@ -163,6 +172,7 @@ pub struct EdaEnv {
     step: usize,
     rng: StdRng,
     telemetry: EnvTelemetry,
+    cache: Option<CacheHandle>,
 }
 
 impl EdaEnv {
@@ -188,6 +198,53 @@ impl EdaEnv {
             step: 0,
             rng,
             telemetry: EnvTelemetry::from_global(),
+            cache: None,
+        }
+    }
+
+    /// Attach a shared display cache (DESIGN.md §4i) and restart the
+    /// session so the root display itself goes through it. Subsequent
+    /// previews look up `(base fingerprint, spec)` before materializing and
+    /// publish what they compute; forks inherit the handle, so every lane
+    /// over this dataset shares one cache.
+    ///
+    /// The cache is pure memoization — hits are bit-identical to
+    /// recomputation — so attaching one changes speed, never transcripts.
+    pub fn with_display_cache(mut self, cache: Arc<DisplayCache>) -> Self {
+        let base_fp = self.base.fingerprint();
+        self.cache = Some(CacheHandle { cache, base_fp });
+        self.session = SessionTree::new(self.root_display());
+        self.step = 0;
+        self
+    }
+
+    /// The attached display cache, if any.
+    pub fn display_cache(&self) -> Option<&Arc<DisplayCache>> {
+        self.cache.as_ref().map(|h| &h.cache)
+    }
+
+    /// The root display, via the cache when one is attached (a reset is the
+    /// most frequent cache customer of all: every episode needs the root).
+    fn root_display(&self) -> Display {
+        let spec = DisplaySpec::default();
+        if let Some(h) = &self.cache {
+            if let Some(d) = h.cache.get(h.base_fp, &spec) {
+                return d;
+            }
+        }
+        let root = Display::root(&self.base);
+        self.cache_put(&root);
+        root
+    }
+
+    fn cache_get(&self, spec: &DisplaySpec) -> Option<Display> {
+        let h = self.cache.as_ref()?;
+        h.cache.get(h.base_fp, spec)
+    }
+
+    fn cache_put(&self, display: &Display) {
+        if let Some(h) = &self.cache {
+            h.cache.put(h.base_fp, display);
         }
     }
 
@@ -202,10 +259,11 @@ impl EdaEnv {
             base: Arc::clone(&self.base),
             space: self.space.clone(),
             config,
-            session: SessionTree::new(Display::root(&self.base)),
+            session: SessionTree::new(self.root_display()),
             step: 0,
             rng: StdRng::seed_from_u64(seed),
             telemetry: self.telemetry.clone(),
+            cache: self.cache.clone(),
         }
     }
 
@@ -252,7 +310,7 @@ impl EdaEnv {
 
     /// Reset to a fresh episode; returns the initial observation.
     pub fn reset(&mut self) -> Vec<f32> {
-        let root = Display::root(&self.base);
+        let root = self.root_display();
         self.session = SessionTree::new(root);
         self.step = 0;
         self.rng = StdRng::seed_from_u64(self.config.seed);
@@ -289,13 +347,13 @@ impl EdaEnv {
                     .unwrap_or("<invalid>")
                     .to_string();
                 let op = CmpOp::ALL[op.min(CmpOp::ALL.len() - 1)];
+                // Bins are memoized on the display (and shared through the
+                // display cache); building them is RNG-free, so the memo
+                // cannot perturb the sampling stream.
                 let term = self
                     .session
                     .current()
-                    .frame
-                    .column(&attr_name)
-                    .ok()
-                    .map(|col| FrequencyBins::build(col, self.config.n_bins))
+                    .frequency_bins(&attr_name, self.config.n_bins)
                     .and_then(|bins| bins.sample(bin, &mut self.rng));
                 match term {
                     Some(term) => ResolvedOp::Filter(Predicate {
@@ -375,6 +433,17 @@ impl EdaEnv {
                 }
                 let current = self.session.current();
                 let spec = current.spec.with_predicate(pred.clone());
+                // Only successful materializations are ever cached, and a
+                // spec's validity depends only on the schema, so a hit
+                // proves this op would apply — skip straight to its result.
+                if let Some(display) = self.cache_get(&spec) {
+                    return PreviewedStep {
+                        op: op.clone(),
+                        outcome: OpOutcome::Applied,
+                        display,
+                        back_target: None,
+                    };
+                }
                 // Incremental path: predicates are conjunctive, so filter
                 // the parent's already-narrowed frame instead of the base.
                 let built = current
@@ -382,26 +451,40 @@ impl EdaEnv {
                     .filter(pred)
                     .and_then(|frame| Display::from_parts(&self.base, spec, frame));
                 match built {
-                    Ok(display) => PreviewedStep {
-                        op: op.clone(),
-                        outcome: OpOutcome::Applied,
-                        display,
-                        back_target: None,
-                    },
+                    Ok(display) => {
+                        self.cache_put(&display);
+                        PreviewedStep {
+                            op: op.clone(),
+                            outcome: OpOutcome::Applied,
+                            display,
+                            back_target: None,
+                        }
+                    }
                     Err(e) => self.invalid_preview(op, e.to_string()),
                 }
             }
             ResolvedOp::Group { key, func, agg } => {
                 let current = self.session.current();
                 let spec = current.spec.with_grouping(key.clone(), *func, agg.clone());
-                // Grouping does not change the data view: reuse the frame.
-                match Display::from_parts(&self.base, spec, current.frame.clone()) {
-                    Ok(display) => PreviewedStep {
+                if let Some(display) = self.cache_get(&spec) {
+                    return PreviewedStep {
                         op: op.clone(),
                         outcome: OpOutcome::Applied,
                         display,
                         back_target: None,
-                    },
+                    };
+                }
+                // Grouping does not change the data view: reuse the frame.
+                match Display::from_parts(&self.base, spec, current.frame.clone()) {
+                    Ok(display) => {
+                        self.cache_put(&display);
+                        PreviewedStep {
+                            op: op.clone(),
+                            outcome: OpOutcome::Applied,
+                            display,
+                            back_target: None,
+                        }
+                    }
                     Err(e) => self.invalid_preview(op, e.to_string()),
                 }
             }

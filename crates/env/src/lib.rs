@@ -9,6 +9,9 @@
 //! - **displays** and their fixed-size numeric encodings ([`Display`],
 //!   [`DisplayVector`]);
 //! - a **session tree** with BACK semantics ([`SessionTree`]);
+//! - a **content-addressed display cache** ([`DisplayCache`]) memoizing
+//!   materialized displays by `(dataset fingerprint, operation path)` across
+//!   rollout lanes and server requests (DESIGN.md §4i);
 //! - the environment itself ([`EdaEnv`]) with a resolve → preview → commit
 //!   step pipeline that supports both RL training and greedy lookahead
 //!   baselines, and a [`RewardModel`] trait implemented by `atena-reward`.
@@ -17,12 +20,14 @@
 
 mod action;
 mod binning;
+mod cache;
 mod display;
 mod env;
 mod session;
 
 pub use action::{ActionSpace, EdaAction, FlatTermAction, HeadSizes, OpType, ResolvedOp};
 pub use binning::FrequencyBins;
+pub use cache::{display_key, DisplayCache, DisplayCacheStats, LruCache};
 pub use display::{Display, DisplaySpec, DisplayVector, GroupingInfo};
 pub use env::{
     EdaEnv, EnvConfig, NullReward, PreviewedStep, RewardBreakdown, RewardModel, StepInfo,

@@ -151,7 +151,9 @@ proptest! {
         }
     }
 
-    /// Frequency bins partition the distinct tokens of any column.
+    /// Frequency bins partition the distinct tokens of any column: every
+    /// distinct non-null token appears in exactly one bin, and the union of
+    /// the bins is exactly the distinct-token set.
     #[test]
     fn bins_partition_tokens(
         values in prop::collection::vec(prop::option::of(0i64..30), 1..200),
@@ -159,7 +161,68 @@ proptest! {
     ) {
         let col = atena_dataframe::Column::from_ints(values.clone());
         let bins = FrequencyBins::build(&col, n_bins);
-        let total: usize = (0..bins.n_bins()).map(|i| bins.bin(i).len()).sum();
-        prop_assert_eq!(total, col.n_distinct());
+        let mut binned: Vec<i64> = (0..bins.n_bins())
+            .flat_map(|i| bins.bin(i).iter().map(|v| match v {
+                atena_dataframe::Value::Int(x) => *x,
+                other => panic!("unexpected token {other:?}"),
+            }))
+            .collect();
+        let n_binned = binned.len();
+        binned.sort_unstable();
+        binned.dedup();
+        prop_assert_eq!(n_binned, binned.len(), "a token appears in two bins");
+        let mut distinct: Vec<i64> = values.iter().flatten().copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(binned, distinct);
+    }
+
+    /// Bin index is monotone in token frequency: any token in a higher bin
+    /// occurs at least as often as any token in a lower bin.
+    #[test]
+    fn bin_frequencies_are_monotone(
+        values in prop::collection::vec(prop::option::of(0i64..12), 1..250),
+        n_bins in 1usize..10,
+    ) {
+        let col = atena_dataframe::Column::from_ints(values.clone());
+        let bins = FrequencyBins::build(&col, n_bins);
+        let freq = |v: &atena_dataframe::Value| -> usize {
+            let atena_dataframe::Value::Int(x) = v else { panic!("int column") };
+            values.iter().flatten().filter(|&&y| y == *x).count()
+        };
+        let mut prev_max: Option<usize> = None;
+        for i in 0..bins.n_bins() {
+            let fs: Vec<usize> = bins.bin(i).iter().map(freq).collect();
+            if let (Some(prev), Some(&min)) = (prev_max, fs.iter().min()) {
+                prop_assert!(
+                    min >= prev,
+                    "bin {} holds a token rarer (f={}) than one in a lower bin (f={})",
+                    i, min, prev
+                );
+            }
+            if let Some(&max) = fs.iter().max() {
+                prev_max = Some(prev_max.map_or(max, |p| p.max(max)));
+            }
+        }
+    }
+
+    /// Binning is a function of token *frequencies*, not row order: any
+    /// permutation of the rows yields bit-identical bins.
+    #[test]
+    fn bins_are_row_permutation_invariant(
+        values in prop::collection::vec(prop::option::of(0i64..15), 1..120),
+        shuffle_seed in 0u64..1000,
+        n_bins in 1usize..8,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut shuffled = values.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(shuffle_seed));
+        let a = FrequencyBins::build(&atena_dataframe::Column::from_ints(values), n_bins);
+        let b = FrequencyBins::build(&atena_dataframe::Column::from_ints(shuffled), n_bins);
+        prop_assert_eq!(a.n_bins(), b.n_bins());
+        for i in 0..a.n_bins() {
+            prop_assert_eq!(a.bin(i), b.bin(i), "bin {} differs after permutation", i);
+        }
     }
 }

@@ -111,9 +111,12 @@ pub fn filter_interestingness(
                 continue;
             }
         }
+        // The shared (Arc-memoized) variant: distributions for a frame are
+        // computed once and reused across steps, lanes, and the display
+        // cache — the dominant cost of this reward on repeated prefixes.
         let (Ok(p_new), Ok(p_prev)) = (
-            new.frame.value_distribution(attr),
-            prev.frame.value_distribution(attr),
+            new.frame.value_distribution_shared(attr),
+            prev.frame.value_distribution_shared(attr),
         ) else {
             continue;
         };

@@ -67,6 +67,48 @@ proptest! {
         }
     }
 
+    /// Rewards are bit-identical with the display cache attached at any
+    /// capacity — the cache memoizes materialization, and reward scoring is
+    /// a pure function of the (bit-identical) previewed displays. Any
+    /// divergence here is a cache-soundness bug (KNOWN_FAILURES.md), never
+    /// a tolerance to widen.
+    #[test]
+    fn rewards_are_cache_invariant(seed in 0u64..200) {
+        let run = |cache: Option<std::sync::Arc<atena_env::DisplayCache>>| -> Vec<u64> {
+            let mut env = EdaEnv::new(
+                base(70),
+                EnvConfig { episode_len: 8, n_bins: 5, history_window: 3, seed },
+            );
+            if let Some(cache) = cache {
+                env = env.with_display_cache(cache);
+            }
+            let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec![
+                "cat".into(),
+            ]));
+            reward.fit(&mut env, 40, seed);
+            env.reset_with_seed(seed ^ 0x5eed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut totals = Vec::new();
+            while !env.done() {
+                let action = random_action(&env, &mut rng);
+                let op = env.resolve(&action);
+                let preview = env.preview(&op);
+                let r = {
+                    let info = env.step_info(&preview);
+                    reward.score(&info)
+                };
+                totals.push(r.total.to_bits());
+                env.commit(preview);
+            }
+            totals
+        };
+        let uncached = run(None);
+        for capacity in [1usize, 512] {
+            let cache = std::sync::Arc::new(atena_env::DisplayCache::new(capacity));
+            prop_assert_eq!(&run(Some(cache)), &uncached, "capacity {} diverged", capacity);
+        }
+    }
+
     /// The label-model posterior is always a probability, for any vote row.
     #[test]
     fn posterior_is_probability(

@@ -37,6 +37,8 @@ pub use policy::{
 };
 pub use ppo::{PpoConfig, PpoLearner, UpdateStats};
 pub use rollout::{AdvantageEstimates, RolloutBuffer, RolloutStep};
-pub use source::{ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts};
+pub use source::{
+    ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts, DEFAULT_DISPLAY_CACHE,
+};
 pub use trainer::{CurvePoint, EpisodeRecord, TrainLog, Trainer, TrainerConfig};
 pub use twofold::{TwofoldConfig, TwofoldPolicy};

@@ -20,7 +20,7 @@ use crate::policy::{ActionMapper, MappedAction, Policy};
 use crate::rollout::{RolloutBuffer, RolloutStep};
 use crate::trainer::EpisodeRecord;
 use atena_dataframe::DataFrame;
-use atena_env::{EdaEnv, EnvConfig, RewardBreakdown, RewardModel};
+use atena_env::{DisplayCache, EdaEnv, EnvConfig, RewardBreakdown, RewardModel};
 use atena_runtime::{stream_seed, Runtime, STREAM_ENV, STREAM_INIT};
 use atena_telemetry::MetricsRegistry;
 use rand::rngs::StdRng;
@@ -79,18 +79,27 @@ pub trait RolloutSource: Send {
     fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>);
 }
 
+/// Default capacity of the display cache a rollout source shares across
+/// its lanes (see [`DisplayCache`]; 0 disables caching).
+pub const DEFAULT_DISPLAY_CACHE: usize = 1024;
+
 /// Build the lane fleet: one cheap fork of a template environment per
-/// lane (shared base frame, shared action-space construction), each with
-/// its own counter-derived config seed and initial episode seed.
+/// lane (shared base frame, shared action-space construction, shared
+/// display cache when one is given), each with its own counter-derived
+/// config seed and initial episode seed.
 fn make_lanes(
     base: &DataFrame,
     env_config: &EnvConfig,
     n_lanes: usize,
     base_seed: u64,
+    cache: Option<&Arc<DisplayCache>>,
 ) -> Vec<Lane> {
     let mut template_config = env_config.clone();
     template_config.seed = stream_seed(base_seed, 0, STREAM_ENV);
-    let template = EdaEnv::with_shared_base(Arc::new(base.clone()), template_config);
+    let mut template = EdaEnv::with_shared_base(Arc::new(base.clone()), template_config);
+    if let Some(cache) = cache {
+        template = template.with_display_cache(Arc::clone(cache));
+    }
     (0..n_lanes.max(1))
         .map(|lane| {
             let lane = lane as u64;
@@ -190,14 +199,36 @@ fn merge(results: Vec<(RolloutBuffer, Vec<EpisodeRecord>)>) -> (RolloutBuffer, V
 /// The reference schedule: lanes walked in order on the calling thread.
 pub struct SerialRollouts {
     lanes: Vec<Lane>,
+    cache: Option<Arc<DisplayCache>>,
 }
 
 impl SerialRollouts {
-    /// Build `n_lanes` lanes over `base` seeded from `base_seed`.
+    /// Build `n_lanes` lanes over `base` seeded from `base_seed`, sharing
+    /// a display cache of the default capacity.
     pub fn new(base: &DataFrame, env_config: &EnvConfig, n_lanes: usize, base_seed: u64) -> Self {
+        Self::with_cache_capacity(base, env_config, n_lanes, base_seed, DEFAULT_DISPLAY_CACHE)
+    }
+
+    /// Like [`SerialRollouts::new`] with an explicit display-cache capacity
+    /// (0 runs uncached). Capacity is execution-only: it changes speed,
+    /// never transcripts.
+    pub fn with_cache_capacity(
+        base: &DataFrame,
+        env_config: &EnvConfig,
+        n_lanes: usize,
+        base_seed: u64,
+        cache_capacity: usize,
+    ) -> Self {
+        let cache = (cache_capacity > 0).then(|| Arc::new(DisplayCache::new(cache_capacity)));
         Self {
-            lanes: make_lanes(base, env_config, n_lanes, base_seed),
+            lanes: make_lanes(base, env_config, n_lanes, base_seed, cache.as_ref()),
+            cache,
         }
+    }
+
+    /// The display cache shared by this source's lanes, if enabled.
+    pub fn display_cache(&self) -> Option<&Arc<DisplayCache>> {
+        self.cache.as_ref()
     }
 }
 
@@ -220,7 +251,11 @@ impl RolloutSource for SerialRollouts {
         &mut self.lanes[lane].env
     }
 
-    fn set_telemetry(&mut self, _registry: Arc<MetricsRegistry>) {}
+    fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        if let Some(cache) = &self.cache {
+            cache.reroute_telemetry(&registry);
+        }
+    }
 }
 
 /// The parallel schedule: the same lanes, sharded over a [`Runtime`].
@@ -232,10 +267,12 @@ pub struct ParallelRollouts {
     lanes: Vec<Lane>,
     runtime: Runtime,
     telemetry: Arc<MetricsRegistry>,
+    cache: Option<Arc<DisplayCache>>,
 }
 
 impl ParallelRollouts {
-    /// Build `n_lanes` lanes over `base` collected by `workers` threads.
+    /// Build `n_lanes` lanes over `base` collected by `workers` threads,
+    /// sharing a display cache of the default capacity.
     pub fn new(
         base: &DataFrame,
         env_config: &EnvConfig,
@@ -243,16 +280,44 @@ impl ParallelRollouts {
         base_seed: u64,
         workers: usize,
     ) -> Self {
+        Self::with_cache_capacity(
+            base,
+            env_config,
+            n_lanes,
+            base_seed,
+            workers,
+            DEFAULT_DISPLAY_CACHE,
+        )
+    }
+
+    /// Like [`ParallelRollouts::new`] with an explicit display-cache
+    /// capacity (0 runs uncached). Capacity is execution-only, like the
+    /// worker count: it changes speed, never transcripts.
+    pub fn with_cache_capacity(
+        base: &DataFrame,
+        env_config: &EnvConfig,
+        n_lanes: usize,
+        base_seed: u64,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        let cache = (cache_capacity > 0).then(|| Arc::new(DisplayCache::new(cache_capacity)));
         Self {
-            lanes: make_lanes(base, env_config, n_lanes, base_seed),
+            lanes: make_lanes(base, env_config, n_lanes, base_seed, cache.as_ref()),
             runtime: Runtime::new(workers),
             telemetry: atena_telemetry::global_arc(),
+            cache,
         }
     }
 
     /// The underlying runtime (worker count etc.).
     pub fn runtime(&self) -> &Runtime {
         &self.runtime
+    }
+
+    /// The display cache shared by this source's lanes, if enabled.
+    pub fn display_cache(&self) -> Option<&Arc<DisplayCache>> {
+        self.cache.as_ref()
     }
 }
 
@@ -280,6 +345,9 @@ impl RolloutSource for ParallelRollouts {
     }
 
     fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        if let Some(cache) = &self.cache {
+            cache.reroute_telemetry(&registry);
+        }
         self.telemetry = Arc::clone(&registry);
         self.runtime = self.runtime.clone().with_telemetry(registry);
     }

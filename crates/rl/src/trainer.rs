@@ -36,6 +36,11 @@ pub struct TrainerConfig {
     /// bit-identical results at the same seed (the determinism contract,
     /// DESIGN.md §4h); more threads only collect the same lanes faster.
     pub n_workers: usize,
+    /// Capacity of the display cache shared across the lane fleet (0
+    /// disables it). Execution-only, like `n_workers`: the cache is pure
+    /// memoization (DESIGN.md §4i), so any capacity produces bit-identical
+    /// results at the same seed.
+    pub display_cache: usize,
     /// Boltzmann exploration temperature at the start of training.
     pub temperature: f32,
     /// Temperature at the end of a `train()` call; the schedule anneals
@@ -55,6 +60,7 @@ impl Default for TrainerConfig {
             rollout_len: 96,
             n_lanes: 4,
             n_workers: 4,
+            display_cache: crate::source::DEFAULT_DISPLAY_CACHE,
             temperature: 1.0,
             temperature_final: 1.0,
             eval_window: 20,
@@ -142,14 +148,21 @@ impl Trainer {
         let learner = PpoLearner::new(policy.as_ref(), config.ppo);
         let n_lanes = config.n_lanes.max(1);
         let source: Box<dyn RolloutSource> = if config.n_workers <= 1 {
-            Box::new(SerialRollouts::new(base, &env_config, n_lanes, config.seed))
+            Box::new(SerialRollouts::with_cache_capacity(
+                base,
+                &env_config,
+                n_lanes,
+                config.seed,
+                config.display_cache,
+            ))
         } else {
-            Box::new(ParallelRollouts::new(
+            Box::new(ParallelRollouts::with_cache_capacity(
                 base,
                 &env_config,
                 n_lanes,
                 config.seed,
                 config.n_workers,
+                config.display_cache,
             ))
         };
         Self {

@@ -226,6 +226,69 @@ impl Runtime {
     }
 }
 
+/// A lock-sharded container: a power-of-two number of independently locked
+/// slots of `T`, with slot selection by a 64-bit key.
+///
+/// Shared state touched by every scatter worker (such as the display cache)
+/// would serialize the pool behind one mutex; sharding by key lets workers
+/// touching different keys proceed in parallel. Slot selection is a pure
+/// function of the key, so *which* lock guards a key never depends on
+/// scheduling — only lock wait times do, and those are invisible to results.
+pub struct Sharded<T> {
+    shards: Vec<std::sync::Mutex<T>>,
+    mask: u64,
+}
+
+impl<T> std::fmt::Debug for Sharded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sharded")
+            .field("n_shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<T> Sharded<T> {
+    /// Create `n_shards` slots (rounded up to a power of two, at least 1),
+    /// each initialized by `init`.
+    pub fn new(n_shards: usize, mut init: impl FnMut() -> T) -> Self {
+        let n = n_shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| std::sync::Mutex::new(init())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of slots.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Slot index for a key: an avalanche mix of the key masked to the
+    /// shard count (pure, stable).
+    pub fn shard_of(&self, key: u64) -> usize {
+        (splitmix64(key) & self.mask) as usize
+    }
+
+    /// Run `f` with the slot for `key` locked.
+    pub fn with<R>(&self, key: u64, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("sharded slot poisoned");
+        f(&mut guard)
+    }
+
+    /// Fold over all slots in index order (each locked in turn) — for
+    /// whole-container queries such as entry counts.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &mut T) -> A) -> A {
+        let mut acc = init;
+        for slot in &self.shards {
+            let mut guard = slot.lock().expect("sharded slot poisoned");
+            acc = f(acc, &mut guard);
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +360,21 @@ mod tests {
         assert!(rt.scatter(&mut none, |_, _| 0u8).is_empty());
         let mut one = vec![7u8];
         assert_eq!(rt.scatter(&mut one, |i, v| (i, *v)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn sharded_routes_keys_stably_and_covers_all_slots() {
+        let s: Sharded<Vec<u64>> = Sharded::new(3, Vec::new); // rounds up to 4
+        assert_eq!(s.n_shards(), 4);
+        for key in 0..256u64 {
+            assert_eq!(s.shard_of(key), s.shard_of(key), "slot choice is pure");
+            s.with(key, |v| v.push(key));
+        }
+        let (total, nonempty) = s.fold((0usize, 0usize), |(t, n), v| {
+            (t + v.len(), n + usize::from(!v.is_empty()))
+        });
+        assert_eq!(total, 256);
+        assert_eq!(nonempty, 4, "256 mixed keys should land in every slot");
     }
 
     #[test]

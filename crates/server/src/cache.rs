@@ -1,199 +1,7 @@
-//! A fixed-capacity LRU cache with O(1) lookup, insert, and eviction:
-//! a `HashMap` from key to slot index plus an intrusive doubly-linked
-//! recency list threaded through a slab of entries. No allocation churn on
-//! steady state — evicted slots are reused in place.
+//! The server's response cache reuses the LRU substrate that backs the
+//! environment's content-addressed display cache (`atena_env::LruCache`),
+//! so eviction semantics — recency order, overwrite-refresh, capacity 0
+//! disabling — are identical across the two layers and locked down by one
+//! test suite.
 
-use std::collections::HashMap;
-use std::hash::Hash;
-
-const NIL: usize = usize::MAX;
-
-struct Entry<K, V> {
-    key: K,
-    value: V,
-    prev: usize,
-    next: usize,
-}
-
-/// Least-recently-used cache with a hard entry capacity.
-pub struct LruCache<K, V> {
-    map: HashMap<K, usize>,
-    slab: Vec<Entry<K, V>>,
-    /// Most recently used slot.
-    head: usize,
-    /// Least recently used slot.
-    tail: usize,
-    capacity: usize,
-}
-
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// Create with room for `capacity` entries (0 disables caching).
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            map: HashMap::with_capacity(capacity),
-            slab: Vec::with_capacity(capacity),
-            head: NIL,
-            tail: NIL,
-            capacity,
-        }
-    }
-
-    /// Number of cached entries.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Entry capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Look up `key`, marking it most recently used on a hit.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
-        let &slot = self.map.get(key)?;
-        self.detach(slot);
-        self.attach_front(slot);
-        Some(&self.slab[slot].value)
-    }
-
-    /// Insert (or overwrite) `key`, evicting the least recently used entry
-    /// when full. Returns the evicted `(key, value)` pair, if any.
-    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
-        if self.capacity == 0 {
-            return None;
-        }
-        if let Some(&slot) = self.map.get(&key) {
-            self.slab[slot].value = value;
-            self.detach(slot);
-            self.attach_front(slot);
-            return None;
-        }
-        if self.map.len() < self.capacity {
-            let slot = self.slab.len();
-            self.slab.push(Entry {
-                key: key.clone(),
-                value,
-                prev: NIL,
-                next: NIL,
-            });
-            self.map.insert(key, slot);
-            self.attach_front(slot);
-            return None;
-        }
-        // Full: reuse the LRU slot in place.
-        let slot = self.tail;
-        self.detach(slot);
-        let entry = &mut self.slab[slot];
-        let old_key = std::mem::replace(&mut entry.key, key.clone());
-        let old_value = std::mem::replace(&mut entry.value, value);
-        self.map.remove(&old_key);
-        self.map.insert(key, slot);
-        self.attach_front(slot);
-        Some((old_key, old_value))
-    }
-
-    fn detach(&mut self, slot: usize) {
-        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
-        if prev != NIL {
-            self.slab[prev].next = next;
-        } else if self.head == slot {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slab[next].prev = prev;
-        } else if self.tail == slot {
-            self.tail = prev;
-        }
-        self.slab[slot].prev = NIL;
-        self.slab[slot].next = NIL;
-    }
-
-    fn attach_front(&mut self, slot: usize) {
-        self.slab[slot].prev = NIL;
-        self.slab[slot].next = self.head;
-        if self.head != NIL {
-            self.slab[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn hit_and_miss() {
-        let mut c = LruCache::new(2);
-        assert!(c.is_empty());
-        assert_eq!(c.get(&"a"), None);
-        assert_eq!(c.insert("a", 1), None);
-        assert_eq!(c.get(&"a"), Some(&1));
-        assert_eq!(c.len(), 1);
-    }
-
-    #[test]
-    fn evicts_least_recently_used() {
-        let mut c = LruCache::new(2);
-        c.insert("a", 1);
-        c.insert("b", 2);
-        c.get(&"a"); // refresh a; b is now LRU
-        assert_eq!(c.insert("c", 3), Some(("b", 2)));
-        assert_eq!(c.get(&"b"), None);
-        assert_eq!(c.get(&"a"), Some(&1));
-        assert_eq!(c.get(&"c"), Some(&3));
-        assert_eq!(c.len(), 2);
-    }
-
-    #[test]
-    fn overwrite_refreshes_without_eviction() {
-        let mut c = LruCache::new(2);
-        c.insert("a", 1);
-        c.insert("b", 2);
-        assert_eq!(c.insert("a", 10), None); // overwrite, refresh
-        assert_eq!(c.insert("c", 3), Some(("b", 2))); // b was LRU
-        assert_eq!(c.get(&"a"), Some(&10));
-    }
-
-    #[test]
-    fn capacity_one_and_zero() {
-        let mut one = LruCache::new(1);
-        assert_eq!(one.insert("a", 1), None);
-        assert_eq!(one.insert("b", 2), Some(("a", 1)));
-        assert_eq!(one.get(&"b"), Some(&2));
-
-        let mut zero: LruCache<&str, i32> = LruCache::new(0);
-        assert_eq!(zero.insert("a", 1), None);
-        assert_eq!(zero.get(&"a"), None);
-        assert!(zero.is_empty());
-    }
-
-    #[test]
-    fn long_churn_keeps_exactly_capacity() {
-        let mut c = LruCache::new(8);
-        for i in 0..1000usize {
-            // With strictly sequential inserts the eviction order is FIFO.
-            let evicted = c.insert(i, i * 2);
-            if i >= 8 {
-                assert_eq!(evicted, Some((i - 8, (i - 8) * 2)));
-            } else {
-                assert_eq!(evicted, None);
-            }
-        }
-        assert_eq!(c.len(), 8);
-        assert_eq!(c.capacity(), 8);
-        // Exactly the last 8 keys survive.
-        for i in 992..1000 {
-            assert_eq!(c.get(&i), Some(&(i * 2)));
-        }
-        assert_eq!(c.get(&991), None);
-    }
-}
+pub use atena_env::LruCache;

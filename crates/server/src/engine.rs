@@ -4,15 +4,22 @@
 
 use atena_core::{Notebook, NotebookSummary, PolicyBundle};
 use atena_dataframe::DataFrame;
-use atena_env::EdaEnv;
+use atena_env::{DisplayCache, EdaEnv};
 use atena_rl::{Policy, TwofoldPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Near-deterministic decode temperature: low enough that the argmax of
 /// every softmax segment is selected with overwhelming probability.
 const DECODE_TEMPERATURE: f32 = 1e-3;
+
+/// Capacity of the engine's display cache. Requests against one bundle
+/// share a dataset, and greedy decodes at nearby seeds replay mostly the
+/// same operation paths, so cross-request reuse is high; sized generously
+/// because entries are `Arc`-backed views, not copies of the column data.
+const DISPLAY_CACHE_CAPACITY: usize = 4096;
 
 /// Ceiling on per-request episode length, to bound worst-case work.
 pub const MAX_EPISODE_LEN: usize = 64;
@@ -75,6 +82,7 @@ pub struct Engine {
     bundle: PolicyBundle,
     policy: TwofoldPolicy,
     frame: DataFrame,
+    display_cache: Arc<DisplayCache>,
 }
 
 impl Engine {
@@ -95,7 +103,13 @@ impl Engine {
             bundle,
             policy,
             frame,
+            display_cache: Arc::new(DisplayCache::new(DISPLAY_CACHE_CAPACITY)),
         })
+    }
+
+    /// The display cache shared across this engine's decode requests.
+    pub fn display_cache(&self) -> &Arc<DisplayCache> {
+        &self.display_cache
     }
 
     /// The dataset id this engine serves.
@@ -145,7 +159,12 @@ impl Engine {
         let mut env_config = self.bundle.env.clone();
         env_config.episode_len = request.episode_len;
         env_config.seed = request.seed;
-        let mut env = EdaEnv::new(self.frame.clone(), env_config);
+        // Cloning the frame shares its column data and statistics memo, so
+        // every request's environment also shares one dataset fingerprint
+        // computation and — through the attached cache — the displays
+        // materialized by earlier requests.
+        let mut env = EdaEnv::new(self.frame.clone(), env_config)
+            .with_display_cache(Arc::clone(&self.display_cache));
         env.reset_with_seed(request.seed);
         let mut rng = StdRng::seed_from_u64(request.seed);
         while !env.done() {

@@ -255,6 +255,114 @@ fn checkpoint_serve_concurrent_cache_metrics_shutdown() {
     assert!(refused, "listener still accepting after shutdown");
 }
 
+/// LRU semantics of the response cache over real sockets: exact eviction
+/// order at capacity 2, monotone hit/miss counters, and byte-identical
+/// responses before and after eviction. Also asserts the engine's display
+/// cache (shared across requests) accumulates hits as decodes replay
+/// operation paths.
+#[test]
+fn response_cache_lru_semantics_over_http() {
+    let engine = Engine::new(tiny_bundle(), base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    // Surface the display cache's env.cache.* counters on /v1/metrics.
+    engine.display_cache().reroute_telemetry(&telemetry);
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_size: 2,
+            ..Default::default()
+        },
+        engine,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    let request = |seed: u64| -> (String, String) {
+        let body = format!(r#"{{"dataset":"tiny","episode_len":3,"seed":{seed}}}"#);
+        let (status, headers, body) = post_notebook(addr, &body);
+        assert_eq!(status, 200, "{body}");
+        (header(&headers, "x-atena-cache").unwrap().to_string(), body)
+    };
+    let counters = || -> (u64, u64, u64) {
+        let (status, _, body) = http_request(
+            addr,
+            "GET /v1/metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        let m: serde_json::Value = serde_json::from_str(&body).unwrap();
+        (
+            m["counters"]["server.cache.hits"].as_u64().unwrap_or(0),
+            m["counters"]["server.cache.misses"].as_u64().unwrap_or(0),
+            m["counters"]["env.cache.hit"].as_u64().unwrap_or(0),
+        )
+    };
+
+    // Scripted access pattern against a capacity-2 LRU. Each step encodes
+    // the *exact* expected outcome, so any deviation from true
+    // least-recently-used eviction (FIFO, random, MRU...) fails the test:
+    //   seed 1 → miss             cache [1]
+    //   seed 2 → miss             cache [2, 1]
+    //   seed 1 → hit              cache [1, 2]   (1 refreshed to MRU)
+    //   seed 3 → miss, evicts 2   cache [3, 1]   (2 was LRU, *not* 1)
+    //   seed 2 → miss (evicted), evicts 1
+    //   seed 1 → miss (evicted), evicts 3
+    //   seed 1 → hit
+    let script: &[(u64, &str)] = &[
+        (1, "miss"),
+        (2, "miss"),
+        (1, "hit"),
+        (3, "miss"),
+        (2, "miss"),
+        (1, "miss"),
+        (1, "hit"),
+    ];
+    let mut first_response: std::collections::HashMap<u64, String> =
+        std::collections::HashMap::new();
+    let (mut prev_hits, mut prev_misses, mut prev_env_hits) = counters();
+    assert_eq!((prev_hits, prev_misses), (0, 0));
+    for (step, &(seed, expected)) in script.iter().enumerate() {
+        let (cache, body) = request(seed);
+        assert_eq!(
+            cache, expected,
+            "step {step}: seed {seed} expected {expected}"
+        );
+        // Responses are deterministic per seed: eviction and re-decode must
+        // reproduce the evicted entry byte-for-byte.
+        let reference = first_response.entry(seed).or_insert_with(|| body.clone());
+        assert_eq!(
+            &body, reference,
+            "seed {seed} response changed at step {step}"
+        );
+
+        let (hits, misses, env_hits) = counters();
+        assert!(
+            hits >= prev_hits && misses >= prev_misses,
+            "counters went backwards"
+        );
+        assert!(
+            env_hits >= prev_env_hits,
+            "display-cache hits went backwards"
+        );
+        assert_eq!(hits - prev_hits, u64::from(expected == "hit"));
+        assert_eq!(misses - prev_misses, u64::from(expected == "miss"));
+        (prev_hits, prev_misses, prev_env_hits) = (hits, misses, env_hits);
+    }
+    assert_eq!(prev_hits, 2);
+    assert_eq!(prev_misses, 5);
+    // Five decodes ran (one per response-cache miss); seeds 1 and 2 each
+    // decoded more than once, replaying their operation paths out of the
+    // shared display cache.
+    assert!(
+        prev_env_hits > 0,
+        "repeated decodes produced no display-cache hits"
+    );
+
+    handle.shutdown();
+}
+
 #[test]
 fn oversized_body_rejected_over_socket() {
     let engine = Engine::new(tiny_bundle(), base()).unwrap();

@@ -1,11 +1,13 @@
-//! The determinism contract (DESIGN.md §4h), enforced end-to-end: the
-//! worker count changes how fast rollouts are collected, never what is
-//! learned. At a fixed seed the full `TrainLog` and the final checkpoint
-//! blob must be **bit-identical** for `workers=1` vs `workers=4`.
+//! The determinism contract (DESIGN.md §4h/§4i), enforced end-to-end: the
+//! worker count and the display-cache capacity change how fast rollouts
+//! are collected, never what is learned. At a fixed seed the full
+//! `TrainLog` and the final checkpoint blob must be **bit-identical**
+//! across cache {off, on} × workers {1, 4}.
 //!
 //! Triage rule (KNOWN_FAILURES.md): any "parallel run differs from serial"
-//! report is a bug in whatever made randomness or merge order depend on
-//! scheduling — never something to paper over by loosening these asserts.
+//! or "cached run differs from uncached" report is a bug in whatever made
+//! randomness, merge order, or a memoized value depend on scheduling —
+//! never something to paper over by loosening these asserts.
 
 use atena::core::{train_policy_bundle, AtenaConfig, Strategy};
 use atena::dataframe::{AttrRole, DataFrame};
@@ -47,29 +49,32 @@ fn quick_config(workers: usize) -> AtenaConfig {
 }
 
 #[test]
-fn checkpoint_blob_is_bit_identical_across_worker_counts() {
+fn checkpoint_blob_is_bit_identical_across_worker_counts_and_cache() {
     // The bundle JSON covers everything a served policy is: every f32
     // parameter, the best observed reward, and the step provenance. String
     // equality of the serialized form is bit-identity.
-    let run = |workers: usize| {
-        train_policy_bundle(
-            "det",
-            base(),
-            vec![],
-            quick_config(workers),
-            Strategy::Atena,
-        )
-        .unwrap()
-        .to_json()
-        .unwrap()
+    let run = |workers: usize, display_cache: usize| {
+        let mut config = quick_config(workers);
+        config.trainer.display_cache = display_cache;
+        train_policy_bundle("det", base(), vec![], config, Strategy::Atena)
+            .unwrap()
+            .to_json()
+            .unwrap()
     };
-    let serial = run(1);
-    assert_eq!(run(4), serial, "workers=4 checkpoint differs from serial");
+    let serial = run(1, 0);
+    for (workers, display_cache) in [(1, 1024), (4, 0), (4, 1024)] {
+        assert_eq!(
+            run(workers, display_cache),
+            serial,
+            "workers={workers} display_cache={display_cache} checkpoint differs from \
+             serial uncached"
+        );
+    }
 }
 
 #[test]
-fn train_log_is_bit_identical_across_worker_counts() {
-    let run = |n_workers: usize| {
+fn train_log_is_bit_identical_across_worker_counts_and_cache() {
+    let run = |n_workers: usize, display_cache: usize| {
         let seed = 23;
         let env_config = EnvConfig {
             episode_len: 6,
@@ -97,6 +102,7 @@ fn train_log_is_bit_identical_across_worker_counts() {
             TrainerConfig {
                 n_lanes: 4,
                 n_workers,
+                display_cache,
                 rollout_len: 32,
                 eval_window: 10,
                 seed,
@@ -113,6 +119,13 @@ fn train_log_is_bit_identical_across_worker_counts() {
         // all print at full precision, so equal strings ⇔ equal values.
         format!("{:?}", trainer.train(256))
     };
-    let serial = run(1);
-    assert_eq!(run(4), serial, "workers=4 TrainLog differs from serial");
+    let serial = run(1, 0);
+    for (workers, display_cache) in [(1, 1024), (4, 0), (4, 1024)] {
+        assert_eq!(
+            run(workers, display_cache),
+            serial,
+            "workers={workers} display_cache={display_cache} TrainLog differs from \
+             serial uncached"
+        );
+    }
 }
