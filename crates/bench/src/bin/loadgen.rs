@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:8080 --requests 200 --concurrency 8 \
-//!         --dataset cyber1 [--episode-len N] [--seed N]
+//!         --dataset cyber1 [--episode-len N] [--seed N] \
+//!         [--bench-out BENCH_serving.json]
 //! ```
+//!
+//! With `--bench-out`, the run's QPS, latency quantiles, and cache-hit
+//! counts persist as a versioned JSON record (the CI serving-perf
+//! artifact).
 //!
 //! Identical requests must produce identical responses (the server decodes
 //! greedily from a fixed seed and caches); any divergence is reported and
@@ -25,6 +30,7 @@ struct Config {
     dataset: String,
     episode_len: Option<usize>,
     seed: Option<u64>,
+    bench_out: Option<String>,
 }
 
 impl Default for Config {
@@ -36,8 +42,33 @@ impl Default for Config {
             dataset: "cyber1".into(),
             episode_len: None,
             seed: None,
+            bench_out: None,
         }
     }
+}
+
+#[derive(serde::Serialize)]
+struct LatencyRecord {
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// The persisted `BENCH_serving.json` schema (`version` guards consumers
+/// against silent shape drift).
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    version: u32,
+    bench: &'static str,
+    dataset: String,
+    requests: usize,
+    concurrency: usize,
+    wall_secs: f64,
+    qps: f64,
+    latency: LatencyRecord,
+    cache_hits: usize,
+    identical_responses: bool,
 }
 
 const USAGE: &str = "\
@@ -46,6 +77,7 @@ loadgen — concurrency driver for `atena serve`
 USAGE:
   loadgen [--addr A] [--requests N] [--concurrency N]
           [--dataset ID] [--episode-len N] [--seed N]
+          [--bench-out BENCH_serving.json]
 ";
 
 fn parse_args(args: &[String]) -> Result<Config, String> {
@@ -87,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                         .map_err(|_| "--seed expects an integer".to_string())?,
                 )
             }
+            "--bench-out" => config.bench_out = Some(value.clone()),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;
@@ -287,6 +320,32 @@ fn main() {
             "latency {label}  {:>10.3} ms",
             quantile(&latencies, q).as_secs_f64() * 1e3
         );
+    }
+    if let Some(path) = &config.bench_out {
+        let record = BenchRecord {
+            version: 1,
+            bench: "loadgen",
+            dataset: config.dataset.clone(),
+            requests: latencies.len(),
+            concurrency: config.concurrency,
+            wall_secs: elapsed.as_secs_f64(),
+            qps: latencies.len() as f64 / secs,
+            latency: LatencyRecord {
+                mean_ms: total.as_secs_f64() * 1e3 / latencies.len() as f64,
+                p50_ms: quantile(&latencies, 0.50).as_secs_f64() * 1e3,
+                p95_ms: quantile(&latencies, 0.95).as_secs_f64() * 1e3,
+                p99_ms: quantile(&latencies, 0.99).as_secs_f64() * 1e3,
+            },
+            cache_hits,
+            identical_responses: divergent == 0,
+        };
+        match atena_bench::dump_json_to(std::path::Path::new(path), &record) {
+            Ok(()) => println!("bench record written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if divergent > 0 {
         eprintln!("FAIL: {divergent} responses diverged from the first");

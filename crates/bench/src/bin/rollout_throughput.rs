@@ -8,11 +8,18 @@
 //! ```text
 //! rollout_throughput [--dataset flights1] [--lanes 8] [--rollout-len 96]
 //!                    [--iters 5] [--workers 1,2,4,8] [--cache 4096]
-//!                    [--seed 0]
+//!                    [--seed 0] [--bench-out BENCH_rollout.json]
 //! ```
 //!
+//! The run also measures span-tracing overhead: one extra sweep pair at the
+//! highest worker count with the tracer off and on, asserting bit-identical
+//! trajectories (tracing is execution-only, DESIGN.md §4j) and reporting
+//! the steps/sec regression against a 3% budget.
+//!
 //! With `$ATENA_METRICS_OUT` set, telemetry (including the `env.cache.*`
-//! hit/miss/eviction counters) streams to that file as JSONL.
+//! hit/miss/eviction counters) streams to that file as JSONL. With
+//! `--bench-out`, the full result set persists as a versioned JSON record
+//! (the CI perf-trajectory artifact).
 //!
 //! Note: the speedup column only shows >1 on multi-core machines; the
 //! determinism check is meaningful everywhere.
@@ -40,6 +47,7 @@ struct Config {
     decode_episodes: u64,
     decode_seeds: u64,
     seed: u64,
+    bench_out: Option<String>,
 }
 
 impl Default for Config {
@@ -55,8 +63,64 @@ impl Default for Config {
             decode_episodes: 48,
             decode_seeds: 4,
             seed: 0,
+            bench_out: None,
         }
     }
+}
+
+/// Steps/sec regression budget for span tracing (acceptance gate: tracing
+/// must stay cheap enough to leave on in perf-sensitive runs).
+const TRACING_BUDGET_PCT: f64 = 3.0;
+
+#[derive(serde::Serialize)]
+struct SweepRecord {
+    workers: usize,
+    steps_per_sec: f64,
+    cached_steps_per_sec: f64,
+    cache_speedup: f64,
+    scaling: f64,
+    cache_hit_rate: f64,
+    digest: String,
+}
+
+#[derive(serde::Serialize)]
+struct DecodeRecord {
+    episodes: u64,
+    seed_pool: u64,
+    steps_per_sec_uncached: f64,
+    steps_per_sec_cached: f64,
+    cache_speedup: f64,
+    cache_hit_rate: f64,
+    digest_match: bool,
+}
+
+#[derive(serde::Serialize)]
+struct TracingRecord {
+    workers: usize,
+    steps_per_sec_off: f64,
+    steps_per_sec_on: f64,
+    overhead_pct: f64,
+    budget_pct: f64,
+    within_budget: bool,
+    spans_recorded: u64,
+    digest_match: bool,
+}
+
+/// The persisted `BENCH_rollout.json` schema (`version` guards consumers
+/// against silent shape drift).
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    version: u32,
+    bench: &'static str,
+    dataset: String,
+    lanes: usize,
+    rollout_len: usize,
+    iters: u64,
+    total_steps: usize,
+    sweeps: Vec<SweepRecord>,
+    decode: DecodeRecord,
+    tracing: TracingRecord,
+    determinism_ok: bool,
 }
 
 const USAGE: &str = "\
@@ -67,6 +131,7 @@ USAGE:
                      [--iters N] [--workers 1,2,4,8] [--cache N]
                      [--temperature T] [--decode-episodes N]
                      [--decode-seeds N] [--seed N]
+                     [--bench-out BENCH_rollout.json]
 ";
 
 fn parse_args(args: &[String]) -> Result<Config, String> {
@@ -113,6 +178,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                     })?
             }
             "--seed" => config.seed = value.parse().map_err(|_| "--seed: integer expected")?,
+            "--bench-out" => config.bench_out = Some(value.clone()),
             "--workers" => {
                 config.workers = value
                     .split(',')
@@ -140,6 +206,7 @@ fn sweep(
     config: &Config,
     workers: usize,
     cache_capacity: usize,
+    traced: bool,
 ) -> (f64, u64, DisplayCacheStats) {
     let mut source = ParallelRollouts::with_cache_capacity(
         frame,
@@ -161,7 +228,37 @@ fn sweep(
             base_seed: config.seed,
             iteration,
         };
-        let (buffer, _episodes) = source.collect(&plan);
+        // The traced path mirrors the trainer's per-iteration span tree
+        // (DESIGN.md §4j): a root with a timed collect span plus exact-
+        // duration worker/merge children from the scatter profile.
+        let trace = traced.then(|| {
+            let t = atena_telemetry::tracer().trace("rollout.iteration");
+            t.attr("iter", iteration.to_string());
+            t
+        });
+        let buffer = match &trace {
+            Some(trace) => {
+                let collect = trace.span("rollout.collect");
+                let collect_id = collect.id();
+                let (buffer, _episodes) = source.collect(&plan);
+                drop(collect);
+                if trace.is_recording() {
+                    if let Some(profile) = source.scatter_profile() {
+                        for (w, wp) in profile.workers.iter().enumerate() {
+                            trace.record_exact(
+                                collect_id,
+                                "rollout.worker",
+                                wp.busy_secs,
+                                vec![("worker", w.to_string()), ("lanes", wp.items.to_string())],
+                            );
+                        }
+                        trace.record_exact(collect_id, "rollout.merge", profile.merge_secs, vec![]);
+                    }
+                }
+                buffer
+            }
+            None => source.collect(&plan).0,
+        };
         for step in buffer.steps() {
             digest = digest
                 .rotate_left(7)
@@ -277,11 +374,19 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut sweep_records = Vec::new();
     let mut baseline = None;
     let mut digests: Vec<(String, u64)> = Vec::new();
     for &workers in &config.workers {
-        let (plain_secs, plain_digest, _) =
-            sweep(&frame, &atena_config.env, &plan_parts, &config, workers, 0);
+        let (plain_secs, plain_digest, _) = sweep(
+            &frame,
+            &atena_config.env,
+            &plan_parts,
+            &config,
+            workers,
+            0,
+            false,
+        );
         let (cached_secs, cached_digest, stats) = sweep(
             &frame,
             &atena_config.env,
@@ -289,12 +394,22 @@ fn main() {
             &config,
             workers,
             config.cache,
+            false,
         );
         digests.push((format!("workers={workers} uncached"), plain_digest));
         digests.push((format!("workers={workers} cached"), cached_digest));
         let plain_sps = total_steps as f64 / plain_secs.max(1e-9);
         let cached_sps = total_steps as f64 / cached_secs.max(1e-9);
         let baseline_sps = *baseline.get_or_insert(cached_sps);
+        sweep_records.push(SweepRecord {
+            workers,
+            steps_per_sec: plain_sps,
+            cached_steps_per_sec: cached_sps,
+            cache_speedup: cached_sps / plain_sps,
+            scaling: cached_sps / baseline_sps,
+            cache_hit_rate: stats.hit_rate(),
+            digest: format!("{cached_digest:016x}"),
+        });
         rows.push(vec![
             workers.to_string(),
             f2(plain_sps),
@@ -381,6 +496,96 @@ fn main() {
         );
         finish_telemetry();
         std::process::exit(1);
+    }
+    let decode_record = DecodeRecord {
+        episodes: config.decode_episodes,
+        seed_pool: config.decode_seeds,
+        steps_per_sec_uncached: plain_sps,
+        steps_per_sec_cached: cached_sps,
+        cache_speedup: cached_sps / plain_sps,
+        cache_hit_rate: stats.hit_rate(),
+        digest_match: plain_digest == cached_digest,
+    };
+
+    // Span-tracing overhead: the same sweep at the highest worker count,
+    // tracer off vs on. Tracing is execution-only, so the trajectories must
+    // stay bit-identical; the steps/sec delta is the observability tax.
+    let trace_workers = *config.workers.iter().max().expect("non-empty workers");
+    let (off_secs, off_digest, _) = sweep(
+        &frame,
+        &atena_config.env,
+        &plan_parts,
+        &config,
+        trace_workers,
+        config.cache,
+        false,
+    );
+    let tracer = atena_telemetry::tracer();
+    let spans_before = tracer.counts().spans_recorded;
+    tracer.set_enabled(true);
+    let (on_secs, on_digest, _) = sweep(
+        &frame,
+        &atena_config.env,
+        &plan_parts,
+        &config,
+        trace_workers,
+        config.cache,
+        true,
+    );
+    tracer.set_enabled(false);
+    let spans_recorded = tracer.counts().spans_recorded - spans_before;
+    let off_sps = total_steps as f64 / off_secs.max(1e-9);
+    let on_sps = total_steps as f64 / on_secs.max(1e-9);
+    let overhead_pct = 100.0 * (off_sps - on_sps) / off_sps.max(1e-9);
+    println!(
+        "tracing overhead (workers={trace_workers}): off {off_sps:.0} steps/sec, \
+         on {on_sps:.0} steps/sec — {overhead_pct:+.2}% ({} budget {TRACING_BUDGET_PCT}%, \
+         {spans_recorded} spans recorded)",
+        if overhead_pct <= TRACING_BUDGET_PCT {
+            "within"
+        } else {
+            "OVER"
+        },
+    );
+    if off_digest != on_digest {
+        eprintln!("tracing determinism VIOLATED: off {off_digest:016x} != on {on_digest:016x}");
+        finish_telemetry();
+        std::process::exit(1);
+    }
+    println!("tracing determinism: OK — traced sweep bit-identical to untraced");
+    let tracing_record = TracingRecord {
+        workers: trace_workers,
+        steps_per_sec_off: off_sps,
+        steps_per_sec_on: on_sps,
+        overhead_pct,
+        budget_pct: TRACING_BUDGET_PCT,
+        within_budget: overhead_pct <= TRACING_BUDGET_PCT,
+        spans_recorded,
+        digest_match: off_digest == on_digest,
+    };
+
+    if let Some(path) = &config.bench_out {
+        let record = BenchRecord {
+            version: 1,
+            bench: "rollout_throughput",
+            dataset: config.dataset.clone(),
+            lanes: config.lanes,
+            rollout_len: config.rollout_len,
+            iters: config.iters,
+            total_steps,
+            sweeps: sweep_records,
+            decode: decode_record,
+            tracing: tracing_record,
+            determinism_ok: true,
+        };
+        match atena_bench::dump_json_to(std::path::Path::new(path), &record) {
+            Ok(()) => println!("bench record written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                finish_telemetry();
+                std::process::exit(1);
+            }
+        }
     }
     finish_telemetry();
 }

@@ -21,7 +21,7 @@ use crate::rollout::{RolloutBuffer, RolloutStep};
 use crate::trainer::EpisodeRecord;
 use atena_dataframe::DataFrame;
 use atena_env::{DisplayCache, EdaEnv, EnvConfig, RewardBreakdown, RewardModel};
-use atena_runtime::{stream_seed, Runtime, STREAM_ENV, STREAM_INIT};
+use atena_runtime::{stream_seed, Runtime, ScatterProfile, STREAM_ENV, STREAM_INIT};
 use atena_telemetry::MetricsRegistry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,6 +77,14 @@ pub trait RolloutSource: Send {
 
     /// Reroute any metrics this source records to `registry`.
     fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>);
+
+    /// Timing profile of the most recent `collect` (per-worker busy time,
+    /// merge cost), when the source runs on a worker pool. `None` for
+    /// sources without one. Read-only observability: feeding it anywhere
+    /// back into collection would break the determinism contract.
+    fn scatter_profile(&self) -> Option<ScatterProfile> {
+        None
+    }
 }
 
 /// Default capacity of the display cache a rollout source shares across
@@ -350,6 +358,10 @@ impl RolloutSource for ParallelRollouts {
         }
         self.telemetry = Arc::clone(&registry);
         self.runtime = self.runtime.clone().with_telemetry(registry);
+    }
+
+    fn scatter_profile(&self) -> Option<ScatterProfile> {
+        Some(self.runtime.last_profile())
     }
 }
 

@@ -14,12 +14,11 @@ use crate::source::{
 use atena_dataframe::DataFrame;
 use atena_env::{EnvConfig, ResolvedOp, RewardBreakdown, RewardModel};
 use atena_runtime::{stream_seed, STREAM_EVAL};
-use atena_telemetry::MetricsRegistry;
+use atena_telemetry::{MetricsRegistry, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Trainer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -131,6 +130,7 @@ pub struct Trainer {
     total_episodes: usize,
     total_iterations: usize,
     telemetry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
 }
 
 impl Trainer {
@@ -180,6 +180,7 @@ impl Trainer {
             total_episodes: 0,
             total_iterations: 0,
             telemetry: atena_telemetry::global_arc(),
+            tracer: atena_telemetry::tracer_arc(),
         }
     }
 
@@ -188,6 +189,13 @@ impl Trainer {
     pub fn with_telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.telemetry = Arc::clone(&registry);
         self.source.set_telemetry(registry);
+        self
+    }
+
+    /// Record this trainer's iteration span trees on `tracer` instead of
+    /// the process-wide one (used by tests to capture spans in isolation).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -202,13 +210,36 @@ impl Trainer {
         let mut curve = Vec::new();
         let mut last_update = UpdateStats::default();
         let start = self.total_steps;
+        // Tracing is execution-only (DESIGN.md §4j): spans measure wall
+        // time with `Instant`, draw no randomness, and reorder nothing, so
+        // results are bit-identical with the tracer enabled or disabled.
+        let tracer = Arc::clone(&self.tracer);
         while self.total_steps - start < total_steps {
             let progress = ((self.total_steps - start) as f32 / total_steps.max(1) as f32).min(1.0);
             let temperature = self.config.temperature
                 + (self.config.temperature_final - self.config.temperature) * progress;
-            let rollout_start = Instant::now();
+            let trace = tracer.trace("train.iteration");
+            trace.attr("iter", self.total_iterations.to_string());
+            let collect_span = trace.span("rollout.collect");
+            let collect_id = collect_span.id();
             let (buffer, episodes) = self.collect_rollouts(temperature);
-            let rollout_secs = rollout_start.elapsed().as_secs_f64();
+            let rollout_secs = collect_span.finish();
+            if trace.is_recording() {
+                // Worker busy times were measured on the rollout threads;
+                // attach them post-hoc under the collect span. Their sum can
+                // exceed the collect wall time — they ran in parallel.
+                if let Some(profile) = self.source.scatter_profile() {
+                    for (w, wp) in profile.workers.iter().enumerate() {
+                        trace.record_exact(
+                            collect_id,
+                            "rollout.worker",
+                            wp.busy_secs,
+                            vec![("worker", w.to_string()), ("lanes", wp.items.to_string())],
+                        );
+                    }
+                    trace.record_exact(collect_id, "rollout.merge", profile.merge_secs, vec![]);
+                }
+            }
             let iter_steps = buffer.len();
             self.total_steps += iter_steps;
             for ep in episodes {
@@ -228,11 +259,12 @@ impl Trainer {
                     self.best_episode = Some(ep);
                 }
             }
-            let update_start = Instant::now();
+            let update_span = trace.span("ppo.update");
             last_update = self
                 .learner
                 .update(self.policy.as_ref(), &buffer, &mut self.rng);
-            let update_secs = update_start.elapsed().as_secs_f64();
+            let update_secs = update_span.finish();
+            trace.attr("steps", iter_steps.to_string());
             let mean_reward = if self.recent_episodes.is_empty() {
                 f64::NAN
             } else {
@@ -518,6 +550,47 @@ mod tests {
         for e in eps {
             assert_eq!(e.ops.len(), 6);
         }
+    }
+
+    #[test]
+    fn iteration_traces_cover_rollout_workers_and_update() {
+        let tracer = Arc::new(Tracer::with_capacity(4096));
+        tracer.set_enabled(true);
+        let mut t = make_trainer(2, 17).with_tracer(Arc::clone(&tracer));
+        t.train(96); // one iteration: 2 lanes × 48 steps
+        let spans = tracer.snapshot();
+        let by_name = |n: &str| spans.iter().filter(|s| s.name == n).count();
+        assert_eq!(by_name("train.iteration"), 1);
+        assert_eq!(by_name("rollout.collect"), 1);
+        assert_eq!(by_name("ppo.update"), 1);
+        assert_eq!(by_name("rollout.worker"), 2, "one span per rollout worker");
+        assert_eq!(by_name("rollout.merge"), 1);
+        let root = spans.iter().find(|s| s.name == "train.iteration").unwrap();
+        let collect = spans.iter().find(|s| s.name == "rollout.collect").unwrap();
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(collect.parent_id, root.span_id);
+        for s in spans.iter().filter(|s| s.name == "rollout.worker") {
+            assert_eq!(s.parent_id, collect.span_id);
+            assert!(s.attrs.iter().any(|(k, _)| *k == "worker"));
+        }
+        let update = spans.iter().find(|s| s.name == "ppo.update").unwrap();
+        assert_eq!(update.parent_id, root.span_id);
+        assert!(root.duration_secs >= collect.duration_secs);
+        assert!(root.attrs.contains(&("iter", "0".to_string())));
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        // The §4j half of the determinism contract at trainer level: span
+        // emission is execution-only, so an enabled tracer produces a
+        // bit-identical TrainLog.
+        let run = |traced: bool| {
+            let tracer = Arc::new(Tracer::new());
+            tracer.set_enabled(traced);
+            let mut t = make_trainer(2, 19).with_tracer(tracer);
+            format!("{:?}", t.train(192))
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

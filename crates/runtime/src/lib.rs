@@ -27,8 +27,30 @@
 
 use atena_telemetry::MetricsRegistry;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// One worker's share of the most recent scatter call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerProfile {
+    /// Items this worker processed.
+    pub items: usize,
+    /// Wall time the worker spent on its shard, in seconds.
+    pub busy_secs: f64,
+}
+
+/// Timing profile of a [`Runtime::scatter`] call: exact per-worker busy
+/// times plus the fixed-order merge cost. Consumers (the trainer's span
+/// emission, bench reports) read it *after* the scatter returns, so the
+/// profile never feeds back into scheduling or results — it is
+/// execution-only observability.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScatterProfile {
+    /// Per-worker timings, indexed by worker (= shard) id.
+    pub workers: Vec<WorkerProfile>,
+    /// Seconds spent concatenating fragments in item order.
+    pub merge_secs: f64,
+}
 
 /// Reserved `iteration` tag for deriving a lane's environment-config seed
 /// (outside the `0..` range real training iterations use).
@@ -94,6 +116,7 @@ pub fn default_workers() -> usize {
 pub struct Runtime {
     workers: usize,
     telemetry: Arc<MetricsRegistry>,
+    profile: Arc<Mutex<ScatterProfile>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -111,7 +134,18 @@ impl Runtime {
         Self {
             workers: workers.max(1),
             telemetry: atena_telemetry::global_arc(),
+            profile: Arc::new(Mutex::new(ScatterProfile::default())),
         }
+    }
+
+    /// Timing profile of the most recent [`Runtime::scatter`] call (empty
+    /// `workers` before the first call). Clones of a runtime share one
+    /// profile slot.
+    pub fn last_profile(&self) -> ScatterProfile {
+        self.profile
+            .lock()
+            .expect("runtime profile poisoned")
+            .clone()
     }
 
     /// Route this runtime's metrics to `registry` instead of the
@@ -174,8 +208,16 @@ impl Runtime {
                 .enumerate()
                 .map(|(i, item)| f(i, item))
                 .collect();
-            self.record_worker(0, out.len(), busy.elapsed().as_secs_f64());
+            let busy_secs = busy.elapsed().as_secs_f64();
+            self.record_worker(0, out.len(), busy_secs);
             self.telemetry.histogram("runtime.merge_secs").record(0.0);
+            *self.profile.lock().expect("runtime profile poisoned") = ScatterProfile {
+                workers: vec![WorkerProfile {
+                    items: out.len(),
+                    busy_secs,
+                }],
+                merge_secs: 0.0,
+            };
             return out;
         }
 
@@ -206,13 +248,23 @@ impl Runtime {
                 .map(|h| h.join().expect("runtime worker panicked"))
                 .collect();
             let merge = Instant::now();
+            let mut worker_profiles = Vec::with_capacity(fragments.len());
             for (w, (fragment, busy_secs)) in fragments.into_iter().enumerate() {
                 self.record_worker(w, fragment.len(), busy_secs);
+                worker_profiles.push(WorkerProfile {
+                    items: fragment.len(),
+                    busy_secs,
+                });
                 results.extend(fragment);
             }
+            let merge_secs = merge.elapsed().as_secs_f64();
             self.telemetry
                 .histogram("runtime.merge_secs")
-                .record(merge.elapsed().as_secs_f64());
+                .record(merge_secs);
+            *self.profile.lock().expect("runtime profile poisoned") = ScatterProfile {
+                workers: worker_profiles,
+                merge_secs,
+            };
         });
         results
     }
@@ -351,6 +403,25 @@ mod tests {
         assert_eq!(total, 10);
         assert_eq!(snap.counter("runtime.scatter.calls"), Some(1));
         assert!(registry.histogram("runtime.merge_secs").count() >= 1);
+    }
+
+    #[test]
+    fn scatter_profile_reports_exact_worker_shares() {
+        let rt = Runtime::new(4).with_telemetry(Arc::new(MetricsRegistry::new()));
+        assert!(rt.last_profile().workers.is_empty(), "no scatter yet");
+        let mut items: Vec<usize> = (0..10).collect();
+        rt.scatter(&mut items, |i, _| i);
+        let profile = rt.last_profile();
+        assert_eq!(profile.workers.len(), 4);
+        assert_eq!(profile.workers.iter().map(|w| w.items).sum::<usize>(), 10);
+        assert!(profile.workers.iter().all(|w| w.busy_secs >= 0.0));
+        assert!(profile.merge_secs >= 0.0);
+        // Clones share the profile slot; the serial path also records one.
+        let serial = Runtime::new(1).with_telemetry(Arc::new(MetricsRegistry::new()));
+        let clone = serial.clone();
+        serial.scatter(&mut items, |i, _| i);
+        assert_eq!(clone.last_profile().workers.len(), 1);
+        assert_eq!(clone.last_profile().workers[0].items, 10);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use atena_core::{Notebook, NotebookSummary, PolicyBundle};
 use atena_dataframe::DataFrame;
 use atena_env::{DisplayCache, EdaEnv};
 use atena_rl::{Policy, TwofoldPolicy};
+use atena_telemetry::SpanGuard;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -156,6 +157,18 @@ impl Engine {
     /// Greedy-decode one notebook. Deterministic for a given request: the
     /// environment seed is fixed and the decode temperature is ≈0.
     pub fn decode(&self, request: &NotebookRequest) -> NotebookResponse {
+        self.decode_traced(request, None)
+    }
+
+    /// [`Engine::decode`] with optional span emission: when `parent` is an
+    /// open span, each decode step records `nn.forward` (policy inference)
+    /// and `env.step` (display materialization) children under it. Tracing
+    /// is execution-only — the decoded notebook is identical either way.
+    pub fn decode_traced(
+        &self,
+        request: &NotebookRequest,
+        parent: Option<&SpanGuard<'_, '_>>,
+    ) -> NotebookResponse {
         let mut env_config = self.bundle.env.clone();
         env_config.episode_len = request.episode_len;
         env_config.seed = request.seed;
@@ -169,11 +182,15 @@ impl Engine {
         let mut rng = StdRng::seed_from_u64(request.seed);
         while !env.done() {
             let obs = env.observation();
-            let step = self.policy.act(&obs, DECODE_TEMPERATURE, &mut rng);
+            let step = {
+                let _s = parent.map(|p| p.child("nn.forward"));
+                self.policy.act(&obs, DECODE_TEMPERATURE, &mut rng)
+            };
             let action = step
                 .choice
                 .to_eda_action()
                 .expect("twofold policy emits twofold choices");
+            let _s = parent.map(|p| p.child("env.step"));
             env.step(&action);
         }
         let ops: Vec<_> = env.session().ops().iter().map(|o| o.op.clone()).collect();

@@ -54,6 +54,18 @@ impl Request {
     pub fn path(&self) -> &str {
         self.target.split('?').next().unwrap_or(&self.target)
     }
+
+    /// Query string of the target (empty when absent, `?` stripped).
+    pub fn query(&self) -> &str {
+        self.target.split_once('?').map(|(_, q)| q).unwrap_or("")
+    }
+
+    /// Whether the query string contains the exact `key=value` pair.
+    pub fn query_has(&self, key: &str, value: &str) -> bool {
+        self.query()
+            .split('&')
+            .any(|kv| kv.split_once('=') == Some((key, value)))
+    }
 }
 
 /// Parse failures, each mapped to the HTTP status the server should answer
@@ -304,6 +316,17 @@ impl Response {
         Self::json(200, "OK", body)
     }
 
+    /// A 200 response with an explicit content type (e.g. the Prometheus
+    /// text exposition's `text/plain; version=0.0.4`).
+    pub fn ok_text(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            reason: "OK",
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body: body.into(),
+        }
+    }
+
     /// A JSON error response `{"error": message}`.
     pub fn error(status: u16, reason: &'static str, message: &str) -> Self {
         let mut body = String::with_capacity(message.len() + 16);
@@ -404,6 +427,22 @@ mod tests {
         assert_eq!(req.header("HOST"), Some("a"));
         assert!(req.keep_alive());
         assert!(req.body.is_empty());
+        assert_eq!(req.query(), "");
+    }
+
+    #[test]
+    fn query_string_is_split_from_path() {
+        let mut r = RequestReader::new(Chunked::new(
+            "GET /v1/metrics?format=prometheus&x=1 HTTP/1.1\r\n\r\n",
+            4096,
+        ));
+        let req = r.read_request().unwrap();
+        assert_eq!(req.path(), "/v1/metrics");
+        assert_eq!(req.query(), "format=prometheus&x=1");
+        assert!(req.query_has("format", "prometheus"));
+        assert!(req.query_has("x", "1"));
+        assert!(!req.query_has("format", "json"));
+        assert!(!req.query_has("prometheus", ""));
     }
 
     #[test]

@@ -35,12 +35,18 @@ pub use http::{ParseError, Request, RequestReader, Response, DEFAULT_MAX_BODY_BY
 pub use pool::ThreadPool;
 pub use signal::{install_handlers, request_shutdown, shutdown_requested};
 
-use atena_telemetry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+use atena_telemetry::{
+    ActiveTrace, HistogramSummary, MetricsRegistry, MetricsSnapshot, ROOT_SPAN_ID,
+};
 use http::push_json_string;
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Entries kept in the `/v1/debug/requests` recent-request ring.
+pub const DEBUG_RING_CAPACITY: usize = 64;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -55,6 +61,9 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Request body cap in bytes.
     pub max_body_bytes: usize,
+    /// Requests handled in more than this are counted in
+    /// `server.request.slow` and logged at WARN with their trace id.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -65,15 +74,32 @@ impl Default for ServerConfig {
             cache_size: 256,
             request_timeout: Duration::from_secs(10),
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            slow_threshold: Duration::from_millis(500),
         }
     }
 }
 
-/// Shared per-server state: the engine, the response cache, and telemetry.
+/// One `/v1/debug/requests` ring entry: a served request's identity and
+/// latency breakdown.
+struct RequestDebug {
+    trace_id: String,
+    ts: f64,
+    method: String,
+    path: String,
+    status: u16,
+    cache: &'static str,
+    total_secs: f64,
+    read_secs: f64,
+    decode_secs: f64,
+}
+
+/// Shared per-server state: the engine, the response cache, telemetry, and
+/// the recent-request debug ring.
 struct AppState {
     engine: Engine,
     cache: Mutex<LruCache<NotebookRequest, Arc<String>>>,
     telemetry: Arc<MetricsRegistry>,
+    debug: Mutex<VecDeque<RequestDebug>>,
     started: Instant,
 }
 
@@ -139,6 +165,7 @@ impl Server {
             engine,
             cache: Mutex::new(LruCache::new(config.cache_size)),
             telemetry,
+            debug: Mutex::new(VecDeque::with_capacity(DEBUG_RING_CAPACITY)),
             started: Instant::now(),
         });
         Ok(Server {
@@ -205,6 +232,7 @@ impl Server {
         // letting in-flight connections finish their current request.
         drop(pool);
         state.telemetry.flush();
+        atena_telemetry::tracer().flush();
     }
 
     /// Run on a background thread; returns a handle for shutdown.
@@ -234,18 +262,64 @@ fn handle_connection(
     let _ = stream.set_write_timeout(Some(config.request_timeout));
     let mut reader = RequestReader::with_max_body(&stream, config.max_body_bytes);
     let mut out = &stream;
+    let mut served = 0usize;
     loop {
         let draining = shutdown.load(Ordering::SeqCst) || signal::shutdown_requested();
+        let read_start = Instant::now();
         match reader.read_request() {
             Ok(request) => {
+                // For reused connections this includes the idle keep-alive
+                // wait, which is exactly what the `http.read` span should
+                // show: time between accept/last response and a full request.
+                let read_secs = read_start.elapsed().as_secs_f64();
+                if served > 0 {
+                    state.telemetry.counter("server.conn.keepalive_reuse").inc();
+                }
+                served += 1;
+                let trace = atena_telemetry::tracer().trace("server.request");
+                let trace_hex = trace.trace_id_hex();
+                trace.attr("method", request.method.clone());
+                trace.attr("path", request.path().to_string());
+                trace.record_exact(ROOT_SPAN_ID, "http.read", read_secs, Vec::new());
                 let span = atena_telemetry::Span::enter(
                     state.telemetry.histogram("server.http.latency_secs"),
                 );
-                let response = route(&request, state);
-                span.finish();
+                let outcome = route(&request, state, &trace);
+                let total_secs = span.finish();
+                trace.attr("status", outcome.response.status.to_string());
+                if total_secs > config.slow_threshold.as_secs_f64() {
+                    state.telemetry.counter("server.request.slow").inc();
+                    atena_telemetry::warn!(
+                        "slow request: {} {} took {:.1}ms (threshold {}ms) trace={}",
+                        request.method,
+                        request.path(),
+                        total_secs * 1e3,
+                        config.slow_threshold.as_millis(),
+                        trace_hex
+                    );
+                }
+                push_debug_entry(
+                    state,
+                    RequestDebug {
+                        trace_id: trace_hex.clone(),
+                        ts: atena_telemetry::unix_ts(),
+                        method: request.method.clone(),
+                        path: request.path().to_string(),
+                        status: outcome.response.status,
+                        cache: outcome.cache,
+                        total_secs,
+                        read_secs,
+                        decode_secs: outcome.decode_secs,
+                    },
+                );
                 // During a drain, answer the in-flight request, then close.
                 let keep_alive = request.keep_alive() && !draining;
-                if response.write_to(&mut out, keep_alive).is_err() || !keep_alive {
+                let response = outcome.response.with_header("X-Atena-Trace-Id", &trace_hex);
+                let write_span = trace.span("http.write");
+                let wrote = response.write_to(&mut out, keep_alive);
+                drop(write_span);
+                drop(trace);
+                if wrote.is_err() || !keep_alive {
                     return;
                 }
             }
@@ -283,46 +357,94 @@ fn drain_before_close(stream: &TcpStream) {
     }
 }
 
+/// What routing produced for one request: the response plus the pieces the
+/// debug ring wants (cache verdict, decode time).
+struct RouteOutcome {
+    response: Response,
+    cache: &'static str,
+    decode_secs: f64,
+}
+
+impl RouteOutcome {
+    fn plain(response: Response) -> Self {
+        Self {
+            response,
+            cache: "-",
+            decode_secs: 0.0,
+        }
+    }
+}
+
+/// Append to the debug ring, evicting the oldest entry when full.
+fn push_debug_entry(state: &AppState, entry: RequestDebug) {
+    let mut ring = state.debug.lock().expect("debug ring poisoned");
+    if ring.len() >= DEBUG_RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(entry);
+}
+
 /// Dispatch one parsed request.
-fn route(request: &Request, state: &AppState) -> Response {
+fn route(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteOutcome {
     let t = &state.telemetry;
     t.counter("server.http.requests").inc();
     match (request.method.as_str(), request.path()) {
         ("GET", "/v1/healthz") => {
             t.counter("server.http.requests.healthz").inc();
-            Response::ok_json(healthz_json(state))
+            RouteOutcome::plain(Response::ok_json(healthz_json(state)))
         }
         ("GET", "/v1/metrics") => {
             t.counter("server.http.requests.metrics").inc();
+            if request.query_has("format", "prometheus") {
+                return RouteOutcome::plain(Response::ok_text(
+                    "text/plain; version=0.0.4",
+                    t.render_prometheus(),
+                ));
+            }
             let snapshot = t.snapshot();
-            Response::ok_json(metrics_json(
+            RouteOutcome::plain(Response::ok_json(metrics_json(
                 &snapshot,
                 state.started.elapsed().as_secs_f64(),
-            ))
+            )))
+        }
+        ("GET", "/v1/debug/requests") => {
+            t.counter("server.http.requests.debug").inc();
+            RouteOutcome::plain(Response::ok_json(debug_requests_json(state)))
         }
         ("POST", "/v1/notebook") => {
             t.counter("server.http.requests.notebook").inc();
-            serve_notebook(request, state)
+            serve_notebook(request, state, trace)
         }
-        (_, "/v1/healthz" | "/v1/metrics" | "/v1/notebook") => {
+        (_, "/v1/healthz" | "/v1/metrics" | "/v1/notebook" | "/v1/debug/requests") => {
             t.counter("server.http.errors").inc();
-            Response::error(405, "Method Not Allowed", "wrong method for this endpoint")
+            RouteOutcome::plain(Response::error(
+                405,
+                "Method Not Allowed",
+                "wrong method for this endpoint",
+            ))
         }
         (_, path) => {
             t.counter("server.http.errors").inc();
-            Response::error(404, "Not Found", &format!("no route for {path}"))
+            RouteOutcome::plain(Response::error(
+                404,
+                "Not Found",
+                &format!("no route for {path}"),
+            ))
         }
     }
 }
 
 /// `POST /v1/notebook`: validate the JSON body, consult the LRU cache, and
-/// decode on a miss.
-fn serve_notebook(request: &Request, state: &AppState) -> Response {
+/// decode on a miss. Span tree under the request root: `request.parse`
+/// (body parse + validation), `cache.lookup`, and on a miss `engine.decode`
+/// with per-step `nn.forward`/`env.step` children.
+fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteOutcome {
     let t = &state.telemetry;
     let fail = |status, reason, message: &str| {
         t.counter("server.http.errors").inc();
-        Response::error(status, reason, message)
+        RouteOutcome::plain(Response::error(status, reason, message))
     };
+    let parse_span = trace.span("request.parse");
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => return fail(400, "Bad Request", "body is not valid UTF-8"),
@@ -356,28 +478,81 @@ fn serve_notebook(request: &Request, state: &AppState) -> Response {
             return fail(400, "Bad Request", &e.to_string());
         }
     };
+    drop(parse_span);
 
-    if let Some(cached) = state
+    let lookup_span = trace.span("cache.lookup");
+    let cached = state
         .cache
         .lock()
         .expect("cache lock poisoned")
         .get(&validated)
-    {
+        .cloned();
+    drop(lookup_span);
+    if let Some(cached) = cached {
         t.counter("server.cache.hits").inc();
-        return Response::ok_json(cached.as_bytes().to_vec()).with_header("X-Atena-Cache", "hit");
+        return RouteOutcome {
+            response: Response::ok_json(cached.as_bytes().to_vec())
+                .with_header("X-Atena-Cache", "hit"),
+            cache: "hit",
+            decode_secs: 0.0,
+        };
     }
     t.counter("server.cache.misses").inc();
 
+    let mut decode_span = trace.span("engine.decode");
+    decode_span.set_attr("episode_len", validated.episode_len.to_string());
+    decode_span.set_attr("seed", validated.seed.to_string());
     let span = atena_telemetry::Span::enter(t.histogram("server.notebook.decode_secs"));
-    let decoded = state.engine.decode(&validated);
-    span.finish();
+    let decoded = state.engine.decode_traced(&validated, Some(&decode_span));
+    let decode_secs = span.finish();
+    drop(decode_span);
     let body = Arc::new(serde_json::to_string(&decoded).expect("response serializes"));
     state
         .cache
         .lock()
         .expect("cache lock poisoned")
         .insert(validated, Arc::clone(&body));
-    Response::ok_json(body.as_bytes().to_vec()).with_header("X-Atena-Cache", "miss")
+    RouteOutcome {
+        response: Response::ok_json(body.as_bytes().to_vec()).with_header("X-Atena-Cache", "miss"),
+        cache: "miss",
+        decode_secs,
+    }
+}
+
+/// Render the `/v1/debug/requests` document: tracer health plus the
+/// recent-request ring, newest first.
+fn debug_requests_json(state: &AppState) -> String {
+    let tracer = atena_telemetry::tracer();
+    let counts = tracer.counts();
+    let mut out = format!(
+        "{{\"capacity\":{DEBUG_RING_CAPACITY},\"tracing\":{{\"enabled\":{},\
+         \"spans_recorded\":{},\"spans_dropped\":{},\"traces_recorded\":{}}},\"requests\":[",
+        tracer.is_enabled(),
+        counts.spans_recorded,
+        counts.spans_dropped,
+        counts.traces_recorded,
+    );
+    let ring = state.debug.lock().expect("debug ring poisoned");
+    for (i, r) in ring.iter().rev().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"trace_id\":");
+        push_json_string(&mut out, &r.trace_id);
+        out.push_str(",\"ts\":");
+        out.push_str(&format!("{:.3}", r.ts));
+        out.push_str(",\"method\":");
+        push_json_string(&mut out, &r.method);
+        out.push_str(",\"path\":");
+        push_json_string(&mut out, &r.path);
+        out.push_str(&format!(
+            ",\"status\":{},\"cache\":\"{}\",\"total_secs\":{:.6},\
+             \"read_secs\":{:.6},\"decode_secs\":{:.6}}}",
+            r.status, r.cache, r.total_secs, r.read_secs, r.decode_secs,
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 fn optional_u64(value: &serde_json::Value, field: &str) -> Result<Option<u64>, String> {

@@ -363,6 +363,158 @@ fn response_cache_lru_semantics_over_http() {
     handle.shutdown();
 }
 
+/// The PR-6 observability surface over real sockets: per-request traces
+/// (`X-Atena-Trace-Id`), the `/v1/debug/requests` ring with latency
+/// breakdowns, Prometheus text exposition on `/v1/metrics`, and the
+/// keep-alive-reuse / slow-request counters.
+#[test]
+fn tracing_debug_ring_and_prometheus_over_http() {
+    let engine = Engine::new(tiny_bundle(), base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_size: 4,
+            // Zero threshold: every request counts as slow, making the
+            // counter (and its WARN path) deterministic to assert.
+            slow_threshold: Duration::ZERO,
+            ..Default::default()
+        },
+        engine,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+    // The tracer is process-global (the server stamps trace ids either
+    // way); enabling it here turns span recording on for this test's
+    // requests. Tracing is execution-only, so concurrent tests are
+    // unaffected beyond extra spans in the shared ring.
+    let tracer = atena_telemetry::tracer();
+    tracer.set_enabled(true);
+
+    // 1. Every response carries a fresh 16-hex-digit trace id.
+    let body = r#"{"dataset":"tiny","episode_len":3,"seed":42}"#;
+    let (status, headers, _) = post_notebook(addr, body);
+    assert_eq!(status, 200);
+    let first_id = header(&headers, "x-atena-trace-id")
+        .expect("trace header")
+        .to_string();
+    assert_eq!(first_id.len(), 16);
+    assert!(first_id.chars().all(|c| c.is_ascii_hexdigit()));
+    let (status, headers, _) = post_notebook(addr, body);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-atena-cache"), Some("hit"));
+    let second_id = header(&headers, "x-atena-trace-id").unwrap();
+    assert_ne!(first_id, second_id, "trace ids must be per-request");
+
+    // 2. Keep-alive reuse is counted (two requests, one connection).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        read_one_response(&mut stream);
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        read_one_response(&mut stream);
+    }
+    let snap = telemetry.snapshot();
+    assert!(
+        snap.counter("server.conn.keepalive_reuse").unwrap_or(0) >= 1,
+        "second request on one connection must count as reuse"
+    );
+    // Zero threshold: every request so far was slow.
+    assert!(snap.counter("server.request.slow").unwrap_or(0) >= 4);
+
+    // 3. Prometheus exposition: content type, # TYPE lines, histogram
+    //    series, and the new counters exposed.
+    let (status, headers, body) = http_request(
+        addr,
+        "GET /v1/metrics?format=prometheus HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(body.contains("# TYPE atena_server_http_requests counter"));
+    assert!(body.contains("# TYPE atena_server_http_latency_secs histogram"));
+    assert!(body.contains("atena_server_http_latency_secs_bucket{le=\"+Inf\"}"));
+    assert!(body.contains("atena_server_request_slow"));
+    assert!(body.contains("atena_server_conn_keepalive_reuse"));
+    // JSON remains the default.
+    let (_, headers, body) = http_request(
+        addr,
+        "GET /v1/metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    serde_json::from_str::<serde_json::Value>(&body).expect("JSON metrics stay valid");
+
+    // 4. The debug ring: newest-first entries with identity and latency
+    //    breakdown; the notebook miss shows decode time.
+    let (status, _, body) = http_request(
+        addr,
+        "GET /v1/debug/requests HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let debug: serde_json::Value = serde_json::from_str(&body).expect("debug JSON parses");
+    assert_eq!(debug["tracing"]["enabled"].as_bool(), Some(true));
+    assert!(debug["tracing"]["spans_recorded"].as_u64().unwrap() > 0);
+    let requests = debug["requests"].as_array().unwrap();
+    assert!(requests.len() >= 4, "ring should hold this test's requests");
+    for r in requests {
+        assert_eq!(r["trace_id"].as_str().unwrap().len(), 16);
+        assert!(r["status"].as_u64().is_some());
+        assert!(r["total_secs"].as_f64().unwrap() >= 0.0);
+        assert!(r["read_secs"].as_f64().unwrap() >= 0.0);
+    }
+    let miss = requests
+        .iter()
+        .find(|r| r["cache"].as_str() == Some("miss"))
+        .expect("the first notebook request was a miss");
+    assert_eq!(miss["path"].as_str(), Some("/v1/notebook"));
+    assert_eq!(miss["trace_id"].as_str(), Some(first_id.as_str()));
+    assert!(miss["decode_secs"].as_f64().unwrap() > 0.0);
+    let hit = requests
+        .iter()
+        .find(|r| r["cache"].as_str() == Some("hit"))
+        .expect("the second notebook request was a hit");
+    assert_eq!(hit["decode_secs"].as_f64(), Some(0.0));
+
+    // 5. The span ring holds the request tree: a server.request root whose
+    //    children include the decode with per-step nn.forward spans.
+    let spans = tracer.snapshot();
+    let root = spans
+        .iter()
+        .find(|s| {
+            s.name == "server.request"
+                && s.attrs.contains(&("path", "/v1/notebook".to_string()))
+                && format!("{:016x}", s.trace_id) == first_id
+        })
+        .expect("root span for the first notebook request");
+    let decode = spans
+        .iter()
+        .find(|s| s.trace_id == root.trace_id && s.name == "engine.decode")
+        .expect("engine.decode child span");
+    let forwards = spans
+        .iter()
+        .filter(|s| s.trace_id == root.trace_id && s.name == "nn.forward")
+        .count();
+    assert_eq!(forwards, 3, "one nn.forward per decoded cell");
+    assert!(spans
+        .iter()
+        .any(|s| s.trace_id == root.trace_id && s.name == "cache.lookup"));
+    assert!(decode.duration_secs > 0.0);
+
+    handle.shutdown();
+}
+
 #[test]
 fn oversized_body_rejected_over_socket() {
     let engine = Engine::new(tiny_bundle(), base()).unwrap();

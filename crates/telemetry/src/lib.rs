@@ -20,6 +20,17 @@
 //!
 //! Most code talks to the process-wide registry via [`global`]; tests build
 //! private [`MetricsRegistry`] instances to stay isolated.
+//!
+//! The [`trace`] module adds structured tracing on top: trace ids,
+//! hierarchical timed spans with attributes, a bounded span ring, and JSONL
+//! trace export (see DESIGN.md §4j).
+
+pub mod trace;
+
+pub use trace::{
+    tracer, tracer_arc, ActiveTrace, SpanGuard, SpanRecord, TraceCounts, Tracer, DEFAULT_SPAN_RING,
+    ROOT_SPAN_ID,
+};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -219,7 +230,7 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -677,6 +688,57 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Prometheus text exposition (format version 0.0.4) of every registered
+    /// metric. Dotted names become underscore-separated with an `atena_`
+    /// namespace prefix; histograms expose full cumulative `_bucket{le=...}`
+    /// series plus `_sum` and `_count`.
+    ///
+    /// Serve with content type `text/plain; version=0.0.4`.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.metrics.lock().expect("telemetry registry poisoned");
+        let mut out = String::new();
+        for (name, c) in &m.counters {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+        }
+        for (name, g) in &m.gauges {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+        }
+        for (name, h) in &m.histograms {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, bucket) in h.bucket_counts().into_iter().enumerate() {
+                cumulative += bucket;
+                match Histogram::bucket_bound(i) {
+                    Some(bound) => {
+                        out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"))
+                    }
+                    None => out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+                }
+            }
+            out.push_str(&format!("{n}_sum {}\n", h.sum()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// Map a dotted metric name onto the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, namespaced under `atena_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("atena_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 impl Drop for MetricsRegistry {
@@ -896,6 +958,52 @@ mod tests {
         assert!(lines[0].contains("\"value\":0.125"));
         assert!(lines[0].contains("\"iter\":\"3\""));
         assert!(text.contains("\"env.op.filter\""));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("server.http.requests").add(7);
+        reg.gauge("decode.temperature").set(0.001);
+        let h = reg.histogram("server.http.latency_secs");
+        h.record(0.002);
+        h.record(0.004);
+        h.record(1e9); // overflow bucket
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE atena_server_http_requests counter\n"));
+        assert!(text.contains("atena_server_http_requests 7\n"));
+        assert!(text.contains("# TYPE atena_decode_temperature gauge\n"));
+        assert!(text.contains("atena_decode_temperature 0.001\n"));
+        assert!(text.contains("# TYPE atena_server_http_latency_secs histogram\n"));
+        assert!(text.contains("atena_server_http_latency_secs_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("atena_server_http_latency_secs_count 3\n"));
+        // Cumulative buckets never decrease and end at the total count.
+        let mut last = 0u64;
+        let mut inf_seen = false;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("atena_server_http_latency_secs_bucket") {
+                let v: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative bucket decreased: {line}");
+                last = v;
+                inf_seen = rest.contains("+Inf");
+            }
+        }
+        assert!(inf_seen, "+Inf bucket must come last");
+        assert_eq!(last, 3);
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line}"
+            );
+        }
     }
 
     #[test]

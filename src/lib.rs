@@ -73,3 +73,7 @@ pub mod data {
 pub mod benchmark {
     pub use atena_benchmark::*;
 }
+/// Logging, metrics, and span tracing (re-export of `atena-telemetry`).
+pub mod telemetry {
+    pub use atena_telemetry::*;
+}

@@ -1,8 +1,9 @@
-//! The determinism contract (DESIGN.md §4h/§4i), enforced end-to-end: the
-//! worker count and the display-cache capacity change how fast rollouts
-//! are collected, never what is learned. At a fixed seed the full
-//! `TrainLog` and the final checkpoint blob must be **bit-identical**
-//! across cache {off, on} × workers {1, 4}.
+//! The determinism contract (DESIGN.md §4h/§4i/§4j), enforced end-to-end:
+//! the worker count, the display-cache capacity, and span tracing change
+//! how fast rollouts are collected (or how observable they are), never
+//! what is learned. At a fixed seed the full `TrainLog` and the final
+//! checkpoint blob must be **bit-identical** across cache {off, on} ×
+//! workers {1, 4} × tracing {off, on}.
 //!
 //! Triage rule (KNOWN_FAILURES.md): any "parallel run differs from serial"
 //! or "cached run differs from uncached" report is a bug in whatever made
@@ -127,5 +128,73 @@ fn train_log_is_bit_identical_across_worker_counts_and_cache() {
             "workers={workers} display_cache={display_cache} TrainLog differs from \
              serial uncached"
         );
+    }
+}
+
+#[test]
+fn train_log_is_bit_identical_with_tracing_on_and_off() {
+    // Span tracing is execution-only (DESIGN.md §4j): it reads timings out
+    // of the run but injects nothing back — no RNG draws, no reordering.
+    // Each run gets a private tracer so enabled/disabled states can't leak
+    // across the grid through the process-global one.
+    let run = |n_workers: usize, traced: bool| -> (String, u64) {
+        let seed = 23;
+        let env_config = EnvConfig {
+            episode_len: 6,
+            n_bins: 5,
+            history_window: 3,
+            seed,
+        };
+        let probe = EdaEnv::new(base(), env_config.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = TwofoldPolicy::new(
+            probe.observation_dim(),
+            probe.action_space().head_sizes(),
+            TwofoldConfig { hidden: [32, 32] },
+            &mut rng,
+        );
+        let mut reward = CompoundReward::new(CoherencyConfig::with_focal_attrs(vec!["src".into()]));
+        let mut fit_env = EdaEnv::new(base(), env_config.clone());
+        reward.fit(&mut fit_env, 120, seed);
+        let tracer = Arc::new(atena::telemetry::Tracer::new());
+        tracer.set_enabled(traced);
+        let mut trainer = Trainer::new(
+            Arc::new(policy),
+            ActionMapper::Twofold,
+            Arc::new(reward),
+            &base(),
+            env_config,
+            TrainerConfig {
+                n_lanes: 4,
+                n_workers,
+                rollout_len: 32,
+                eval_window: 10,
+                seed,
+                ppo: PpoConfig {
+                    minibatch: 32,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .with_tracer(Arc::clone(&tracer));
+        let log = format!("{:?}", trainer.train(256));
+        (log, tracer.counts().spans_recorded)
+    };
+    let (serial, silent_spans) = run(1, false);
+    assert_eq!(silent_spans, 0, "disabled tracer must record nothing");
+    for (workers, traced) in [(1, true), (4, false), (4, true)] {
+        let (log, spans) = run(workers, traced);
+        assert_eq!(
+            log, serial,
+            "workers={workers} tracing={traced} TrainLog differs from serial untraced"
+        );
+        if traced {
+            assert!(
+                spans > 0,
+                "workers={workers}: enabled tracer recorded no spans"
+            );
+        }
     }
 }
