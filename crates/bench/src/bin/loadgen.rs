@@ -15,6 +15,20 @@
 //! Identical requests must produce identical responses (the server decodes
 //! greedily from a fixed seed and caches); any divergence is reported and
 //! fails the run.
+//!
+//! ## Mixed-tenant mode (`--mode mixed`)
+//!
+//! An **open-loop** driver for the multi-tenant surface: N tenants each
+//! send at a fixed rate on their own schedule (latency is measured from
+//! the *scheduled* send time, so server-side queueing is not hidden by
+//! client back-pressure — no coordinated omission). With `--upload-csv`
+//! each tenant first uploads its own variant of the CSV (truncated by one
+//! row per tenant index, so fingerprints differ) and decodes against its
+//! `dataset_id`. `--hog-factor F` multiplies tenant 0's rate, turning it
+//! into a noisy neighbour; its 429s are counted, never fatal, and the
+//! per-tenant quantiles show whether the quiet tenants kept their latency.
+//! `--bench-out` persists `BENCH_multitenant.json` (`bench:
+//! "loadgen-mixed"`).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -31,6 +45,17 @@ struct Config {
     episode_len: Option<usize>,
     seed: Option<u64>,
     bench_out: Option<String>,
+    mode: Mode,
+    tenants: usize,
+    rate: f64,
+    hog_factor: f64,
+    upload_csv: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Mixed,
 }
 
 impl Default for Config {
@@ -43,6 +68,11 @@ impl Default for Config {
             episode_len: None,
             seed: None,
             bench_out: None,
+            mode: Mode::Closed,
+            tenants: 3,
+            rate: 20.0,
+            hog_factor: 1.0,
+            upload_csv: None,
         }
     }
 }
@@ -78,6 +108,14 @@ USAGE:
   loadgen [--addr A] [--requests N] [--concurrency N]
           [--dataset ID] [--episode-len N] [--seed N]
           [--bench-out BENCH_serving.json]
+  loadgen --mode mixed [--tenants N] [--rate R] [--hog-factor F]
+          [--upload-csv data.csv] [--requests N] [--addr A]
+          [--episode-len N] [--bench-out BENCH_multitenant.json]
+
+Mixed mode is open-loop: each tenant sends at R req/s on its own
+schedule; latency is measured from the scheduled send time. Tenant 0's
+rate is multiplied by --hog-factor; 429 responses are counted, not
+fatal.
 ";
 
 fn parse_args(args: &[String]) -> Result<Config, String> {
@@ -120,6 +158,34 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                 )
             }
             "--bench-out" => config.bench_out = Some(value.clone()),
+            "--mode" => {
+                config.mode = match value.as_str() {
+                    "closed" => Mode::Closed,
+                    "mixed" => Mode::Mixed,
+                    other => return Err(format!("--mode expects closed|mixed, got {other:?}")),
+                }
+            }
+            "--tenants" => {
+                config.tenants = value
+                    .parse::<usize>()
+                    .map_err(|_| "--tenants expects an integer".to_string())?
+                    .max(1)
+            }
+            "--rate" => {
+                config.rate = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| *r > 0.0)
+                    .ok_or_else(|| "--rate expects a positive number".to_string())?
+            }
+            "--hog-factor" => {
+                config.hog_factor = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| *f >= 1.0)
+                    .ok_or_else(|| "--hog-factor expects a number >= 1".to_string())?
+            }
+            "--upload-csv" => config.upload_csv = Some(value.clone()),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;
@@ -240,6 +306,296 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+// ---- mixed-tenant open-loop mode ---------------------------------------
+
+/// Per-tenant (or overall) outcome counts and success-latency quantiles.
+#[derive(serde::Serialize)]
+struct TenantRecord {
+    tenant: String,
+    sent: usize,
+    ok: usize,
+    throttled: usize,
+    errors: usize,
+    cache_hits: usize,
+    rate_rps: f64,
+    latency: LatencyRecord,
+}
+
+/// The persisted `BENCH_multitenant.json` schema.
+#[derive(serde::Serialize)]
+struct MixedBenchRecord {
+    version: u32,
+    bench: &'static str,
+    tenants: usize,
+    rate_per_tenant: f64,
+    hog_factor: f64,
+    requests: usize,
+    wall_secs: f64,
+    per_tenant: Vec<TenantRecord>,
+    overall: TenantRecord,
+}
+
+/// One fresh-connection HTTP exchange.
+fn one_shot(addr: &str, raw: &[u8]) -> Result<(u16, Vec<(String, String)>, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(raw).map_err(|e| e.to_string())?;
+    read_response(&mut stream)
+}
+
+/// Upload one tenant's CSV variant; returns the content-addressed
+/// `dataset_id` the server assigned.
+fn upload_variant(addr: &str, tenant: &str, csv: &str) -> Result<String, String> {
+    let raw = format!(
+        "POST /v1/datasets?name={tenant} HTTP/1.1\r\nHost: {addr}\r\n\
+         X-Atena-Tenant: {tenant}\r\nContent-Type: text/csv\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{csv}",
+        csv.len()
+    );
+    let (status, _, body) = one_shot(addr, raw.as_bytes())?;
+    if status != 200 && status != 201 {
+        return Err(format!("upload for {tenant}: HTTP {status}: {body}"));
+    }
+    let value: serde_json::Value =
+        serde_json::from_str(&body).map_err(|e| format!("upload response: {e}"))?;
+    value["dataset"]["dataset_id"]
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("upload response missing dataset_id: {body}"))
+}
+
+/// Tenant `i` keeps all but the last `i` data rows, so every tenant's
+/// upload has distinct content (and a distinct fingerprint) while staying
+/// schema-identical.
+fn truncate_rows(csv: &str, drop_last: usize) -> String {
+    let mut lines: Vec<&str> = csv.lines().collect();
+    let keep = lines.len().saturating_sub(drop_last).max(2); // header + 1 row
+    lines.truncate(keep);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// What one scheduled request produced.
+struct ShotOutcome {
+    tenant: usize,
+    status: u16,
+    cache_hit: bool,
+    /// Completion time minus the *scheduled* send time.
+    latency: Duration,
+}
+
+fn tenant_record(
+    name: String,
+    rate: f64,
+    outcomes: &[&ShotOutcome],
+) -> TenantRecord {
+    let mut ok_lat: Vec<Duration> = outcomes
+        .iter()
+        .filter(|o| o.status == 200)
+        .map(|o| o.latency)
+        .collect();
+    ok_lat.sort();
+    let mean_ms = if ok_lat.is_empty() {
+        0.0
+    } else {
+        ok_lat.iter().map(Duration::as_secs_f64).sum::<f64>() * 1e3 / ok_lat.len() as f64
+    };
+    TenantRecord {
+        tenant: name,
+        sent: outcomes.len(),
+        ok: ok_lat.len(),
+        throttled: outcomes.iter().filter(|o| o.status == 429).count(),
+        errors: outcomes
+            .iter()
+            .filter(|o| o.status != 200 && o.status != 429)
+            .count(),
+        cache_hits: outcomes.iter().filter(|o| o.cache_hit).count(),
+        rate_rps: rate,
+        latency: LatencyRecord {
+            mean_ms,
+            p50_ms: quantile(&ok_lat, 0.50).as_secs_f64() * 1e3,
+            p95_ms: quantile(&ok_lat, 0.95).as_secs_f64() * 1e3,
+            p99_ms: quantile(&ok_lat, 0.99).as_secs_f64() * 1e3,
+        },
+    }
+}
+
+/// Open-loop mixed-tenant run. Returns the process exit code.
+fn run_mixed(config: &Config) -> i32 {
+    let per_tenant = (config.requests / config.tenants).max(1);
+    // Resolve each tenant's decode target: a per-tenant uploaded dataset,
+    // or the shared baked-in dataset by name.
+    let mut targets: Vec<String> = Vec::new();
+    for t in 0..config.tenants {
+        let tenant = format!("tenant{t}");
+        if let Some(path) = &config.upload_csv {
+            let csv = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            match upload_variant(&config.addr, &tenant, &truncate_rows(&csv, t)) {
+                Ok(id) => {
+                    println!("{tenant}: uploaded variant as {id}");
+                    targets.push(format!("\"dataset_id\":{id:?}"));
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        } else {
+            targets.push(format!("\"dataset\":{:?}", config.dataset));
+        }
+    }
+
+    let episode_len = config.episode_len.unwrap_or(6);
+    let outcomes: Arc<Mutex<Vec<ShotOutcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let transport_errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    // One dispatcher thread per tenant: sleep until each scheduled send
+    // time, then fire the request on a throwaway thread so a slow server
+    // never delays the schedule (open loop).
+    let dispatchers: Vec<_> = (0..config.tenants)
+        .map(|t| {
+            let addr = config.addr.clone();
+            let target = targets[t].clone();
+            let outcomes = Arc::clone(&outcomes);
+            let transport_errors = Arc::clone(&transport_errors);
+            let rate = if t == 0 {
+                config.rate * config.hog_factor
+            } else {
+                config.rate
+            };
+            std::thread::spawn(move || {
+                let mut shots = Vec::new();
+                for k in 0..per_tenant {
+                    let scheduled =
+                        started + Duration::from_secs_f64(k as f64 / rate);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let body = format!(
+                        "{{{target},\"episode_len\":{episode_len},\"seed\":{}}}",
+                        k % 32
+                    );
+                    let raw = format!(
+                        "POST /v1/notebook HTTP/1.1\r\nHost: {addr}\r\n\
+                         X-Atena-Tenant: tenant{t}\r\nContent-Type: application/json\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let addr = addr.clone();
+                    let outcomes = Arc::clone(&outcomes);
+                    let transport_errors = Arc::clone(&transport_errors);
+                    shots.push(std::thread::spawn(move || {
+                        match one_shot(&addr, raw.as_bytes()) {
+                            Ok((status, headers, _)) => {
+                                let cache_hit = headers
+                                    .iter()
+                                    .any(|(n, v)| n == "x-atena-cache" && v == "hit");
+                                outcomes.lock().unwrap().push(ShotOutcome {
+                                    tenant: t,
+                                    status,
+                                    cache_hit,
+                                    latency: scheduled.elapsed(),
+                                });
+                            }
+                            Err(e) => {
+                                eprintln!("tenant{t} request {k}: {e}");
+                                transport_errors.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }));
+                }
+                for s in shots {
+                    let _ = s.join();
+                }
+            })
+        })
+        .collect();
+    for d in dispatchers {
+        d.join().expect("dispatcher panicked");
+    }
+    let elapsed = started.elapsed();
+
+    let outcomes = outcomes.lock().unwrap();
+    let mut per_tenant_records = Vec::new();
+    println!(
+        "{:<10} {:>6} {:>6} {:>9} {:>7} {:>10} {:>10} {:>10}",
+        "tenant", "sent", "ok", "throttled", "errors", "p50 ms", "p95 ms", "p99 ms"
+    );
+    for t in 0..config.tenants {
+        let rate = if t == 0 {
+            config.rate * config.hog_factor
+        } else {
+            config.rate
+        };
+        let mine: Vec<&ShotOutcome> = outcomes.iter().filter(|o| o.tenant == t).collect();
+        let rec = tenant_record(format!("tenant{t}"), rate, &mine);
+        println!(
+            "{:<10} {:>6} {:>6} {:>9} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+            rec.tenant,
+            rec.sent,
+            rec.ok,
+            rec.throttled,
+            rec.errors,
+            rec.latency.p50_ms,
+            rec.latency.p95_ms,
+            rec.latency.p99_ms
+        );
+        per_tenant_records.push(rec);
+    }
+    let all: Vec<&ShotOutcome> = outcomes.iter().collect();
+    let overall = tenant_record(
+        "overall".into(),
+        config.rate * (config.tenants as f64 - 1.0 + config.hog_factor),
+        &all,
+    );
+    println!(
+        "overall: {} sent, {} ok, {} throttled, {} errors in {:.3} s",
+        overall.sent,
+        overall.ok,
+        overall.throttled,
+        overall.errors,
+        elapsed.as_secs_f64()
+    );
+
+    let errors = overall.errors + transport_errors.load(Ordering::SeqCst);
+    if let Some(path) = &config.bench_out {
+        let record = MixedBenchRecord {
+            version: 1,
+            bench: "loadgen-mixed",
+            tenants: config.tenants,
+            rate_per_tenant: config.rate,
+            hog_factor: config.hog_factor,
+            requests: overall.sent,
+            wall_secs: elapsed.as_secs_f64(),
+            per_tenant: per_tenant_records,
+            overall,
+        };
+        match atena_bench::dump_json_to(std::path::Path::new(path), &record) {
+            Ok(()) => println!("bench record written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("FAIL: {errors} non-throttle errors");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config = match parse_args(&args) {
@@ -249,6 +605,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if config.mode == Mode::Mixed {
+        std::process::exit(run_mixed(&config));
+    }
     let body = request_body(&config);
     let raw_request = format!(
         "POST /v1/notebook HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\

@@ -54,6 +54,7 @@ USAGE:
   atena generate <data.csv> [OPTIONS]   generate a notebook for a CSV file
   atena demo <dataset-id>   [OPTIONS]   run on a built-in experimental dataset
   atena datasets                        list built-in datasets
+  atena datasets inspect <file.csv>...  print upload identity (id, schema)
   atena export <dataset-id> <file.csv>  write a built-in dataset as CSV
   atena train <dataset-id>  [OPTIONS]   train a policy on a built-in dataset
                                         (pass --out <ckpt.json> to save it)
@@ -71,6 +72,10 @@ SERVE OPTIONS:
   --cache-size <N>    LRU response-cache entries   [default: 256]
   --slow-ms <N>       slow-request WARN threshold  [default: 500]
   --trace-out <f>     record request span trees to <f> as JSONL
+  --registry-budget-mb <N>   upload-registry byte budget   [default: 256]
+  --upload-max-mb <N>        per-upload CSV size cap       [default: 8]
+  --tenant-max-inflight <N>  per-tenant in-flight cap      [default: 8]
+  --tenant-quota-mb <N>      per-tenant resident quota     [default: 64]
 
 METRICS SUMMARIZE OPTIONS:
   --format <F>        text | json                  [default: text]
@@ -164,6 +169,20 @@ pub enum Command {
         slow_ms: u64,
         /// Trace JSONL output path (enables span recording when set).
         trace_out: Option<String>,
+        /// Dataset-registry byte budget for uploads, in MiB.
+        registry_budget_mb: usize,
+        /// Per-upload CSV size cap, in MiB.
+        upload_max_mb: usize,
+        /// Per-tenant in-flight request cap for mutating routes.
+        tenant_max_inflight: usize,
+        /// Per-tenant resident-byte quota, in MiB.
+        tenant_quota_mb: usize,
+    },
+    /// Offline registry inspection: parse CSV files exactly as an upload
+    /// would and print their dataset identity and schema.
+    DatasetsInspect {
+        /// CSV paths to inspect.
+        paths: Vec<String>,
     },
     /// Print usage.
     Help,
@@ -333,7 +352,21 @@ fn parse_opts(args: &[String]) -> Result<GenerateOpts, CliError> {
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
-        Some("datasets") => Ok(Command::Datasets),
+        Some("datasets") => match args.get(1).map(String::as_str) {
+            None => Ok(Command::Datasets),
+            Some("inspect") => {
+                let paths: Vec<String> = args[2..].to_vec();
+                if paths.is_empty() || paths.iter().any(|p| p.starts_with("--")) {
+                    return Err(CliError::Usage(
+                        "datasets inspect requires one or more CSV paths".into(),
+                    ));
+                }
+                Ok(Command::DatasetsInspect { paths })
+            }
+            Some(other) => Err(CliError::Usage(format!(
+                "datasets supports: (no args) | inspect <file.csv>...; got {other:?}"
+            ))),
+        },
         Some("export") => {
             let id = args
                 .get(1)
@@ -422,6 +455,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut cache_size = 256usize;
             let mut slow_ms = 500u64;
             let mut trace_out = None;
+            let mut registry_budget_mb = 256usize;
+            let mut upload_max_mb = 8usize;
+            let mut tenant_max_inflight = 8usize;
+            let mut tenant_quota_mb = 64usize;
             let rest = &args[1..];
             let mut i = 0;
             while i < rest.len() {
@@ -429,25 +466,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
+                let int = |name: &str| -> Result<usize, CliError> {
+                    value
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("{name} expects an integer")))
+                };
                 match flag {
                     "--checkpoint" => checkpoint = Some(value.clone()),
                     "--addr" => addr = value.clone(),
-                    "--workers" => {
-                        workers = value
-                            .parse()
-                            .map_err(|_| CliError::Usage("--workers expects an integer".into()))?;
-                    }
-                    "--cache-size" => {
-                        cache_size = value.parse().map_err(|_| {
-                            CliError::Usage("--cache-size expects an integer".into())
-                        })?;
-                    }
+                    "--workers" => workers = int("--workers")?,
+                    "--cache-size" => cache_size = int("--cache-size")?,
                     "--slow-ms" => {
                         slow_ms = value
                             .parse()
                             .map_err(|_| CliError::Usage("--slow-ms expects an integer".into()))?;
                     }
                     "--trace-out" => trace_out = Some(value.clone()),
+                    "--registry-budget-mb" => registry_budget_mb = int("--registry-budget-mb")?,
+                    "--upload-max-mb" => upload_max_mb = int("--upload-max-mb")?,
+                    "--tenant-max-inflight" => {
+                        tenant_max_inflight = int("--tenant-max-inflight")?;
+                    }
+                    "--tenant-quota-mb" => tenant_quota_mb = int("--tenant-quota-mb")?,
                     other => return Err(CliError::Usage(format!("unknown option {other:?}"))),
                 }
                 i += 2;
@@ -461,6 +501,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cache_size,
                 slow_ms,
                 trace_out,
+                registry_budget_mb,
+                upload_max_mb,
+                tenant_max_inflight,
+                tenant_quota_mb,
             })
         }
         Some("metrics") => match args.get(1).map(String::as_str) {
@@ -825,6 +869,43 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::DatasetsInspect { paths } => {
+            // Offline mirror of `POST /v1/datasets`: same parser, same
+            // content addressing, so the printed id matches what the server
+            // would return for the identical bytes.
+            use atena_registry::{dataset_id_for_fingerprint, ingest_csv};
+            let limits = atena_registry::RegistryConfig::default().limits;
+            let mut out = String::new();
+            let mut seen: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
+            for path in &paths {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+                let frame = ingest_csv(&bytes, limits)
+                    .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+                let fp = frame.fingerprint();
+                let id = dataset_id_for_fingerprint(fp);
+                out.push_str(&format!(
+                    "{path}\n  dataset_id  {id}\n  rows        {}\n  cols        {}\n  bytes       {}\n  schema\n",
+                    frame.n_rows(),
+                    frame.n_cols(),
+                    frame.approx_bytes(),
+                ));
+                for field in frame.schema().fields() {
+                    out.push_str(&format!(
+                        "    {:<20} {:<6} {}\n",
+                        field.name,
+                        field.dtype.name(),
+                        field.role.name()
+                    ));
+                }
+                if let Some(first) = seen.get(&fp) {
+                    out.push_str(&format!("  duplicate of {first} (identical content)\n"));
+                } else {
+                    seen.insert(fp, path.clone());
+                }
+            }
+            Ok(out)
+        }
         Command::Export { id, path } => {
             let dataset = atena_data::dataset_by_id(&id).ok_or_else(|| {
                 CliError::Runtime(format!(
@@ -920,6 +1001,10 @@ pub fn run(command: Command) -> Result<String, CliError> {
             cache_size,
             slow_ms,
             trace_out,
+            registry_budget_mb,
+            upload_max_mb,
+            tenant_max_inflight,
+            tenant_quota_mb,
         } => {
             if let Some(path) = &trace_out {
                 set_trace_sink(path)?;
@@ -935,11 +1020,22 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let description = bundle.describe();
             let engine = atena_server::Engine::new(bundle, dataset.frame)
                 .map_err(|e| CliError::Runtime(format!("cannot build engine: {e}")))?;
+            let mut registry = atena_registry::RegistryConfig {
+                budget_bytes: registry_budget_mb << 20,
+                tenant_quota_bytes: tenant_quota_mb << 20,
+                ..Default::default()
+            };
+            registry.limits.max_bytes = upload_max_mb << 20;
             let config = atena_server::ServerConfig {
                 addr,
                 workers,
                 cache_size,
                 slow_threshold: std::time::Duration::from_millis(slow_ms),
+                registry,
+                tenant_limits: atena_registry::TenantLimits {
+                    max_inflight: tenant_max_inflight,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let server = atena_server::Server::bind(config, engine)
@@ -1469,6 +1565,14 @@ garbage line
             "100",
             "--trace-out",
             "t.jsonl",
+            "--registry-budget-mb",
+            "64",
+            "--upload-max-mb",
+            "2",
+            "--tenant-max-inflight",
+            "3",
+            "--tenant-quota-mb",
+            "16",
         ]))
         .unwrap();
         assert_eq!(
@@ -1480,6 +1584,10 @@ garbage line
                 cache_size: 32,
                 slow_ms: 100,
                 trace_out: Some("t.jsonl".into()),
+                registry_budget_mb: 64,
+                upload_max_mb: 2,
+                tenant_max_inflight: 3,
+                tenant_quota_mb: 16,
             }
         );
         // Defaults.
@@ -1489,6 +1597,10 @@ garbage line
             cache_size,
             slow_ms,
             trace_out,
+            registry_budget_mb,
+            upload_max_mb,
+            tenant_max_inflight,
+            tenant_quota_mb,
             ..
         } = parse(&args(&["serve", "--checkpoint", "c.json"])).unwrap()
         else {
@@ -1499,6 +1611,10 @@ garbage line
         assert_eq!(cache_size, 256);
         assert_eq!(slow_ms, 500);
         assert_eq!(trace_out, None);
+        assert_eq!(registry_budget_mb, 256);
+        assert_eq!(upload_max_mb, 8);
+        assert_eq!(tenant_max_inflight, 8);
+        assert_eq!(tenant_quota_mb, 64);
         assert!(matches!(parse(&args(&["serve"])), Err(CliError::Usage(_))));
         assert!(matches!(
             parse(&args(&[
@@ -1534,6 +1650,49 @@ garbage line
             parse(&args(&["demo", "cyber1", "--trace-out"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn datasets_inspect_parses_and_reports_identity() {
+        assert_eq!(
+            parse(&args(&["datasets", "inspect", "a.csv", "b.csv"])).unwrap(),
+            Command::DatasetsInspect {
+                paths: vec!["a.csv".into(), "b.csv".into()]
+            }
+        );
+        assert!(matches!(
+            parse(&args(&["datasets", "inspect"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["datasets", "frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+
+        // Two copies of the same content → same id, flagged as duplicate;
+        // the id matches the registry's content addressing.
+        let dir = std::env::temp_dir().join("atena-cli-inspect");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        std::fs::write(&a, "proto,len\ntcp,1\nudp,2\n").unwrap();
+        std::fs::write(&b, "proto,len\ntcp,1\nudp,2\n").unwrap();
+        let out = run(Command::DatasetsInspect {
+            paths: vec![a.display().to_string(), b.display().to_string()],
+        })
+        .unwrap();
+        let frame =
+            atena_dataframe::DataFrame::from_csv_str("proto,len\ntcp,1\nudp,2\n").unwrap();
+        let id = atena_registry::dataset_id_for_fingerprint(frame.fingerprint());
+        assert_eq!(out.matches(&id).count(), 2, "{out}");
+        assert!(out.contains("duplicate of"), "{out}");
+        assert!(out.contains("proto"), "{out}");
+        assert!(out.contains("int"), "{out}");
+
+        let missing = run(Command::DatasetsInspect {
+            paths: vec![dir.join("nope.csv").display().to_string()],
+        });
+        assert!(matches!(missing, Err(CliError::Runtime(_))));
     }
 
     #[test]

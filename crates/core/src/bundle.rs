@@ -119,6 +119,33 @@ impl PolicyBundle {
         Ok(policy)
     }
 
+    /// Observation dimensionality a frame with `n_cols` columns yields
+    /// under this bundle's environment configuration.
+    pub fn obs_dim_for_cols(&self, n_cols: usize) -> usize {
+        self.env.history_window * atena_env::DisplayVector::dim_for(n_cols)
+    }
+
+    /// Check that `frame` can be served by this bundle's policy: the
+    /// environment observation layout is a pure function of the column
+    /// count, so any dataset with a compatible shape — including ones
+    /// uploaded at runtime — decodes without rebuilding an environment.
+    pub fn frame_compatible(&self, frame: &DataFrame) -> Result<(), String> {
+        let got = self.obs_dim_for_cols(frame.n_cols());
+        if got != self.obs_dim {
+            return Err(format!(
+                "dataset/bundle mismatch: {} columns yield observation dim {got}, \
+                 bundle expects {} (trained on a {}-compatible shape)",
+                frame.n_cols(),
+                self.obs_dim,
+                self.dataset
+            ));
+        }
+        if frame.is_empty() {
+            return Err("dataset has no rows".to_string());
+        }
+        Ok(())
+    }
+
     /// Serialize to JSON.
     pub fn to_json(&self) -> Result<String, BundleError> {
         serde_json::to_string(self).map_err(|e| BundleError::Serde(e.to_string()))

@@ -179,6 +179,21 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate resident heap bytes of the column payload. Used by the
+    /// dataset registry for memory-budget accounting; deterministic for a
+    /// given column content, not an allocator-exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
+            Column::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
+            Column::Bool(v) => v.len() * std::mem::size_of::<Option<bool>>(),
+            Column::Str(v) => {
+                let dict: usize = v.dictionary().iter().map(|s| s.len()).sum();
+                dict + v.len() * std::mem::size_of::<Option<u32>>()
+            }
+        }
+    }
+
     /// Borrowed value at row `i`.
     ///
     /// # Panics

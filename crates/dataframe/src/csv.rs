@@ -2,124 +2,21 @@
 //!
 //! Supports RFC-4180-style quoting (`"a,b"`, doubled quotes) — enough to
 //! round-trip the synthetic experimental datasets and ingest user CSVs in
-//! the examples.
+//! the examples. Parsing is delegated to the streaming scanner in
+//! [`crate::csv_stream`], so quoted fields may contain embedded newlines
+//! and the exact same grammar serves both trusted in-memory strings and
+//! size-capped network uploads.
 
-use crate::column::Column;
-use crate::error::{DataFrameError, Result};
+use crate::csv_stream::{parse_csv_bytes, CsvLimits};
+use crate::error::Result;
 use crate::frame::DataFrame;
-use crate::schema::{AttrRole, Field};
-use crate::value::DType;
-
-/// Parse one CSV line into fields, honoring quotes.
-fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
-    let mut fields = Vec::new();
-    let mut cur = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
-    while let Some(c) = chars.next() {
-        match c {
-            '"' if in_quotes => {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    cur.push('"');
-                } else {
-                    in_quotes = false;
-                }
-            }
-            '"' if cur.is_empty() => in_quotes = true,
-            '"' => {
-                return Err(DataFrameError::Csv {
-                    line: line_no,
-                    message: "unexpected quote inside unquoted field".into(),
-                })
-            }
-            ',' if !in_quotes => {
-                fields.push(std::mem::take(&mut cur));
-            }
-            c => cur.push(c),
-        }
-    }
-    if in_quotes {
-        return Err(DataFrameError::Csv {
-            line: line_no,
-            message: "unterminated quote".into(),
-        });
-    }
-    fields.push(cur);
-    Ok(fields)
-}
-
-/// Infer the narrowest type that fits every non-empty cell in a column.
-fn infer_dtype(cells: &[&str]) -> DType {
-    let mut all_int = true;
-    let mut all_float = true;
-    let mut all_bool = true;
-    let mut saw_value = false;
-    for &c in cells {
-        if c.is_empty() {
-            continue;
-        }
-        saw_value = true;
-        if c.parse::<i64>().is_err() {
-            all_int = false;
-        }
-        if c.parse::<f64>().is_err() {
-            all_float = false;
-        }
-        if !matches!(c, "true" | "false" | "True" | "False") {
-            all_bool = false;
-        }
-    }
-    if !saw_value {
-        return DType::Str;
-    }
-    if all_bool {
-        DType::Bool
-    } else if all_int {
-        DType::Int
-    } else if all_float {
-        DType::Float
-    } else {
-        DType::Str
-    }
-}
 
 impl DataFrame {
     /// Parse a CSV string (first line is the header). Empty cells become
     /// nulls; column types are inferred, semantic roles via
-    /// [`AttrRole::infer`].
+    /// [`crate::AttrRole::infer`].
     pub fn from_csv_str(text: &str) -> Result<DataFrame> {
-        let mut lines = text
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty());
-        let (_, header) = lines.next().ok_or(DataFrameError::Csv {
-            line: 1,
-            message: "empty input".into(),
-        })?;
-        let names = parse_line(header, 1)?;
-        let n_cols = names.len();
-        let mut rows: Vec<Vec<String>> = Vec::new();
-        for (i, line) in lines {
-            let fields = parse_line(line, i + 1)?;
-            if fields.len() != n_cols {
-                return Err(DataFrameError::Csv {
-                    line: i + 1,
-                    message: format!("expected {n_cols} fields, found {}", fields.len()),
-                });
-            }
-            rows.push(fields);
-        }
-
-        let mut pairs = Vec::with_capacity(n_cols);
-        for (c, name) in names.iter().enumerate() {
-            let cells: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
-            let dtype = infer_dtype(&cells);
-            let column = build_column(dtype, &cells);
-            let role = AttrRole::infer(dtype, column.n_distinct(), column.len());
-            pairs.push((Field::new(name.clone(), dtype, role), column));
-        }
-        DataFrame::new(pairs)
+        parse_csv_bytes(text.as_bytes(), CsvLimits::unlimited()).map_err(Into::into)
     }
 
     /// Serialize the frame to a CSV string (nulls as empty cells).
@@ -146,25 +43,6 @@ impl DataFrame {
     }
 }
 
-fn build_column(dtype: DType, cells: &[&str]) -> Column {
-    match dtype {
-        DType::Int => Column::from_ints(cells.iter().map(|c| c.parse::<i64>().ok())),
-        DType::Float => Column::from_floats(cells.iter().map(|c| c.parse::<f64>().ok())),
-        DType::Bool => Column::from_bools(cells.iter().map(|c| match *c {
-            "true" | "True" => Some(true),
-            "false" | "False" => Some(false),
-            _ => None,
-        })),
-        DType::Str => {
-            Column::from_strs(
-                cells
-                    .iter()
-                    .map(|c| if c.is_empty() { None } else { Some(*c) }),
-            )
-        }
-    }
-}
-
 fn quote(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
         format!("\"{}\"", s.replace('"', "\"\""))
@@ -176,7 +54,8 @@ fn quote(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::ValueRef;
+    use crate::error::DataFrameError;
+    use crate::value::{DType, ValueRef};
 
     #[test]
     fn round_trip() {
@@ -194,18 +73,25 @@ mod tests {
 
     #[test]
     fn type_inference() {
-        assert_eq!(infer_dtype(&["1", "2", ""]), DType::Int);
-        assert_eq!(infer_dtype(&["1", "2.5"]), DType::Float);
-        assert_eq!(infer_dtype(&["true", "False"]), DType::Bool);
-        assert_eq!(infer_dtype(&["1", "x"]), DType::Str);
-        assert_eq!(infer_dtype(&["", ""]), DType::Str);
+        let df = DataFrame::from_csv_str("i,f,b,s,e\n1,1.5,true,1,\n2,2,False,x,\n").unwrap();
+        assert_eq!(df.schema().field("i").unwrap().dtype, DType::Int);
+        assert_eq!(df.schema().field("f").unwrap().dtype, DType::Float);
+        assert_eq!(df.schema().field("b").unwrap().dtype, DType::Bool);
+        assert_eq!(df.schema().field("s").unwrap().dtype, DType::Str);
+        // All-empty columns fall back to Str.
+        assert_eq!(df.schema().field("e").unwrap().dtype, DType::Str);
     }
 
     #[test]
     fn quoting_edge_cases() {
-        let fields = parse_line("a,\"b,\"\"c\"\"\",d", 1).unwrap();
-        assert_eq!(fields, vec!["a", "b,\"c\"", "d"]);
-        assert!(parse_line("\"unterminated", 1).is_err());
+        let df = DataFrame::from_csv_str("x,y,z\na,\"b,\"\"c\"\"\",d\n").unwrap();
+        assert_eq!(df.value(0, "x").unwrap(), ValueRef::Str("a"));
+        assert_eq!(df.value(0, "y").unwrap(), ValueRef::Str("b,\"c\""));
+        assert_eq!(df.value(0, "z").unwrap(), ValueRef::Str("d"));
+        let err = DataFrame::from_csv_str("x\n\"unterminated\n").unwrap_err();
+        assert!(matches!(err, DataFrameError::Csv { .. }));
+        let err = DataFrame::from_csv_str("x\nab\"c\n").unwrap_err();
+        assert!(matches!(err, DataFrameError::Csv { line: 2, .. }));
     }
 
     #[test]

@@ -124,6 +124,17 @@ impl DataFrame {
         self.n_rows == 0
     }
 
+    /// Approximate resident heap bytes across all columns (plus a small
+    /// fixed overhead per column for schema metadata). The dataset
+    /// registry charges this figure against its memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        const PER_COLUMN_OVERHEAD: usize = 64;
+        self.columns
+            .iter()
+            .map(|c| c.approx_bytes() + PER_COLUMN_OVERHEAD)
+            .sum()
+    }
+
     /// Column by name.
     pub fn column(&self, name: &str) -> Result<&Column> {
         let idx = self.schema.index_of(name)?;

@@ -34,6 +34,7 @@
 
 mod column;
 mod csv;
+mod csv_stream;
 mod error;
 mod filter;
 mod frame;
@@ -46,6 +47,7 @@ mod stats;
 mod value;
 
 pub use column::{Column, ColumnIter, StrColumn};
+pub use csv_stream::{parse_csv_bytes, CsvLimits, CsvStreamError, CsvStreamParser};
 pub use error::{DataFrameError, Result};
 pub use filter::{CmpOp, Predicate};
 pub use frame::{DataFrame, DataFrameBuilder};

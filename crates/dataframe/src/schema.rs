@@ -22,6 +22,17 @@ pub enum AttrRole {
 }
 
 impl AttrRole {
+    /// Static lowercase name used in schema listings and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrRole::Numeric => "numeric",
+            AttrRole::Categorical => "categorical",
+            AttrRole::Text => "text",
+            AttrRole::Identifier => "identifier",
+            AttrRole::Temporal => "temporal",
+        }
+    }
+
     /// Heuristic role inference from physical type and cardinality, used when
     /// the caller does not annotate roles (e.g. CSV ingestion).
     pub fn infer(dtype: DType, n_distinct: usize, n_rows: usize) -> AttrRole {
@@ -44,6 +55,12 @@ impl AttrRole {
                 }
             }
         }
+    }
+}
+
+impl std::fmt::Display for AttrRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -1,0 +1,33 @@
+//! Multi-tenant dataset registry for the ATENA serving stack.
+//!
+//! The serving story of the paper — auto-generated EDA notebooks over *a
+//! user's own dataset* — needs an ingest-and-retain layer between the HTTP
+//! surface and the policy engine. This crate provides it as three pieces:
+//!
+//! * **Streaming ingest** ([`ingest_csv`]): CSV bytes go through
+//!   [`atena_dataframe::CsvStreamParser`] under hard row/column/byte caps,
+//!   yielding a typed [`DataFrame`](atena_dataframe::DataFrame) with
+//!   inferred per-column schema in one pass.
+//! * **Fingerprint-keyed registry** ([`DatasetRegistry`]): datasets are
+//!   content-addressed by their platform-stable
+//!   [`fingerprint`](atena_dataframe::DataFrame::fingerprint), so duplicate
+//!   uploads dedupe to a single resident copy. Resident bytes are accounted
+//!   against a budget with deterministic LRU eviction of unpinned entries,
+//!   and per-tenant byte quotas bound what any one tenant can keep resident.
+//! * **Admission control** ([`AdmissionController`]): per-tenant concurrent
+//!   request limits enforced with backpressure (the caller maps rejections
+//!   to `429` + `Retry-After`) instead of unbounded queuing.
+//!
+//! Everything is deterministic given the same sequence of calls: eviction
+//! order follows a monotone logical clock, ids are pure functions of
+//! content, and telemetry (`registry.*`, `admission.*`) uses cached handles
+//! so hot paths never touch the metrics-registry mutex.
+
+mod admission;
+mod registry;
+
+pub use admission::{AdmissionController, AdmissionRejection, Permit, TenantLimits};
+pub use registry::{
+    dataset_id_for_fingerprint, ingest_csv, parse_dataset_id, DatasetInfo, DatasetRegistry,
+    IngestOutcome, RegistryConfig, RegistryError, RegistrySnapshot,
+};

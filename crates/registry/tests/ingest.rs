@@ -1,0 +1,237 @@
+//! Property + golden tests for streaming CSV ingest and registry dedup.
+//!
+//! The determinism contract of the serving stack leans on two facts locked
+//! here: (1) the streaming parser accepts exactly the same grammar however
+//! the bytes are chunked, and (2) identical content always produces an
+//! identical fingerprint (and therefore dataset id), while different
+//! content does not collide in practice.
+
+use atena_dataframe::{parse_csv_bytes, CsvLimits, CsvStreamError, CsvStreamParser, DataFrame};
+use atena_registry::{DatasetRegistry, RegistryConfig};
+use proptest::prelude::*;
+
+/// Deterministic cell text from an integer seed, drawing from a palette
+/// that exercises quoting, delimiters, CRLF fragments and multi-byte
+/// UTF-8. Cells are prefixed with a letter so columns stay `Str`-typed and
+/// value comparisons are exact.
+fn cell_from(seed: u32) -> String {
+    const PALETTE: &[&str] = &[
+        "a", "b", ",", "\"", "\n", "\r", " ", "é", "日", "🦀", "x,y", "\"\"", "\r\n",
+    ];
+    let mut s = String::from("s");
+    let mut v = seed;
+    for _ in 0..(seed % 5) {
+        s.push_str(PALETTE[(v % PALETTE.len() as u32) as usize]);
+        v = v.wrapping_mul(2654435761).wrapping_add(1);
+    }
+    s
+}
+
+/// RFC-4180 writer used as the generator side of round-trip properties.
+fn write_csv(header: &[String], rows: &[Vec<String>]) -> String {
+    fn quote(f: &str) -> String {
+        if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            format!("\"{}\"", f.replace('"', "\"\""))
+        } else {
+            f.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn shape(seeds: &[u32], n_cols: usize) -> (Vec<String>, Vec<Vec<String>>) {
+    let header: Vec<String> = (0..n_cols).map(|c| format!("col{c}")).collect();
+    let rows: Vec<Vec<String>> = seeds
+        .chunks_exact(n_cols)
+        .map(|chunk| chunk.iter().map(|&s| cell_from(s)).collect())
+        .collect();
+    (header, rows)
+}
+
+proptest! {
+    /// Writer → parser round-trips every cell exactly, whatever mix of
+    /// quotes, delimiters, newlines and unicode the cells contain.
+    #[test]
+    fn round_trip_preserves_cells(
+        seeds in prop::collection::vec(any::<u32>(), 2..120),
+        n_cols in 2usize..5,
+    ) {
+        let (header, rows) = shape(&seeds, n_cols);
+        let csv = write_csv(&header, &rows);
+        let df = DataFrame::from_csv_str(&csv).unwrap();
+        prop_assert_eq!(df.n_rows(), rows.len());
+        prop_assert_eq!(df.n_cols(), n_cols);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, want) in row.iter().enumerate() {
+                let got = df.value(r, &header[c]).unwrap().to_string();
+                prop_assert_eq!(&got, want);
+            }
+        }
+    }
+
+    /// Chunk boundaries are invisible: pushing the same bytes in arbitrary
+    /// splits produces a frame with an identical fingerprint.
+    #[test]
+    fn chunking_is_invisible(
+        seeds in prop::collection::vec(any::<u32>(), 2..80),
+        n_cols in 2usize..4,
+        splits in prop::collection::vec(1usize..7, 1..40),
+    ) {
+        let (header, rows) = shape(&seeds, n_cols);
+        let csv = write_csv(&header, &rows);
+        let whole = parse_csv_bytes(csv.as_bytes(), CsvLimits::unlimited()).unwrap();
+
+        let mut parser = CsvStreamParser::new(CsvLimits::unlimited());
+        let bytes = csv.as_bytes();
+        let mut at = 0;
+        let mut split_iter = splits.iter().cycle();
+        while at < bytes.len() {
+            let step = (*split_iter.next().unwrap()).min(bytes.len() - at);
+            parser.push(&bytes[at..at + step]).unwrap();
+            at += step;
+        }
+        let piecewise = parser.finish().unwrap();
+        prop_assert_eq!(whole.fingerprint(), piecewise.fingerprint());
+    }
+
+    /// CRLF line endings parse to the same frame as LF (when no cell
+    /// contains raw newline bytes).
+    #[test]
+    fn crlf_equals_lf(
+        seeds in prop::collection::vec(0u32..1000, 2..80),
+        n_cols in 2usize..4,
+    ) {
+        let (header, rows) = shape(&seeds, n_cols);
+        // Strip newline-bearing cells for this property.
+        let rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(|c| c.replace(['\n', '\r'], "_")).collect())
+            .collect();
+        let lf = write_csv(&header, &rows);
+        let crlf = lf.replace('\n', "\r\n");
+        let a = DataFrame::from_csv_str(&lf).unwrap();
+        let b = DataFrame::from_csv_str(&crlf).unwrap();
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Registry dedup: identical content maps to one entry and one id;
+    /// distinct content gets a distinct id.
+    #[test]
+    fn dedup_by_content(
+        seeds in prop::collection::vec(any::<u32>(), 4..60),
+        n_cols in 2usize..4,
+    ) {
+        let (header, rows) = shape(&seeds, n_cols);
+        let csv = write_csv(&header, &rows);
+        let reg = DatasetRegistry::new(RegistryConfig {
+            limits: CsvLimits::unlimited(),
+            ..RegistryConfig::default()
+        });
+        let a = reg.ingest("t1", "a", csv.as_bytes()).unwrap();
+        let b = reg.ingest("t2", "b", csv.as_bytes()).unwrap();
+        prop_assert!(b.deduplicated);
+        prop_assert_eq!(&a.info.dataset_id, &b.info.dataset_id);
+        prop_assert_eq!(reg.list().len(), 1);
+
+        // Perturb one cell: different content, different id.
+        let mut rows2 = rows.clone();
+        rows2[0][0].push('~');
+        let csv2 = write_csv(&header, &rows2);
+        let c = reg.ingest("t1", "c", csv2.as_bytes()).unwrap();
+        prop_assert!(!c.deduplicated);
+        prop_assert!(a.info.dataset_id != c.info.dataset_id);
+    }
+
+    /// Budget invariant under churn: whatever the upload sequence, resident
+    /// unpinned bytes never exceed the budget.
+    #[test]
+    fn budget_holds_under_churn(
+        tags in prop::collection::vec(0u32..12, 1..30),
+    ) {
+        let reg = DatasetRegistry::new(RegistryConfig {
+            budget_bytes: 4096,
+            max_datasets: 4,
+            tenant_quota_bytes: 4096,
+            limits: CsvLimits::unlimited(),
+        });
+        for (i, tag) in tags.iter().enumerate() {
+            let mut csv = String::from("k,v\n");
+            for r in 0..(tag + 1) * 3 {
+                csv.push_str(&format!("row{tag}_{r},{r}\n"));
+            }
+            let tenant = format!("t{}", i % 3);
+            let _ = reg.ingest(&tenant, "d", csv.as_bytes());
+            let snap = reg.snapshot();
+            prop_assert!(snap.unpinned_bytes <= snap.budget_bytes);
+            prop_assert!(snap.entries <= 4);
+        }
+    }
+}
+
+// ---- golden cases -------------------------------------------------------
+
+#[test]
+fn golden_quoted_fields_with_embedded_commas_and_newlines() {
+    let csv = "id,desc\n1,\"first, with comma\"\n2,\"two\nlines\"\n3,\"quote \"\"q\"\" done\"\n";
+    let df = DataFrame::from_csv_str(csv).unwrap();
+    assert_eq!(df.n_rows(), 3);
+    assert_eq!(df.value(0, "desc").unwrap().to_string(), "first, with comma");
+    assert_eq!(df.value(1, "desc").unwrap().to_string(), "two\nlines");
+    assert_eq!(df.value(2, "desc").unwrap().to_string(), "quote \"q\" done");
+}
+
+#[test]
+fn golden_crlf_file() {
+    let df = DataFrame::from_csv_str("a,b\r\n1,hello\r\n2,world\r\n").unwrap();
+    assert_eq!(df.n_rows(), 2);
+    assert_eq!(df.value(1, "b").unwrap().to_string(), "world");
+}
+
+#[test]
+fn golden_ragged_row_reports_physical_line() {
+    let err = parse_csv_bytes(b"a,b\n1,2\n3\n", CsvLimits::unlimited()).unwrap_err();
+    assert_eq!(
+        err,
+        CsvStreamError::Csv {
+            line: 3,
+            message: "expected 2 fields, found 1".into()
+        }
+    );
+}
+
+#[test]
+fn golden_empty_and_header_only_files() {
+    assert!(matches!(
+        parse_csv_bytes(b"", CsvLimits::unlimited()),
+        Err(CsvStreamError::Csv { line: 1, .. })
+    ));
+    let df = parse_csv_bytes(b"a,b\n", CsvLimits::unlimited()).unwrap();
+    assert_eq!((df.n_rows(), df.n_cols()), (0, 2));
+}
+
+#[test]
+fn golden_unicode_cells() {
+    let csv = "name,emoji\n\u{65e5}\u{672c}\u{8a9e},\u{1f980}\nna\u{ef}ve,\u{2713}\n";
+    let df = DataFrame::from_csv_str(csv).unwrap();
+    assert_eq!(df.value(0, "name").unwrap().to_string(), "日本語");
+    assert_eq!(df.value(0, "emoji").unwrap().to_string(), "🦀");
+    assert_eq!(df.value(1, "name").unwrap().to_string(), "naïve");
+}
+
+#[test]
+fn golden_duplicate_upload_same_fingerprint() {
+    let csv = "k,v\nx,1\ny,2\n";
+    let a = parse_csv_bytes(csv.as_bytes(), CsvLimits::unlimited()).unwrap();
+    let b = parse_csv_bytes(csv.as_bytes(), CsvLimits::unlimited()).unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // And via from_csv_str: the two entry points share one grammar.
+    let c = DataFrame::from_csv_str(csv).unwrap();
+    assert_eq!(a.fingerprint(), c.fingerprint());
+}

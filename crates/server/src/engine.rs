@@ -1,6 +1,14 @@
 //! The inference engine: a [`PolicyBundle`] loaded once at startup, shared
 //! read-only across worker threads, decoding notebooks greedily (near-zero
 //! Boltzmann temperature) from the trained policy.
+//!
+//! The engine serves its bundle's baked-in dataset by default, but any
+//! frame with a policy-compatible shape (same observation layout, which is
+//! a pure function of the column count) can be decoded via
+//! [`Engine::decode_with_frame`] — that is how registry-uploaded datasets
+//! are served. The display cache is keyed by dataset fingerprint, so
+//! serving many datasets through one engine composes soundly with the
+//! determinism contract.
 
 use atena_core::{Notebook, NotebookSummary, PolicyBundle};
 use atena_dataframe::DataFrame;
@@ -17,9 +25,11 @@ use std::sync::Arc;
 const DECODE_TEMPERATURE: f32 = 1e-3;
 
 /// Capacity of the engine's display cache. Requests against one bundle
-/// share a dataset, and greedy decodes at nearby seeds replay mostly the
-/// same operation paths, so cross-request reuse is high; sized generously
-/// because entries are `Arc`-backed views, not copies of the column data.
+/// mostly share a handful of datasets, and greedy decodes at nearby seeds
+/// replay mostly the same operation paths, so cross-request reuse is high;
+/// sized generously because entries are `Arc`-backed views, not copies of
+/// the column data. Entries are keyed by dataset fingerprint, so multiple
+/// registry datasets share the cache without interference.
 const DISPLAY_CACHE_CAPACITY: usize = 4096;
 
 /// Ceiling on per-request episode length, to bound worst-case work.
@@ -28,8 +38,12 @@ pub const MAX_EPISODE_LEN: usize = 64;
 /// A validated notebook-generation request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NotebookRequest {
-    /// Dataset id; must match the loaded bundle's dataset.
+    /// Dataset label: the bundle's dataset id, or a registry `ds-…` id.
     pub dataset: String,
+    /// Content fingerprint of the frame being decoded. Part of the cache
+    /// key so a re-uploaded (different) dataset under a recycled label can
+    /// never alias a stale cached response.
+    pub fingerprint: u64,
     /// Operations to decode (defaults to the bundle's training value).
     pub episode_len: usize,
     /// Environment seed for term sampling (default 0). Responses are
@@ -62,6 +76,9 @@ pub enum EngineError {
         /// The dataset the engine serves.
         served: String,
     },
+    /// The dataset exists but its shape is incompatible with the loaded
+    /// policy's observation layout → 409.
+    IncompatibleDataset(String),
     /// Request parameters out of range → 400.
     InvalidRequest(String),
 }
@@ -73,6 +90,7 @@ impl std::fmt::Display for EngineError {
                 f,
                 "dataset {requested:?} is not served; this server's policy was trained on {served:?}"
             ),
+            EngineError::IncompatibleDataset(m) => write!(f, "incompatible dataset: {m}"),
             EngineError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
         }
     }
@@ -82,7 +100,7 @@ impl std::fmt::Display for EngineError {
 pub struct Engine {
     bundle: PolicyBundle,
     policy: TwofoldPolicy,
-    frame: DataFrame,
+    frame: Arc<DataFrame>,
     display_cache: Arc<DisplayCache>,
 }
 
@@ -92,18 +110,11 @@ impl Engine {
         let policy = bundle
             .build_policy()
             .map_err(|e| format!("cannot rebuild policy from bundle: {e}"))?;
-        let probe = EdaEnv::new(frame.clone(), bundle.env.clone());
-        if probe.observation_dim() != bundle.obs_dim {
-            return Err(format!(
-                "dataset/bundle mismatch: dataset yields observation dim {}, bundle expects {}",
-                probe.observation_dim(),
-                bundle.obs_dim
-            ));
-        }
+        bundle.frame_compatible(&frame)?;
         Ok(Self {
             bundle,
             policy,
-            frame,
+            frame: Arc::new(frame),
             display_cache: Arc::new(DisplayCache::new(DISPLAY_CACHE_CAPACITY)),
         })
     }
@@ -113,9 +124,14 @@ impl Engine {
         &self.display_cache
     }
 
-    /// The dataset id this engine serves.
+    /// The dataset id this engine serves by default.
     pub fn dataset(&self) -> &str {
         &self.bundle.dataset
+    }
+
+    /// The baked-in dataset frame (shared, not copied).
+    pub fn frame(&self) -> &Arc<DataFrame> {
+        &self.frame
     }
 
     /// The loaded bundle's metadata.
@@ -128,7 +144,15 @@ impl Engine {
         self.bundle.env.episode_len
     }
 
-    /// Validate raw request fields into a [`NotebookRequest`].
+    /// Whether a frame's shape can be decoded by this engine's policy.
+    pub fn check_frame(&self, frame: &DataFrame) -> Result<(), EngineError> {
+        self.bundle
+            .frame_compatible(frame)
+            .map_err(EngineError::IncompatibleDataset)
+    }
+
+    /// Validate raw request fields into a [`NotebookRequest`] against the
+    /// bundle's baked-in dataset.
     pub fn validate(
         &self,
         dataset: &str,
@@ -141,6 +165,22 @@ impl Engine {
                 served: self.bundle.dataset.clone(),
             });
         }
+        let frame = Arc::clone(&self.frame);
+        self.validate_for_frame(dataset, &frame, episode_len, seed)
+    }
+
+    /// Validate raw request fields into a [`NotebookRequest`] against an
+    /// explicit frame (the registry-dataset path). Checks policy/shape
+    /// compatibility and episode bounds; the frame's fingerprint becomes
+    /// part of the request identity.
+    pub fn validate_for_frame(
+        &self,
+        dataset: &str,
+        frame: &Arc<DataFrame>,
+        episode_len: Option<usize>,
+        seed: Option<u64>,
+    ) -> Result<NotebookRequest, EngineError> {
+        self.check_frame(frame)?;
         let episode_len = episode_len.unwrap_or_else(|| self.default_episode_len());
         if episode_len == 0 || episode_len > MAX_EPISODE_LEN {
             return Err(EngineError::InvalidRequest(format!(
@@ -149,13 +189,15 @@ impl Engine {
         }
         Ok(NotebookRequest {
             dataset: dataset.to_string(),
+            fingerprint: frame.fingerprint(),
             episode_len,
             seed: seed.unwrap_or(0),
         })
     }
 
-    /// Greedy-decode one notebook. Deterministic for a given request: the
-    /// environment seed is fixed and the decode temperature is ≈0.
+    /// Greedy-decode one notebook over the baked-in dataset. Deterministic
+    /// for a given request: the environment seed is fixed and the decode
+    /// temperature is ≈0.
     pub fn decode(&self, request: &NotebookRequest) -> NotebookResponse {
         self.decode_traced(request, None)
     }
@@ -169,14 +211,28 @@ impl Engine {
         request: &NotebookRequest,
         parent: Option<&SpanGuard<'_, '_>>,
     ) -> NotebookResponse {
+        let frame = Arc::clone(&self.frame);
+        self.decode_with_frame(&frame, request, parent)
+    }
+
+    /// Greedy-decode one notebook over an explicit frame (which must have
+    /// passed [`Engine::check_frame`]). The engine's display cache is
+    /// shared across datasets — cache keys include the dataset fingerprint,
+    /// so entries from different datasets can never alias.
+    pub fn decode_with_frame(
+        &self,
+        frame: &Arc<DataFrame>,
+        request: &NotebookRequest,
+        parent: Option<&SpanGuard<'_, '_>>,
+    ) -> NotebookResponse {
         let mut env_config = self.bundle.env.clone();
         env_config.episode_len = request.episode_len;
         env_config.seed = request.seed;
-        // Cloning the frame shares its column data and statistics memo, so
-        // every request's environment also shares one dataset fingerprint
-        // computation and — through the attached cache — the displays
-        // materialized by earlier requests.
-        let mut env = EdaEnv::new(self.frame.clone(), env_config)
+        // The frame is refcounted, so every request's environment shares
+        // one copy of the column data and statistics memo, and — through
+        // the attached cache — the displays materialized by earlier
+        // requests against the same dataset.
+        let mut env = EdaEnv::with_shared_base(Arc::clone(frame), env_config)
             .with_display_cache(Arc::clone(&self.display_cache));
         env.reset_with_seed(request.seed);
         let mut rng = StdRng::seed_from_u64(request.seed);
@@ -194,7 +250,7 @@ impl Engine {
             env.step(&action);
         }
         let ops: Vec<_> = env.session().ops().iter().map(|o| o.op.clone()).collect();
-        let notebook = Notebook::replay(&self.bundle.dataset, &self.frame, &ops);
+        let notebook = Notebook::replay(&request.dataset, frame, &ops);
         NotebookResponse {
             dataset: request.dataset.clone(),
             episode_len: request.episode_len,
@@ -271,6 +327,7 @@ mod tests {
         let defaulted = e.validate("tiny", None, None).unwrap();
         assert_eq!(defaulted.episode_len, e.default_episode_len());
         assert_eq!(defaulted.seed, 0);
+        assert_eq!(defaulted.fingerprint, base().fingerprint());
     }
 
     #[test]
@@ -286,5 +343,40 @@ mod tests {
             .build()
             .unwrap();
         assert!(Engine::new(bundle, other).is_err());
+    }
+
+    #[test]
+    fn uploaded_frame_decodes_like_a_sibling_engine() {
+        let e = engine();
+        // A different same-shape dataset: two columns, same layout.
+        let uploaded = Arc::new(
+            DataFrame::from_csv_str(
+                &(String::from("kind,score\n")
+                    + &(0..40)
+                        .map(|i| format!("k{},{}\n", i % 4, i * 7 % 23))
+                        .collect::<String>()),
+            )
+            .unwrap(),
+        );
+        let req = e
+            .validate_for_frame("ds-test", &uploaded, Some(3), Some(11))
+            .unwrap();
+        assert_eq!(req.fingerprint, uploaded.fingerprint());
+        let a = e.decode_with_frame(&uploaded, &req, None);
+        let b = e.decode_with_frame(&uploaded, &req, None);
+        assert_eq!(a.dataset, "ds-test");
+        assert_eq!(a.notebook.cells.len(), 3);
+        assert_eq!(
+            serde_json::to_string(&a.notebook).unwrap(),
+            serde_json::to_string(&b.notebook).unwrap()
+        );
+        // An incompatible shape is rejected before any decode.
+        let narrow = Arc::new(
+            DataFrame::from_csv_str("only\n1\n2\n").unwrap(),
+        );
+        assert!(matches!(
+            e.validate_for_frame("ds-bad", &narrow, None, None),
+            Err(EngineError::IncompatibleDataset(_))
+        ));
     }
 }

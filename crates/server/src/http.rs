@@ -66,6 +66,13 @@ impl Request {
             .split('&')
             .any(|kv| kv.split_once('=') == Some((key, value)))
     }
+
+    /// First value for `key` in the query string (raw, not percent-decoded).
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query()
+            .split('&')
+            .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
+    }
 }
 
 /// Parse failures, each mapped to the HTTP status the server should answer
@@ -85,6 +92,10 @@ pub enum ParseError {
     },
     /// Body-bearing method without a `Content-Length` header → 411.
     LengthRequired,
+    /// `Transfer-Encoding: chunked` request → 501. The framing is not
+    /// implemented, so the connection must close after the response —
+    /// the body boundary cannot be found.
+    ChunkedUnsupported,
     /// Socket read timed out mid-request → 408.
     Timeout,
     /// EOF mid-request or another transport failure — nothing to send.
@@ -100,6 +111,7 @@ impl ParseError {
             ParseError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
             ParseError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
             ParseError::LengthRequired => Some((411, "Length Required")),
+            ParseError::ChunkedUnsupported => Some((501, "Not Implemented")),
             ParseError::Timeout => Some((408, "Request Timeout")),
         }
     }
@@ -110,6 +122,7 @@ pub struct RequestReader<R> {
     transport: R,
     buffer: Vec<u8>,
     max_body: usize,
+    route_caps: Vec<(String, usize)>,
 }
 
 impl<R: Read> RequestReader<R> {
@@ -124,7 +137,27 @@ impl<R: Read> RequestReader<R> {
             transport,
             buffer: Vec::new(),
             max_body,
+            route_caps: Vec::new(),
         }
+    }
+
+    /// Give one exact path its own body cap (e.g. a larger allowance for
+    /// the dataset-upload route, sized to the registry's per-upload byte
+    /// cap). Like the default cap, it is checked against the declared
+    /// `Content-Length` *before* any body byte is buffered, so a huge
+    /// declared upload is refused without allocation.
+    pub fn with_route_cap(mut self, path: &str, max_body: usize) -> Self {
+        self.route_caps.push((path.to_string(), max_body));
+        self
+    }
+
+    fn cap_for(&self, target: &str) -> usize {
+        let path = target.split('?').next().unwrap_or(target);
+        self.route_caps
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, cap)| *cap)
+            .unwrap_or(self.max_body)
     }
 
     /// Read one full request. Leftover bytes (pipelined requests) stay
@@ -133,6 +166,16 @@ impl<R: Read> RequestReader<R> {
         let head_end = self.fill_until_head_end()?;
         let head = self.buffer[..head_end].to_vec();
         let (method, target, version, headers) = parse_head(&head)?;
+
+        if let Some(te) = header_value(&headers, "transfer-encoding") {
+            if te.to_ascii_lowercase().contains("chunked") {
+                // Chunked framing is not implemented: reject up front and
+                // drop the buffer — without parsing the framing there is no
+                // way to find the body boundary, so the connection closes.
+                self.buffer.clear();
+                return Err(ParseError::ChunkedUnsupported);
+            }
+        }
 
         let content_length = match header_value(&headers, "content-length") {
             Some(raw) => Some(
@@ -152,7 +195,7 @@ impl<R: Read> RequestReader<R> {
             }
             None => 0,
         };
-        if body_len > self.max_body {
+        if body_len > self.cap_for(&target) {
             // Do not read (or keep) the oversized body.
             self.buffer.clear();
             return Err(ParseError::BodyTooLarge { declared: body_len });
@@ -499,6 +542,65 @@ mod tests {
             r.read_request().unwrap_err(),
             ParseError::BodyTooLarge { declared: 999999 }
         );
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_501() {
+        // Never hang or misparse: the request is rejected from the head
+        // alone, before any chunk framing is read.
+        let mut r = RequestReader::new(Chunked::new(
+            "POST /v1/datasets HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+            4096,
+        ));
+        let err = r.read_request().unwrap_err();
+        assert_eq!(err, ParseError::ChunkedUnsupported);
+        assert_eq!(err.status(), Some((501, "Not Implemented")));
+        // Case-insensitive, and also when combined with other codings.
+        let mut r = RequestReader::new(Chunked::new(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip, Chunked\r\nContent-Length: 3\r\n\r\nabc",
+            4096,
+        ));
+        assert_eq!(r.read_request().unwrap_err(), ParseError::ChunkedUnsupported);
+    }
+
+    #[test]
+    fn route_cap_overrides_default_for_exact_path() {
+        let upload = "POST /v1/datasets HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        let body = "x".repeat(2048);
+        // Default cap would refuse this body; the route cap admits it.
+        let mut r = RequestReader::with_max_body(
+            Chunked::new(format!("{upload}{body}"), 4096),
+            1024,
+        )
+        .with_route_cap("/v1/datasets", 4096);
+        let req = r.read_request().unwrap();
+        assert_eq!(req.body.len(), 2048);
+        // The route cap also tightens: a huge declared Content-Length on
+        // the capped route is refused without buffering.
+        let mut r = RequestReader::with_max_body(
+            Chunked::new(
+                "POST /v1/datasets?name=big HTTP/1.1\r\nContent-Length: 2147483648\r\n\r\n",
+                4096,
+            ),
+            1 << 30,
+        )
+        .with_route_cap("/v1/datasets", 4096);
+        assert_eq!(
+            r.read_request().unwrap_err(),
+            ParseError::BodyTooLarge {
+                declared: 2147483648
+            }
+        );
+        // Other routes keep the default cap.
+        let mut r = RequestReader::with_max_body(
+            Chunked::new("POST /v1/notebook HTTP/1.1\r\nContent-Length: 2048\r\n\r\n", 4096),
+            1024,
+        )
+        .with_route_cap("/v1/datasets", 4096);
+        assert!(matches!(
+            r.read_request().unwrap_err(),
+            ParseError::BodyTooLarge { .. }
+        ));
     }
 
     #[test]

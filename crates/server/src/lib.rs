@@ -6,20 +6,33 @@
 //! At startup the server loads a [`PolicyBundle`](atena_core::PolicyBundle)
 //! (a trained twofold policy plus its dataset identity and environment
 //! configuration), rebuilds the policy once, and shares it read-only across
-//! a fixed pool of worker threads. Three endpoints are served:
+//! a fixed pool of worker threads. Endpoints:
 //!
-//! | Endpoint            | Method | Purpose                                  |
-//! |---------------------|--------|------------------------------------------|
-//! | `/v1/notebook`      | POST   | greedy-decode an EDA notebook as JSON    |
-//! | `/v1/healthz`       | GET    | liveness + loaded-policy metadata        |
-//! | `/v1/metrics`       | GET    | telemetry counters/histograms snapshot   |
+//! | Endpoint             | Method | Purpose                                  |
+//! |----------------------|--------|------------------------------------------|
+//! | `/v1/notebook`       | POST   | greedy-decode an EDA notebook as JSON    |
+//! | `/v1/datasets`       | POST   | streaming CSV upload into the registry   |
+//! | `/v1/datasets`       | GET    | list resident datasets                   |
+//! | `/v1/datasets/{id}`  | GET    | metadata for one dataset                 |
+//! | `/v1/datasets/{id}`  | DELETE | evict an unpinned dataset                |
+//! | `/v1/healthz`        | GET    | liveness + loaded-policy metadata        |
+//! | `/v1/metrics`        | GET    | telemetry counters/histograms snapshot   |
 //!
-//! Identical `(dataset, episode_len, seed)` requests are answered from an
-//! LRU response cache without touching the policy; the `X-Atena-Cache`
-//! header reports `hit` or `miss`. Malformed requests, oversized bodies,
-//! and per-request socket timeouts are answered with precise 4xx statuses,
-//! and SIGTERM/SIGINT (or [`ServerHandle::shutdown`]) triggers a graceful
-//! drain: stop accepting, finish in-flight connections, join the pool.
+//! Uploaded datasets live in a fingerprint-keyed, byte-budgeted
+//! [`DatasetRegistry`]; `POST /v1/notebook` accepts an optional
+//! `dataset_id` to decode against a registered dataset instead of the
+//! bundle's baked-in one. Mutating requests are admission-controlled per
+//! tenant (the `X-Atena-Tenant` header, default `public`): a tenant over
+//! its in-flight cap gets `429` with a `Retry-After` header while other
+//! tenants proceed.
+//!
+//! Identical `(dataset, fingerprint, episode_len, seed)` requests are
+//! answered from an LRU response cache without touching the policy; the
+//! `X-Atena-Cache` header reports `hit` or `miss`. Malformed requests,
+//! oversized bodies, and per-request socket timeouts are answered with
+//! precise 4xx statuses, and SIGTERM/SIGINT (or [`ServerHandle::shutdown`])
+//! triggers a graceful drain: stop accepting, finish in-flight
+//! connections, join the pool.
 
 #![warn(missing_docs)]
 
@@ -35,6 +48,9 @@ pub use http::{ParseError, Request, RequestReader, Response, DEFAULT_MAX_BODY_BY
 pub use pool::ThreadPool;
 pub use signal::{install_handlers, request_shutdown, shutdown_requested};
 
+use atena_registry::{
+    AdmissionController, DatasetRegistry, RegistryConfig, RegistryError, TenantLimits,
+};
 use atena_telemetry::{
     ActiveTrace, HistogramSummary, MetricsRegistry, MetricsSnapshot, ROOT_SPAN_ID,
 };
@@ -64,6 +80,10 @@ pub struct ServerConfig {
     /// Requests handled in more than this are counted in
     /// `server.request.slow` and logged at WARN with their trace id.
     pub slow_threshold: Duration,
+    /// Dataset-registry sizing: upload caps, byte budget, tenant quotas.
+    pub registry: RegistryConfig,
+    /// Per-tenant admission control for mutating requests.
+    pub tenant_limits: TenantLimits,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +95,8 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(10),
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             slow_threshold: Duration::from_millis(500),
+            registry: RegistryConfig::default(),
+            tenant_limits: TenantLimits::default(),
         }
     }
 }
@@ -98,6 +120,8 @@ struct RequestDebug {
 struct AppState {
     engine: Engine,
     cache: Mutex<LruCache<NotebookRequest, Arc<String>>>,
+    registry: Arc<DatasetRegistry>,
+    admission: Arc<AdmissionController>,
     telemetry: Arc<MetricsRegistry>,
     debug: Mutex<VecDeque<RequestDebug>>,
     started: Instant,
@@ -161,9 +185,18 @@ impl Server {
         telemetry: Arc<MetricsRegistry>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let registry = Arc::new(DatasetRegistry::new(config.registry));
+        registry.reroute_telemetry(&telemetry);
+        // The bundle's baked-in dataset is pinned: always resolvable by id,
+        // never evicted, exempt from the upload budget.
+        registry.insert_pinned(engine.dataset(), Arc::clone(engine.frame()));
+        let admission = Arc::new(AdmissionController::new(config.tenant_limits));
+        admission.reroute_telemetry(&telemetry);
         let state = Arc::new(AppState {
             engine,
             cache: Mutex::new(LruCache::new(config.cache_size)),
+            registry,
+            admission,
             telemetry,
             debug: Mutex::new(VecDeque::with_capacity(DEBUG_RING_CAPACITY)),
             started: Instant::now(),
@@ -260,7 +293,10 @@ fn handle_connection(
 ) {
     let _ = stream.set_read_timeout(Some(config.request_timeout));
     let _ = stream.set_write_timeout(Some(config.request_timeout));
-    let mut reader = RequestReader::with_max_body(&stream, config.max_body_bytes);
+    // Uploads get their own body cap: the registry's per-upload byte
+    // limit, checked against Content-Length before any buffering.
+    let mut reader = RequestReader::with_max_body(&stream, config.max_body_bytes)
+        .with_route_cap("/v1/datasets", state.registry.config().limits.max_bytes);
     let mut out = &stream;
     let mut served = 0usize;
     loop {
@@ -384,10 +420,66 @@ fn push_debug_entry(state: &AppState, entry: RequestDebug) {
     ring.push_back(entry);
 }
 
-/// Dispatch one parsed request.
+/// The tenant a request acts as: the `X-Atena-Tenant` header, defaulting
+/// to `public` so untagged clients share one fairness bucket.
+fn tenant_of(request: &Request) -> &str {
+    match request.header("x-atena-tenant") {
+        Some(t) if !t.trim().is_empty() => t.trim(),
+        _ => "public",
+    }
+}
+
+/// 405 with the `Allow` header the endpoint supports.
+fn method_not_allowed(state: &AppState, allow: &'static str) -> RouteOutcome {
+    state.telemetry.counter("server.http.errors").inc();
+    RouteOutcome::plain(
+        Response::error(405, "Method Not Allowed", "wrong method for this endpoint")
+            .with_header("Allow", allow),
+    )
+}
+
+/// Map a registry failure onto its HTTP response.
+fn registry_error_response(state: &AppState, err: &RegistryError) -> RouteOutcome {
+    state.telemetry.counter("server.http.errors").inc();
+    let message = err.to_string();
+    let response = match err {
+        RegistryError::Malformed(_) => Response::error(400, "Bad Request", &message),
+        RegistryError::UploadTooLarge(_) | RegistryError::ExceedsBudget { .. } => {
+            Response::error(413, "Payload Too Large", &message)
+        }
+        RegistryError::TenantQuotaExceeded { .. } => {
+            Response::error(429, "Too Many Requests", &message).with_header("Retry-After", "1")
+        }
+        RegistryError::NotFound { .. } => Response::error(404, "Not Found", &message),
+        RegistryError::Pinned { .. } => Response::error(409, "Conflict", &message),
+    };
+    RouteOutcome::plain(response)
+}
+
+/// Dispatch one parsed request. Mutating routes (`POST /v1/notebook`,
+/// `POST /v1/datasets`, `DELETE /v1/datasets/{id}`) first acquire a
+/// per-tenant admission permit; a tenant over its in-flight cap is told to
+/// back off with `429` + `Retry-After` while other tenants are unaffected.
 fn route(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteOutcome {
     let t = &state.telemetry;
     t.counter("server.http.requests").inc();
+    let admit = |tenant: &str| match state.admission.try_acquire(tenant) {
+        Ok(permit) => Ok(permit),
+        Err(rejection) => {
+            t.counter("server.http.throttled").inc();
+            Err(RouteOutcome::plain(
+                Response::error(
+                    429,
+                    "Too Many Requests",
+                    &format!(
+                        "tenant {} at in-flight limit {}",
+                        rejection.tenant, rejection.limit
+                    ),
+                )
+                .with_header("Retry-After", &rejection.retry_after_secs.to_string()),
+            ))
+        }
+    };
     match (request.method.as_str(), request.path()) {
         ("GET", "/v1/healthz") => {
             t.counter("server.http.requests.healthz").inc();
@@ -413,15 +505,67 @@ fn route(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteO
         }
         ("POST", "/v1/notebook") => {
             t.counter("server.http.requests.notebook").inc();
+            let _permit = match admit(tenant_of(request)) {
+                Ok(p) => p,
+                Err(outcome) => return outcome,
+            };
             serve_notebook(request, state, trace)
         }
-        (_, "/v1/healthz" | "/v1/metrics" | "/v1/notebook" | "/v1/debug/requests") => {
-            t.counter("server.http.errors").inc();
-            RouteOutcome::plain(Response::error(
-                405,
-                "Method Not Allowed",
-                "wrong method for this endpoint",
-            ))
+        ("POST", "/v1/datasets") => {
+            t.counter("server.http.requests.upload").inc();
+            let tenant = tenant_of(request);
+            let _permit = match admit(tenant) {
+                Ok(p) => p,
+                Err(outcome) => return outcome,
+            };
+            serve_upload(request, state, tenant)
+        }
+        ("GET", "/v1/datasets") => {
+            t.counter("server.http.requests.datasets").inc();
+            RouteOutcome::plain(Response::ok_json(datasets_json(state)))
+        }
+        ("GET", path) if path.strip_prefix("/v1/datasets/").is_some() => {
+            t.counter("server.http.requests.datasets").inc();
+            let id = path.strip_prefix("/v1/datasets/").unwrap_or_default();
+            match state.registry.get(id) {
+                Some((_, info)) => {
+                    let mut out = String::new();
+                    push_dataset_info(&mut out, &info);
+                    RouteOutcome::plain(Response::ok_json(out))
+                }
+                None => {
+                    t.counter("server.http.errors").inc();
+                    RouteOutcome::plain(Response::error(
+                        404,
+                        "Not Found",
+                        &format!("dataset {id} not found"),
+                    ))
+                }
+            }
+        }
+        ("DELETE", path) if path.strip_prefix("/v1/datasets/").is_some() => {
+            t.counter("server.http.requests.datasets").inc();
+            let _permit = match admit(tenant_of(request)) {
+                Ok(p) => p,
+                Err(outcome) => return outcome,
+            };
+            let id = path.strip_prefix("/v1/datasets/").unwrap_or_default();
+            match state.registry.delete(id) {
+                Ok(info) => {
+                    let mut out = String::new();
+                    push_dataset_info(&mut out, &info);
+                    RouteOutcome::plain(Response::ok_json(out))
+                }
+                Err(e) => registry_error_response(state, &e),
+            }
+        }
+        (_, "/v1/notebook") => method_not_allowed(state, "POST"),
+        (_, "/v1/datasets") => method_not_allowed(state, "GET, POST"),
+        (_, path) if path.strip_prefix("/v1/datasets/").is_some() => {
+            method_not_allowed(state, "GET, DELETE")
+        }
+        (_, "/v1/healthz" | "/v1/metrics" | "/v1/debug/requests") => {
+            method_not_allowed(state, "GET")
         }
         (_, path) => {
             t.counter("server.http.errors").inc();
@@ -434,10 +578,95 @@ fn route(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteO
     }
 }
 
+/// `POST /v1/datasets`: parse the CSV body under the registry's per-upload
+/// caps and admit it under the budget and the tenant's byte quota. `201`
+/// on first sight, `200` when an identical dataset was already resident.
+fn serve_upload(request: &Request, state: &AppState, tenant: &str) -> RouteOutcome {
+    let name = request
+        .query_get("name")
+        .or_else(|| request.header("x-atena-dataset-name"))
+        .unwrap_or("upload");
+    match state.registry.ingest(tenant, name, &request.body) {
+        Ok(outcome) => {
+            let frame = state
+                .registry
+                .get(&outcome.info.dataset_id)
+                .map(|(frame, _)| frame)
+                .unwrap_or_else(|| Arc::clone(state.engine.frame()));
+            let compatible = state.engine.bundle().frame_compatible(&frame).is_ok();
+            let mut out = String::from("{\"dataset\":");
+            push_dataset_info(&mut out, &outcome.info);
+            out.push_str(&format!(
+                ",\"deduplicated\":{},\"policy_compatible\":{compatible},\"schema\":[",
+                outcome.deduplicated,
+            ));
+            for (i, field) in frame.schema().fields().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                push_json_string(&mut out, &field.name);
+                out.push_str(&format!(
+                    ",\"dtype\":\"{}\",\"role\":\"{}\"}}",
+                    field.dtype.name(),
+                    field.role.name(),
+                ));
+            }
+            out.push_str("]}");
+            let (status, reason): (u16, &'static str) = if outcome.deduplicated {
+                (200, "OK")
+            } else {
+                (201, "Created")
+            };
+            RouteOutcome::plain(Response::json(status, reason, out))
+        }
+        Err(e) => registry_error_response(state, &e),
+    }
+}
+
+/// Render one [`atena_registry::DatasetInfo`] as a JSON object.
+fn push_dataset_info(out: &mut String, info: &atena_registry::DatasetInfo) {
+    out.push_str("{\"dataset_id\":");
+    push_json_string(out, &info.dataset_id);
+    out.push_str(",\"name\":");
+    push_json_string(out, &info.name);
+    out.push_str(&format!(
+        ",\"rows\":{},\"cols\":{},\"bytes\":{},\"fingerprint\":\"{:016x}\",\"pinned\":{},\"tenants\":[",
+        info.rows, info.cols, info.bytes, info.fingerprint, info.pinned,
+    ));
+    for (i, tenant) in info.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, tenant);
+    }
+    out.push_str("]}");
+}
+
+/// Render the `GET /v1/datasets` listing with registry totals.
+fn datasets_json(state: &AppState) -> String {
+    let snap = state.registry.snapshot();
+    let mut out = format!(
+        "{{\"total_bytes\":{},\"unpinned_bytes\":{},\"budget_bytes\":{},\"datasets\":[",
+        snap.total_bytes, snap.unpinned_bytes, snap.budget_bytes,
+    );
+    for (i, info) in state.registry.list().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_dataset_info(&mut out, info);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// `POST /v1/notebook`: validate the JSON body, consult the LRU cache, and
 /// decode on a miss. Span tree under the request root: `request.parse`
 /// (body parse + validation), `cache.lookup`, and on a miss `engine.decode`
 /// with per-step `nn.forward`/`env.step` children.
+///
+/// An optional `dataset_id` field selects a registry dataset to decode
+/// against; without it, `dataset` must name the bundle's baked-in dataset.
 fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteOutcome {
     let t = &state.telemetry;
     let fail = |status, reason, message: &str| {
@@ -453,12 +682,19 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
         Ok(v) => v,
         Err(e) => return fail(400, "Bad Request", &format!("body is not valid JSON: {e}")),
     };
-    let Some(dataset) = value.get("dataset").and_then(|d| d.as_str()) else {
-        return fail(
-            400,
-            "Bad Request",
-            "missing required string field \"dataset\"",
-        );
+    let dataset = match value.get("dataset") {
+        None => None,
+        Some(d) => match d.as_str() {
+            Some(s) => Some(s),
+            None => return fail(400, "Bad Request", "field \"dataset\" must be a string"),
+        },
+    };
+    let dataset_id = match value.get("dataset_id") {
+        None => None,
+        Some(d) => match d.as_str() {
+            Some(s) => Some(s),
+            None => return fail(400, "Bad Request", "field \"dataset_id\" must be a string"),
+        },
     };
     let episode_len = match optional_u64(&value, "episode_len") {
         Ok(v) => v.map(|n| n as usize),
@@ -469,13 +705,37 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
         Err(m) => return fail(400, "Bad Request", &m),
     };
 
-    let validated = match state.engine.validate(dataset, episode_len, seed) {
-        Ok(v) => v,
-        Err(e @ EngineError::UnknownDataset { .. }) => {
-            return fail(404, "Not Found", &e.to_string());
+    let (frame, validated) = if let Some(id) = dataset_id {
+        let Some((frame, info)) = state.registry.get(id) else {
+            return fail(404, "Not Found", &format!("dataset {id} not found"));
+        };
+        let name = dataset.unwrap_or(&info.name);
+        match state.engine.validate_for_frame(name, &frame, episode_len, seed) {
+            Ok(v) => (frame, v),
+            Err(e @ EngineError::IncompatibleDataset(_)) => {
+                return fail(409, "Conflict", &e.to_string());
+            }
+            Err(e) => return fail(400, "Bad Request", &e.to_string()),
         }
-        Err(e @ EngineError::InvalidRequest(_)) => {
-            return fail(400, "Bad Request", &e.to_string());
+    } else {
+        let Some(dataset) = dataset else {
+            return fail(
+                400,
+                "Bad Request",
+                "missing required string field \"dataset\" (or \"dataset_id\")",
+            );
+        };
+        match state.engine.validate(dataset, episode_len, seed) {
+            Ok(v) => (Arc::clone(state.engine.frame()), v),
+            Err(e @ EngineError::UnknownDataset { .. }) => {
+                return fail(404, "Not Found", &e.to_string());
+            }
+            Err(e @ EngineError::IncompatibleDataset(_)) => {
+                return fail(409, "Conflict", &e.to_string());
+            }
+            Err(e @ EngineError::InvalidRequest(_)) => {
+                return fail(400, "Bad Request", &e.to_string());
+            }
         }
     };
     drop(parse_span);
@@ -503,7 +763,9 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
     decode_span.set_attr("episode_len", validated.episode_len.to_string());
     decode_span.set_attr("seed", validated.seed.to_string());
     let span = atena_telemetry::Span::enter(t.histogram("server.notebook.decode_secs"));
-    let decoded = state.engine.decode_traced(&validated, Some(&decode_span));
+    let decoded = state
+        .engine
+        .decode_with_frame(&frame, &validated, Some(&decode_span));
     let decode_secs = span.finish();
     drop(decode_span);
     let body = Arc::new(serde_json::to_string(&decoded).expect("response serializes"));
@@ -571,11 +833,16 @@ fn healthz_json(state: &AppState) -> String {
     push_json_string(&mut out, state.engine.dataset());
     out.push_str(",\"strategy\":");
     push_json_string(&mut out, bundle.strategy.name());
+    let snap = state.registry.snapshot();
     out.push_str(&format!(
-        ",\"episode_len\":{},\"train_steps\":{},\"uptime_secs\":{:.3}}}",
+        ",\"episode_len\":{},\"train_steps\":{},\"uptime_secs\":{:.3},\
+         \"registry\":{{\"datasets\":{},\"total_bytes\":{},\"budget_bytes\":{}}}}}",
         bundle.env.episode_len,
         bundle.train_steps,
-        state.started.elapsed().as_secs_f64()
+        state.started.elapsed().as_secs_f64(),
+        snap.entries,
+        snap.total_bytes,
+        snap.budget_bytes,
     ));
     out
 }

@@ -6,6 +6,7 @@
 
 use atena_core::{train_policy_bundle, AtenaConfig, PolicyBundle, Strategy};
 use atena_dataframe::{AttrRole, DataFrame};
+use atena_registry::{dataset_id_for_fingerprint, RegistryConfig, TenantLimits};
 use atena_server::{Engine, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -113,6 +114,37 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
+}
+
+/// One `Connection: close` exchange with arbitrary method, target, extra
+/// headers, and body (`Content-Length` added for body-bearing methods).
+fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: t\r\n");
+    for (n, v) in headers {
+        raw.push_str(&format!("{n}: {v}\r\n"));
+    }
+    if !body.is_empty() || matches!(method, "POST" | "PUT") {
+        raw.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    raw.push_str("Connection: close\r\n\r\n");
+    raw.push_str(body);
+    http_request(addr, &raw)
+}
+
+/// Fetch the `/v1/metrics` JSON document.
+fn metrics(addr: SocketAddr) -> serde_json::Value {
+    let (status, _, body) = http_request(
+        addr,
+        "GET /v1/metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    serde_json::from_str(&body).unwrap()
 }
 
 #[test]
@@ -544,6 +576,432 @@ fn oversized_body_rejected_over_socket() {
         "POST /v1/notebook HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
     );
     assert_eq!(status, 411);
+
+    handle.shutdown();
+}
+
+/// The full multi-tenant dataset lifecycle over real sockets: upload with
+/// schema echo, cross-tenant dedup, notebook decode against the uploaded
+/// dataset byte-identical to an offline decode from the same CSV, delete,
+/// and 404 afterwards. Also covers the pinned baked-in dataset (listed,
+/// resolvable by id, undeletable) and incompatible-shape uploads (→ 409
+/// on decode).
+#[test]
+fn dataset_upload_notebook_delete_lifecycle_over_http() {
+    let bundle = tiny_bundle();
+    // A sibling engine decodes the same CSV offline for the byte-identity
+    // check; the server gets its own engine from the same bundle.
+    let offline = Engine::new(bundle.clone(), base()).unwrap();
+    let engine = Engine::new(bundle, base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 3,
+            cache_size: 16,
+            ..Default::default()
+        },
+        engine,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    // 1. Upload a two-column CSV (same shape as the policy's dataset, so
+    //    it is decodable). 201 Created with metadata + schema.
+    let mut csv = String::from("proto,len\n");
+    for i in 0..40 {
+        csv.push_str(&format!(
+            "{},{}\n",
+            if i % 3 == 0 { "udp" } else { "tcp" },
+            i * 7 % 23
+        ));
+    }
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/v1/datasets?name=mycsv",
+        &[("X-Atena-Tenant", "alice")],
+        &csv,
+    );
+    assert_eq!(status, 201, "{body}");
+    let uploaded: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let id = uploaded["dataset"]["dataset_id"].as_str().unwrap().to_string();
+    assert!(id.starts_with("ds-") && id.len() == 19, "id: {id}");
+    assert_eq!(uploaded["dataset"]["name"].as_str(), Some("mycsv"));
+    assert_eq!(uploaded["dataset"]["rows"].as_u64(), Some(40));
+    assert_eq!(uploaded["dataset"]["cols"].as_u64(), Some(2));
+    assert_eq!(uploaded["deduplicated"].as_bool(), Some(false));
+    assert_eq!(uploaded["policy_compatible"].as_bool(), Some(true));
+    let schema = uploaded["schema"].as_array().unwrap();
+    assert_eq!(schema.len(), 2);
+    assert_eq!(schema[0]["name"].as_str(), Some("proto"));
+    assert_eq!(schema[0]["dtype"].as_str(), Some("str"));
+    assert_eq!(schema[1]["name"].as_str(), Some("len"));
+    assert_eq!(schema[1]["dtype"].as_str(), Some("int"));
+
+    // 2. A second tenant uploading identical bytes dedups onto the same
+    //    entry: 200 (not 201), same id, both tenants recorded.
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/v1/datasets?name=other-name",
+        &[("X-Atena-Tenant", "bob")],
+        &csv,
+    );
+    assert_eq!(status, 200, "{body}");
+    let dedup: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(dedup["deduplicated"].as_bool(), Some(true));
+    assert_eq!(dedup["dataset"]["dataset_id"].as_str(), Some(id.as_str()));
+    let tenants = dedup["dataset"]["tenants"].as_array().unwrap();
+    assert_eq!(tenants.len(), 2, "alice and bob both own the entry");
+
+    // 3. The listing shows the pinned baked-in dataset and the upload.
+    let (status, _, body) = http_request(
+        addr,
+        "GET /v1/datasets HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let listing: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let datasets = listing["datasets"].as_array().unwrap();
+    assert_eq!(datasets.len(), 2);
+    let pinned_id = dataset_id_for_fingerprint(base().fingerprint());
+    assert!(datasets.iter().any(|d| {
+        d["dataset_id"].as_str() == Some(pinned_id.as_str()) && d["pinned"].as_bool() == Some(true)
+    }));
+    assert!(datasets
+        .iter()
+        .any(|d| d["dataset_id"].as_str() == Some(id.as_str())));
+
+    // 4. Decode a notebook against the uploaded dataset, and check it is
+    //    byte-identical to an offline decode from the same CSV bytes.
+    let request_body = format!(r#"{{"dataset_id":"{id}","episode_len":3,"seed":7}}"#);
+    let (status, headers, served) = request_with(
+        addr,
+        "POST",
+        "/v1/notebook",
+        &[("X-Atena-Tenant", "alice"), ("Content-Type", "application/json")],
+        &request_body,
+    );
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(header(&headers, "x-atena-cache"), Some("miss"));
+    let frame = Arc::new(DataFrame::from_csv_str(&csv).unwrap());
+    let validated = offline
+        .validate_for_frame("mycsv", &frame, Some(3), Some(7))
+        .unwrap();
+    let expected =
+        serde_json::to_string(&offline.decode_with_frame(&frame, &validated, None)).unwrap();
+    assert_eq!(served, expected, "served notebook differs from offline decode");
+
+    // 5. Repeat request: response-cache hit, still byte-identical.
+    let (status, headers, again) = request_with(
+        addr,
+        "POST",
+        "/v1/notebook",
+        &[("Content-Type", "application/json")],
+        &request_body,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-atena-cache"), Some("hit"));
+    assert_eq!(again, expected);
+
+    // 6. The baked-in dataset stays addressable both ways: by name and by
+    //    its pinned dataset id, producing the same notebook bytes.
+    let by_name = post_notebook(addr, r#"{"dataset":"tiny","episode_len":3,"seed":5}"#).2;
+    let by_id_body = format!(
+        r#"{{"dataset_id":"{pinned_id}","dataset":"tiny","episode_len":3,"seed":5}}"#
+    );
+    let by_id = request_with(addr, "POST", "/v1/notebook", &[], &by_id_body).2;
+    assert_eq!(by_name, by_id);
+
+    // 7. An incompatible upload (three columns: observation shape differs)
+    //    is accepted into the registry but flagged, and decoding → 409.
+    let bad = "a,b,c\n1,2,3\n4,5,6\n";
+    let (status, _, body) = request_with(addr, "POST", "/v1/datasets", &[], bad);
+    assert_eq!(status, 201, "{body}");
+    let incompatible: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(incompatible["policy_compatible"].as_bool(), Some(false));
+    let bad_id = incompatible["dataset"]["dataset_id"].as_str().unwrap();
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/v1/notebook",
+        &[],
+        &format!(r#"{{"dataset_id":"{bad_id}"}}"#),
+    );
+    assert_eq!(status, 409, "{body}");
+
+    // 8. GET one dataset; DELETE it; both then 404. The pinned dataset
+    //    refuses deletion with 409.
+    let target = format!("/v1/datasets/{id}");
+    let (status, _, _) = request_with(addr, "GET", &target, &[], "");
+    assert_eq!(status, 200);
+    let (status, _, body) = request_with(addr, "DELETE", &target, &[], "");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = request_with(addr, "GET", &target, &[], "");
+    assert_eq!(status, 404);
+    let (status, _, body) = request_with(addr, "POST", "/v1/notebook", &[], &request_body);
+    assert_eq!(status, 404, "deleted dataset must not decode: {body}");
+    let (status, _, _) = request_with(addr, "DELETE", &format!("/v1/datasets/{pinned_id}"), &[], "");
+    assert_eq!(status, 409);
+    let (status, _, _) = request_with(addr, "GET", "/v1/datasets/ds-0000000000000000", &[], "");
+    assert_eq!(status, 404);
+
+    // 9. Wrong methods get 405 with a truthful Allow header.
+    for (method, target, allow) in [
+        ("DELETE", "/v1/datasets", "GET, POST"),
+        ("POST", "/v1/datasets/ds-0000000000000000", "GET, DELETE"),
+        ("GET", "/v1/notebook", "POST"),
+        ("POST", "/v1/healthz", "GET"),
+    ] {
+        let (status, headers, _) = request_with(addr, method, target, &[], "");
+        assert_eq!(status, 405, "{method} {target}");
+        assert_eq!(header(&headers, "allow"), Some(allow), "{method} {target}");
+    }
+
+    // 10. Registry counters on /v1/metrics reflect the session and the
+    //     healthz document reports registry occupancy.
+    let m = metrics(addr);
+    assert_eq!(m["counters"]["registry.uploads"].as_u64(), Some(3));
+    assert_eq!(m["counters"]["registry.dedup_hits"].as_u64(), Some(1));
+    assert_eq!(m["counters"]["registry.deletes"].as_u64(), Some(1));
+    assert!(m["counters"]["admission.accepted"].as_u64().unwrap() >= 5);
+    let (status, _, body) = http_request(
+        addr,
+        "GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    // The pinned dataset and the (still-resident) incompatible upload.
+    assert_eq!(health["registry"]["datasets"].as_u64(), Some(2));
+
+    handle.shutdown();
+}
+
+/// Upload-path guardrails over real sockets: per-route body caps checked
+/// against Content-Length before buffering, chunked uploads refused with a
+/// deterministic 501, malformed CSV → 400, tenant byte quota → 429, and
+/// LRU eviction under a small byte budget with monotone counters.
+#[test]
+fn upload_limits_eviction_and_chunked_over_socket() {
+    let engine = Engine::new(tiny_bundle(), base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let registry = RegistryConfig {
+        // Roughly two small uploads' worth of resident bytes (each test
+        // upload below occupies ~1.4 KB), and a tenant quota of one.
+        budget_bytes: 3000,
+        max_datasets: 8,
+        tenant_quota_bytes: 2000,
+        limits: atena_dataframe::CsvLimits {
+            max_bytes: 4096,
+            max_rows: 10_000,
+            max_cols: 16,
+        },
+    };
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_size: 4,
+            registry,
+            ..Default::default()
+        },
+        engine,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    // 1. A Content-Length far past the upload cap is refused from the
+    //    declared length alone — no body bytes are sent, so a 413 here
+    //    proves nothing was buffered.
+    let (status, _, _) = http_request(
+        addr,
+        "POST /v1/datasets HTTP/1.1\r\nHost: t\r\nContent-Length: 2147483648\r\n\
+         Connection: close\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+
+    // 2. The same oversized length on /v1/notebook also 413s (default
+    //    cap), while a body over the upload cap but under the default cap
+    //    is only rejected on the upload route.
+    let mid = format!("a,b\n{}", "x,1\n".repeat(2000)); // ~8 KB
+    let (status, _, _) = request_with(addr, "POST", "/v1/datasets", &[], &mid);
+    assert_eq!(status, 413, "upload route enforces the registry cap");
+    let (status, _, _) = request_with(addr, "POST", "/v1/notebook", &[], &mid);
+    assert_eq!(status, 400, "notebook route keeps the larger default cap");
+
+    // 3. Chunked transfer encoding: deterministic 501, never a hang.
+    let (status, _, body) = http_request(
+        addr,
+        "POST /v1/datasets HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\
+         Connection: close\r\n\r\n5\r\na,b\n1\r\n0\r\n\r\n",
+    );
+    assert_eq!(status, 501, "{body}");
+
+    // 4. Malformed CSV (ragged row) → 400 with the physical line number.
+    let (status, _, body) = request_with(addr, "POST", "/v1/datasets", &[], "a,b\n1,2\n3\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("line 3"), "{body}");
+
+    // 5. Three distinct uploads under a two-dataset budget: the least
+    //    recently used entry is evicted, the others stay resident.
+    let csv_for = |tag: u32| {
+        let mut csv = String::from("k,v\n");
+        for r in 0..40 {
+            csv.push_str(&format!("row{tag}_{r},{r}\n"));
+        }
+        csv
+    };
+    let mut ids = Vec::new();
+    for (tenant, tag) in [("t1", 1u32), ("t2", 2), ("t3", 3)] {
+        let (status, _, body) = request_with(
+            addr,
+            "POST",
+            "/v1/datasets",
+            &[("X-Atena-Tenant", tenant)],
+            &csv_for(tag),
+        );
+        assert_eq!(status, 201, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        ids.push(v["dataset"]["dataset_id"].as_str().unwrap().to_string());
+    }
+    let (status, _, _) = request_with(addr, "GET", &format!("/v1/datasets/{}", ids[0]), &[], "");
+    assert_eq!(status, 404, "oldest upload must have been evicted");
+    for id in &ids[1..] {
+        let (status, _, _) = request_with(addr, "GET", &format!("/v1/datasets/{id}"), &[], "");
+        assert_eq!(status, 200, "{id} should still be resident");
+    }
+    let m = metrics(addr);
+    assert!(m["counters"]["registry.evictions"].as_u64().unwrap() >= 1);
+    assert_eq!(m["counters"]["registry.uploads"].as_u64(), Some(3));
+    let budget = m["gauges"]["registry.bytes"].as_f64().unwrap();
+    assert!(budget > 0.0);
+
+    // 6. A tenant at its byte quota gets 429 + Retry-After; the bytes it
+    //    already owns are the reason, so another tenant still succeeds.
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/v1/datasets",
+        &[("X-Atena-Tenant", "t3")],
+        &csv_for(4),
+    );
+    assert_eq!(status, 429, "t3 already owns a resident dataset: {body}");
+    let (status, headers, body) = request_with(
+        addr,
+        "POST",
+        "/v1/datasets",
+        &[("X-Atena-Tenant", "fresh")],
+        &csv_for(4),
+    );
+    // The quota rejection must carry a Retry-After; the fresh tenant's
+    // upload goes through (evicting under the byte budget as needed).
+    assert_eq!(status, 201, "{body}");
+    assert!(header(&headers, "retry-after").is_none());
+    let m = metrics(addr);
+    assert!(m["counters"]["registry.ingest.rejected"].as_u64().unwrap() >= 1);
+
+    handle.shutdown();
+}
+
+/// Per-tenant admission control: a hog tenant saturating its in-flight
+/// cap collects 429s with `Retry-After`, while a quiet tenant's requests
+/// keep succeeding throughout the storm. Read-only endpoints are exempt.
+#[test]
+fn tenant_admission_throttles_hog_not_others() {
+    let engine = Engine::new(tiny_bundle(), base()).unwrap();
+    let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+    let server = Server::bind_with_telemetry(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            // No response cache: every request decodes, keeping workers
+            // busy long enough for in-flight requests to overlap.
+            cache_size: 0,
+            tenant_limits: TenantLimits {
+                max_inflight: 1,
+                retry_after_secs: 3,
+            },
+            ..Default::default()
+        },
+        engine,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    // 12 concurrent decodes from one tenant against an in-flight cap of 1:
+    // overlapping requests are told to back off.
+    let hogs: Vec<_> = (0..12)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let body = format!(r#"{{"dataset":"tiny","episode_len":16,"seed":{seed}}}"#);
+                request_with(
+                    addr,
+                    "POST",
+                    "/v1/notebook",
+                    &[("X-Atena-Tenant", "hog")],
+                    &body,
+                )
+            })
+        })
+        .collect();
+    // While the storm runs, the quiet tenant (sequential, so never over
+    // its own cap) must keep getting answers.
+    let mut quiet_ok = 0;
+    for seed in 100..103 {
+        let body = format!(r#"{{"dataset":"tiny","episode_len":8,"seed":{seed}}}"#);
+        let (status, _, b) = request_with(
+            addr,
+            "POST",
+            "/v1/notebook",
+            &[("X-Atena-Tenant", "quiet")],
+            &body,
+        );
+        assert_eq!(status, 200, "quiet tenant throttled: {b}");
+        quiet_ok += 1;
+    }
+    assert_eq!(quiet_ok, 3);
+
+    let mut ok = 0;
+    let mut throttled = 0;
+    for h in hogs {
+        let (status, headers, body) = h.join().unwrap();
+        match status {
+            200 => ok += 1,
+            429 => {
+                throttled += 1;
+                assert_eq!(header(&headers, "retry-after"), Some("3"), "{body}");
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert!(ok >= 1, "at least the permit holder must succeed");
+    assert!(
+        throttled >= 1,
+        "12 concurrent decodes at cap 1 must overlap at least once"
+    );
+
+    // Read-only endpoints are exempt from admission even for the hog.
+    let (status, _, _) = request_with(
+        addr,
+        "GET",
+        "/v1/datasets",
+        &[("X-Atena-Tenant", "hog")],
+        "",
+    );
+    assert_eq!(status, 200);
+
+    let m = metrics(addr);
+    assert_eq!(
+        m["counters"]["admission.rejected"].as_u64(),
+        Some(throttled as u64)
+    );
+    assert!(m["counters"]["server.http.throttled"].as_u64().unwrap() >= 1);
 
     handle.shutdown();
 }
