@@ -76,6 +76,9 @@ SERVE OPTIONS:
   --upload-max-mb <N>        per-upload CSV size cap       [default: 8]
   --tenant-max-inflight <N>  per-tenant in-flight cap      [default: 8]
   --tenant-quota-mb <N>      per-tenant resident quota     [default: 64]
+  --max-batch <N>     decode steps coalesced per forward; responses are
+                      bit-identical at any value   [default: 1 (off)]
+  --batch-window-us <N>  wait for batch company, microseconds  [default: 200]
 
 METRICS SUMMARIZE OPTIONS:
   --format <F>        text | json                  [default: text]
@@ -89,6 +92,8 @@ OPTIONS:
   --seed <N>          random seed                        [default: 0]
   --workers <N>       rollout threads for training; changes speed, never
                       results (DESIGN.md §4h)   [default: available parallelism]
+  --batch-lanes <N>   lanes stepped per batched policy forward; changes
+                      speed, never results (DESIGN.md §4l)  [default: 0 (off)]
   --out <file.md>     write the notebook as Markdown (default: stdout)
   --json <file.json>  also write the notebook summary as JSON
   --log-level <L>     error | warn | info | debug        [default: $ATENA_LOG or info]
@@ -177,6 +182,10 @@ pub enum Command {
         tenant_max_inflight: usize,
         /// Per-tenant resident-byte quota, in MiB.
         tenant_quota_mb: usize,
+        /// Rows per microbatched decode forward (1 = batching off).
+        max_batch: usize,
+        /// Microbatch window in microseconds.
+        batch_window_us: u64,
     },
     /// Offline registry inspection: parse CSV files exactly as an upload
     /// would and print their dataset identity and schema.
@@ -227,6 +236,9 @@ pub struct GenerateOpts {
     /// Rollout threads for training (`None` = available parallelism).
     /// Execution-only: never affects results.
     pub workers: Option<usize>,
+    /// Rows per batched policy forward during rollouts (0 = per-lane
+    /// serial forwards). Execution-only, like `workers`.
+    pub batch_lanes: usize,
     /// Markdown output path (stdout when `None`).
     pub out: Option<String>,
     /// JSON output path.
@@ -248,6 +260,7 @@ impl Default for GenerateOpts {
             strategy: Strategy::Atena,
             seed: 0,
             workers: None,
+            batch_lanes: 0,
             out: None,
             json: None,
             log_level: None,
@@ -315,6 +328,12 @@ fn parse_opts(args: &[String]) -> Result<GenerateOpts, CliError> {
                         .parse()
                         .map_err(|_| CliError::Usage("--workers expects an integer".into()))?,
                 );
+                i += 2;
+            }
+            "--batch-lanes" => {
+                opts.batch_lanes = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--batch-lanes expects an integer".into()))?;
                 i += 2;
             }
             "--out" => {
@@ -459,6 +478,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut upload_max_mb = 8usize;
             let mut tenant_max_inflight = 8usize;
             let mut tenant_quota_mb = 64usize;
+            let mut max_batch = 1usize;
+            let mut batch_window_us = 200u64;
             let rest = &args[1..];
             let mut i = 0;
             while i < rest.len() {
@@ -488,6 +509,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         tenant_max_inflight = int("--tenant-max-inflight")?;
                     }
                     "--tenant-quota-mb" => tenant_quota_mb = int("--tenant-quota-mb")?,
+                    "--max-batch" => {
+                        max_batch = int("--max-batch")?;
+                        if max_batch == 0 {
+                            return Err(CliError::Usage("--max-batch must be positive".into()));
+                        }
+                    }
+                    "--batch-window-us" => {
+                        batch_window_us = value.parse().map_err(|_| {
+                            CliError::Usage("--batch-window-us expects an integer".into())
+                        })?;
+                    }
                     other => return Err(CliError::Usage(format!("unknown option {other:?}"))),
                 }
                 i += 2;
@@ -505,6 +537,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 upload_max_mb,
                 tenant_max_inflight,
                 tenant_quota_mb,
+                max_batch,
+                batch_window_us,
             })
         }
         Some("metrics") => match args.get(1).map(String::as_str) {
@@ -566,6 +600,9 @@ fn config_for(opts: &GenerateOpts) -> AtenaConfig {
     // guarantees results don't depend on it, so defaulting to whatever
     // the machine has is safe.
     config.trainer.n_workers = opts.workers.unwrap_or_else(atena_runtime::default_workers);
+    // Also execution-only (DESIGN.md §4l): lane batching changes steps/sec,
+    // never the transcript.
+    config.trainer.batch_lanes = opts.batch_lanes;
     config
 }
 
@@ -876,7 +913,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             use atena_registry::{dataset_id_for_fingerprint, ingest_csv};
             let limits = atena_registry::RegistryConfig::default().limits;
             let mut out = String::new();
-            let mut seen: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
+            let mut seen: std::collections::BTreeMap<u64, String> =
+                std::collections::BTreeMap::new();
             for path in &paths {
                 let bytes = std::fs::read(path)
                     .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
@@ -1005,6 +1043,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             upload_max_mb,
             tenant_max_inflight,
             tenant_quota_mb,
+            max_batch,
+            batch_window_us,
         } => {
             if let Some(path) = &trace_out {
                 set_trace_sink(path)?;
@@ -1036,6 +1076,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     max_inflight: tenant_max_inflight,
                     ..Default::default()
                 },
+                max_batch,
+                batch_window: std::time::Duration::from_micros(batch_window_us),
                 ..Default::default()
             };
             let server = atena_server::Server::bind(config, engine)
@@ -1477,6 +1519,24 @@ garbage line
     }
 
     #[test]
+    fn batch_lanes_flag_parses_on_generate_paths() {
+        let Command::Train { opts, .. } =
+            parse(&args(&["train", "cyber2", "--batch-lanes", "8"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.batch_lanes, 8);
+        let config = config_for(&opts);
+        assert_eq!(config.trainer.batch_lanes, 8);
+        // Default: lane batching off.
+        assert_eq!(config_for(&GenerateOpts::default()).trainer.batch_lanes, 0);
+        assert!(matches!(
+            parse(&args(&["train", "cyber2", "--batch-lanes", "x"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn summarize_prints_metrics_sorted_by_name() {
         let dir = std::env::temp_dir().join("atena-cli-metrics-sorted");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1573,6 +1633,10 @@ garbage line
             "3",
             "--tenant-quota-mb",
             "16",
+            "--max-batch",
+            "8",
+            "--batch-window-us",
+            "150",
         ]))
         .unwrap();
         assert_eq!(
@@ -1588,6 +1652,8 @@ garbage line
                 upload_max_mb: 2,
                 tenant_max_inflight: 3,
                 tenant_quota_mb: 16,
+                max_batch: 8,
+                batch_window_us: 150,
             }
         );
         // Defaults.
@@ -1601,6 +1667,8 @@ garbage line
             upload_max_mb,
             tenant_max_inflight,
             tenant_quota_mb,
+            max_batch,
+            batch_window_us,
             ..
         } = parse(&args(&["serve", "--checkpoint", "c.json"])).unwrap()
         else {
@@ -1615,7 +1683,19 @@ garbage line
         assert_eq!(upload_max_mb, 8);
         assert_eq!(tenant_max_inflight, 8);
         assert_eq!(tenant_quota_mb, 64);
+        assert_eq!(max_batch, 1, "batching defaults off");
+        assert_eq!(batch_window_us, 200);
         assert!(matches!(parse(&args(&["serve"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&[
+                "serve",
+                "--checkpoint",
+                "c.json",
+                "--max-batch",
+                "0"
+            ])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse(&args(&[
                 "serve",
@@ -1681,8 +1761,7 @@ garbage line
             paths: vec![a.display().to_string(), b.display().to_string()],
         })
         .unwrap();
-        let frame =
-            atena_dataframe::DataFrame::from_csv_str("proto,len\ntcp,1\nudp,2\n").unwrap();
+        let frame = atena_dataframe::DataFrame::from_csv_str("proto,len\ntcp,1\nudp,2\n").unwrap();
         let id = atena_registry::dataset_id_for_fingerprint(frame.fingerprint());
         assert_eq!(out.matches(&id).count(), 2, "{out}");
         assert!(out.contains("duplicate of"), "{out}");

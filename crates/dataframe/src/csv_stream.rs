@@ -344,11 +344,7 @@ impl CsvStreamParser {
                 if record.len() != names.len() {
                     return Err(CsvStreamError::Csv {
                         line: self.record_line,
-                        message: format!(
-                            "expected {} fields, found {}",
-                            names.len(),
-                            record.len()
-                        ),
+                        message: format!("expected {} fields, found {}", names.len(), record.len()),
                     });
                 }
                 if self.n_rows + 1 > self.limits.max_rows {
@@ -421,11 +417,13 @@ pub(crate) fn build_column(dtype: DType, cells: &[&str]) -> Column {
             "false" | "False" => Some(false),
             _ => None,
         })),
-        DType::Str => Column::from_strs(
-            cells
-                .iter()
-                .map(|c| if c.is_empty() { None } else { Some(*c) }),
-        ),
+        DType::Str => {
+            Column::from_strs(
+                cells
+                    .iter()
+                    .map(|c| if c.is_empty() { None } else { Some(*c) }),
+            )
+        }
     }
 }
 
@@ -467,8 +465,8 @@ mod tests {
         assert_eq!(df.value(0, "k").unwrap(), ValueRef::Str("a\nb"));
         // The embedded newline advances the physical line counter, so a
         // later ragged row reports its true physical line.
-        let err = parse_csv_bytes(b"k,v\n\"a\nb\",1\nonly-one\n", CsvLimits::unlimited())
-            .unwrap_err();
+        let err =
+            parse_csv_bytes(b"k,v\n\"a\nb\",1\nonly-one\n", CsvLimits::unlimited()).unwrap_err();
         assert_eq!(
             err,
             CsvStreamError::Csv {

@@ -318,10 +318,12 @@ impl Graph {
             Op::MatMul(a, b) => {
                 let (av, bv) = (self.nodes[a.0].value.clone(), self.nodes[b.0].value.clone());
                 if self.needs(*a) {
-                    self.accumulate(*a, grad_out.matmul(&bv.transpose()));
+                    // matmul_nt/matmul_tn skip the transpose copies and are
+                    // bit-identical to the transpose-then-matmul originals.
+                    self.accumulate(*a, grad_out.matmul_nt(&bv));
                 }
                 if self.needs(*b) {
-                    self.accumulate(*b, av.transpose().matmul(grad_out));
+                    self.accumulate(*b, av.matmul_tn(grad_out));
                 }
             }
             Op::Add(a, b) => {

@@ -2,8 +2,15 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::param::{Param, ParamSet};
-use crate::tensor::Tensor;
+use crate::tensor::{MatmulError, Tensor};
 use rand::Rng;
+
+/// In-place ReLU matching the graph op (`x.max(0.0)` per element).
+fn relu_inplace(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = v.max(0.0);
+    }
+}
 
 /// Weight initialization scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +74,17 @@ impl Linear {
         g.add_row_broadcast(xw, b)
     }
 
+    /// Apply the layer to a raw `[B, in]` tensor outside any graph — the
+    /// inference fast path. No tape and no parameter clones; bit-identical
+    /// to [`Linear::forward`] because the matmul and bias-broadcast kernels
+    /// accumulate in the same element order, and every row of the output
+    /// depends only on the matching input row.
+    pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor, MatmulError> {
+        let mut out = self.weight.with_value(|w| x.try_matmul(w))?;
+        self.bias.with_value(|b| out.add_row_broadcast_assign(b));
+        Ok(out)
+    }
+
     /// Register parameters.
     pub fn register(&self, set: &mut ParamSet) {
         set.register(self.weight.clone());
@@ -125,6 +143,18 @@ impl Mlp {
         h
     }
 
+    /// Graph-free batched forward: every layer followed by ReLU, row for
+    /// row bit-identical to [`Mlp::forward`] on the same input.
+    pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor, MatmulError> {
+        let mut h = self.layers[0].forward_batch(x)?;
+        relu_inplace(&mut h);
+        for layer in &self.layers[1..] {
+            h = layer.forward_batch(&h)?;
+            relu_inplace(&mut h);
+        }
+        Ok(h)
+    }
+
     /// Register parameters.
     pub fn register(&self, set: &mut ParamSet) {
         for l in &self.layers {
@@ -172,6 +202,57 @@ mod tests {
         assert_eq!(g.value(y).shape(), (2, 4));
         // ReLU output is non-negative.
         assert!(g.value(y).data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn forward_batch_reports_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let l = Linear::new("l", 4, 3, Init::He, &mut rng);
+        let err = l.forward_batch(&Tensor::zeros(5, 7)).unwrap_err();
+        assert_eq!(err.left, (5, 7));
+        assert_eq!(err.right, (4, 3));
+        let mlp = Mlp::new("m", &[6, 8, 4], &mut rng);
+        assert!(mlp.forward_batch(&Tensor::zeros(2, 5)).is_err());
+        assert_eq!(
+            mlp.forward_batch(&Tensor::zeros(2, 6)).unwrap().shape(),
+            (2, 4)
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Batched forward over `[B, in]` is bit-identical, row for row, to
+        /// B serial one-row forwards and to the graph path — the property
+        /// that lets batching join the determinism contract. Runs with the
+        /// `simd` feature too, where the AVX kernel must uphold it.
+        #[test]
+        fn batched_and_serial_mlp_forward_agree_bitwise(
+            seed in 0u64..1000,
+            batch in 1usize..9,
+            in_dim in 1usize..24,
+            hidden in proptest::prelude::prop::collection::vec(1usize..24, 1..3),
+        ) {
+            use proptest::prelude::*;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut dims = vec![in_dim];
+            dims.extend(hidden);
+            let mlp = Mlp::new("t", &dims, &mut rng);
+            let x = Tensor::randn(batch, in_dim, 1.0, &mut rng);
+            let batched = mlp.forward_batch(&x).unwrap();
+
+            let mut g = Graph::new();
+            let node = g.constant(x.clone());
+            let out_node = mlp.forward(&mut g, node);
+            let graphed = g.value(out_node).clone();
+            prop_assert_eq!(batched.data(), graphed.data());
+
+            for r in 0..batch {
+                let row = Tensor::row_vector(x.row(r).to_vec());
+                let serial = mlp.forward_batch(&row).unwrap();
+                prop_assert_eq!(serial.data(), batched.row(r), "row {} diverged", r);
+            }
+        }
     }
 
     #[test]

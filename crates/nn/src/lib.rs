@@ -41,4 +41,4 @@ pub use graph::{Graph, NodeId};
 pub use layers::{Init, Linear, Mlp};
 pub use optim::{Adam, Sgd};
 pub use param::{Param, ParamData, ParamSet};
-pub use tensor::{log_softmax_rows, softmax_rows, Tensor};
+pub use tensor::{log_softmax_rows, softmax_rows, MatmulError, Tensor};

@@ -51,6 +51,13 @@ impl Param {
         self.inner.read().value.clone()
     }
 
+    /// Run `f` against the current value under the read lock, without
+    /// cloning. The batched inference path calls this per layer per step;
+    /// [`Param::value`] would copy the full weight matrix each time.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.inner.read().value)
+    }
+
     /// Overwrite the value (e.g. loading a checkpoint).
     pub fn set_value(&self, value: Tensor) {
         let mut d = self.inner.write();

@@ -16,6 +16,109 @@ pub struct Tensor {
     cols: usize,
 }
 
+/// Inner-dimension mismatch reported by [`Tensor::try_matmul`].
+///
+/// Surfacing this as a value (instead of the historical panic) lets bundle
+/// loading and the batched forward path validate shapes up front, so a
+/// corrupt checkpoint turns into an error response rather than a dead
+/// worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulError {
+    /// Shape of the left operand.
+    pub left: (usize, usize),
+    /// Shape of the right operand.
+    pub right: (usize, usize),
+}
+
+impl std::fmt::Display for MatmulError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matmul dimension mismatch: {}x{} \u{b7} {}x{}",
+            self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+impl std::error::Error for MatmulError {}
+
+/// Row-block size for the blocked matmul kernel. Each block of output rows
+/// streams every row of `b` exactly once, so `b` traffics through cache
+/// `MM_ROW_BLOCK`× less often than in a plain i-k-j loop; per output
+/// element the k-index still ascends, keeping results bit-identical.
+const MM_ROW_BLOCK: usize = 4;
+
+/// Blocked `out += a · b` kernel shared by [`Tensor::try_matmul`].
+///
+/// Loop order is (row-block, k, i): within a block of output rows, `b`'s
+/// row `k` is reused across all block rows while per output element the
+/// adds still happen in ascending-k order — the exact accumulation sequence
+/// (and `a == 0.0` skip) of the reference i-k-j loop, so the blocked kernel
+/// is bit-identical to it.
+fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let n = b.cols;
+    let mut i0 = 0;
+    while i0 < a.rows {
+        let i1 = (i0 + MM_ROW_BLOCK).min(a.rows);
+        for k in 0..a.cols {
+            let b_row = b.row(k);
+            for i in i0..i1 {
+                let av = a.data[i * a.cols + k];
+                if av == 0.0 {
+                    continue;
+                }
+                axpy(av, b_row, &mut out.data[i * n..(i + 1) * n]);
+            }
+        }
+        i0 = i1;
+    }
+}
+
+/// `y[j] += a * x[j]` over the shorter of the two slices.
+///
+/// With the `simd` feature on x86-64 this takes an AVX mul+add path over
+/// column lanes when the CPU supports it. No FMA: element `j`'s result is
+/// one IEEE-754 multiply and one add in both paths, so the vector path is
+/// bit-identical to the scalar loop at any vector width.
+#[inline]
+fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just verified at runtime.
+            unsafe { axpy_avx(a, x, y) };
+            return;
+        }
+    }
+    axpy_scalar(a, x, y);
+}
+
+#[inline]
+fn axpy_scalar(a: f32, x: &[f32], y: &mut [f32]) {
+    for (yj, &xj) in y.iter_mut().zip(x) {
+        *yj += a * xj;
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx")]
+unsafe fn axpy_avx(a: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len().min(y.len());
+    let av = _mm256_set1_ps(a);
+    let mut j = 0;
+    while j + 8 <= n {
+        let xv = _mm256_loadu_ps(x.as_ptr().add(j));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(j));
+        // Separate mul then add (never _mm256_fmadd_ps): fused rounding
+        // would diverge from the scalar kernel at the last bit.
+        let sum = _mm256_add_ps(yv, _mm256_mul_ps(av, xv));
+        _mm256_storeu_ps(y.as_mut_ptr().add(j), sum);
+        j += 8;
+    }
+    axpy_scalar(a, &x[j..n], &mut y[j..n]);
+}
+
 impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -135,28 +238,97 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Matrix product `self · other`, or a typed error on inner-dimension
+    /// mismatch.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor, MatmulError> {
+        if self.cols != other.rows {
+            return Err(MatmulError {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        matmul_into(self, other, &mut out);
+        Ok(out)
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Panics
-    /// Panics on inner-dimension mismatch.
+    /// Panics on inner-dimension mismatch; [`Tensor::try_matmul`] is the
+    /// non-panicking variant.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` rows for cache locality.
+        match self.try_matmul(other) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// `self · otherᵀ` without materializing the transpose (the autodiff
+    /// backward pass uses this for `grad_a = grad_out · Wᵀ`). Per output
+    /// element the k-index ascends and zero left operands are skipped, the
+    /// exact accumulation of `self.matmul(&other.transpose())` — the two
+    /// are bit-identical.
+    ///
+    /// # Panics
+    /// Panics when `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            for j in 0..other.rows {
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(other.row(j)) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * b;
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                out.set(i, j, acc);
             }
         }
         out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose (backward pass:
+    /// `grad_w = xᵀ · grad_out`). The row index of `self` plays the inner-k
+    /// role and ascends per output element, with the same zero skip —
+    /// bit-identical to `self.transpose().matmul(other)`.
+    ///
+    /// # Panics
+    /// Panics when `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let b_row = other.row(r);
+            for i in 0..self.cols {
+                let a = self.data[r * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                axpy(a, b_row, &mut out.data[i * n..(i + 1) * n]);
+            }
+        }
+        out
+    }
+
+    /// Add a `1 × cols` bias row to every row in place — the tensor-path
+    /// twin of the graph's `add_row_broadcast` op (each element computes
+    /// `x + bias` in that operand order).
+    ///
+    /// # Panics
+    /// Panics unless `bias` is `1 × self.cols()`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Tensor) {
+        assert_eq!(bias.shape(), (1, self.cols), "row-broadcast shape mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, &b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
     }
 
     /// Transposed copy.
@@ -314,6 +486,76 @@ mod tests {
         assert_eq!(c.data(), &[2., 0., 6.]);
         assert_eq!(c.sum(), 8.0);
         assert_eq!(a.sum_squares(), 14.0);
+    }
+
+    /// The pre-blocking i-k-j reference kernel, kept verbatim as the
+    /// bit-exactness oracle for the blocked/axpy kernel.
+    fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.cols(), b.rows());
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            let a_row = a.row(i).to_vec();
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k).to_vec();
+                for j in 0..b.cols() {
+                    let v = out.get(i, j) + av * b_row[j];
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes straddling the row-block size and the AVX lane width,
+        // with injected exact zeros to exercise the skip path.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (9, 17, 33), (16, 150, 64)] {
+            let mut a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            for i in 0..a.len() / 3 {
+                a.data_mut()[i * 3] = 0.0;
+            }
+            let fast = a.matmul(&b);
+            let slow = matmul_reference(&a, &b);
+            assert_eq!(fast.data(), slow.data(), "shape ({m},{k},{n}) diverged");
+        }
+    }
+
+    #[test]
+    fn transposed_kernels_match_materialized_transpose() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (7, 13, 5), (8, 32, 9)] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(n, k, 1.0, &mut rng);
+            assert_eq!(a.matmul_nt(&b).data(), a.matmul(&b.transpose()).data());
+            let c = Tensor::randn(k, m, 1.0, &mut rng);
+            let d = Tensor::randn(k, n, 1.0, &mut rng);
+            assert_eq!(c.matmul_tn(&d).data(), c.transpose().matmul(&d).data());
+        }
+    }
+
+    #[test]
+    fn try_matmul_reports_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 2);
+        let err = a.try_matmul(&b).unwrap_err();
+        assert_eq!(err.left, (2, 3));
+        assert_eq!(err.right, (2, 2));
+        assert!(err.to_string().contains("matmul dimension mismatch"));
+        assert!(a.try_matmul(&Tensor::zeros(3, 4)).is_ok());
+    }
+
+    #[test]
+    fn add_row_broadcast_assign_matches_per_element_add() {
+        let mut x = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::row_vector(vec![0.5, -1.0, 2.0]);
+        x.add_row_broadcast_assign(&b);
+        assert_eq!(x.data(), &[1.5, 1.0, 5.0, 4.5, 4.0, 8.0]);
     }
 
     #[test]

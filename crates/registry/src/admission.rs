@@ -36,11 +36,7 @@ pub struct AdmissionRejection {
 
 impl fmt::Display for AdmissionRejection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "tenant {} at inflight limit {}",
-            self.tenant, self.limit
-        )
+        write!(f, "tenant {} at inflight limit {}", self.tenant, self.limit)
     }
 }
 
@@ -108,10 +104,7 @@ impl AdmissionController {
 
     /// Try to admit one request for `tenant`. The returned [`Permit`]
     /// releases the slot on drop (success and error paths alike).
-    pub fn try_acquire(
-        self: &Arc<Self>,
-        tenant: &str,
-    ) -> Result<Permit, AdmissionRejection> {
+    pub fn try_acquire(self: &Arc<Self>, tenant: &str) -> Result<Permit, AdmissionRejection> {
         let admitted = {
             let mut inner = self.inner.lock().expect("admission lock poisoned");
             let count = inner.per_tenant.entry(tenant.to_string()).or_insert(0);
@@ -179,7 +172,9 @@ pub struct Permit {
 
 impl fmt::Debug for Permit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Permit").field("tenant", &self.tenant).finish()
+        f.debug_struct("Permit")
+            .field("tenant", &self.tenant)
+            .finish()
     }
 }
 

@@ -111,9 +111,16 @@ impl fmt::Display for RegistryError {
             RegistryError::Malformed(e) => write!(f, "malformed csv: {e}"),
             RegistryError::UploadTooLarge(e) => write!(f, "upload too large: {e}"),
             RegistryError::ExceedsBudget { bytes, budget } => {
-                write!(f, "dataset of {bytes} bytes exceeds registry budget of {budget}")
+                write!(
+                    f,
+                    "dataset of {bytes} bytes exceeds registry budget of {budget}"
+                )
             }
-            RegistryError::TenantQuotaExceeded { tenant, used, quota } => write!(
+            RegistryError::TenantQuotaExceeded {
+                tenant,
+                used,
+                quota,
+            } => write!(
                 f,
                 "tenant {tenant} over byte quota ({used} used of {quota})"
             ),
@@ -639,14 +646,19 @@ mod tests {
         let (frame, info) = reg.get(&out.info.dataset_id).unwrap();
         assert_eq!(frame.n_rows(), 10);
         assert_eq!(info.fingerprint, frame.fingerprint());
-        assert_eq!(info.dataset_id, dataset_id_for_fingerprint(info.fingerprint));
+        assert_eq!(
+            info.dataset_id,
+            dataset_id_for_fingerprint(info.fingerprint)
+        );
     }
 
     #[test]
     fn duplicate_upload_dedupes_to_one_entry() {
         let reg = small_registry(1 << 20);
         let a = reg.ingest("t1", "demo", csv(10, "a").as_bytes()).unwrap();
-        let b = reg.ingest("t2", "other-name", csv(10, "a").as_bytes()).unwrap();
+        let b = reg
+            .ingest("t2", "other-name", csv(10, "a").as_bytes())
+            .unwrap();
         assert!(b.deduplicated);
         assert_eq!(a.info.dataset_id, b.info.dataset_id);
         assert_eq!(reg.snapshot().entries, 1);
@@ -762,7 +774,9 @@ mod tests {
                 max_cols: 16,
             },
         });
-        let err = reg.ingest("t", "big", csv(100, "a").as_bytes()).unwrap_err();
+        let err = reg
+            .ingest("t", "big", csv(100, "a").as_bytes())
+            .unwrap_err();
         assert!(matches!(err, RegistryError::UploadTooLarge(_)));
         let err = reg.ingest("t", "bad", b"a,b\n\"oops\n").unwrap_err();
         assert!(matches!(err, RegistryError::Malformed(_)));

@@ -37,7 +37,13 @@ fn write_csv(header: &[String], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","));
@@ -182,7 +188,10 @@ fn golden_quoted_fields_with_embedded_commas_and_newlines() {
     let csv = "id,desc\n1,\"first, with comma\"\n2,\"two\nlines\"\n3,\"quote \"\"q\"\" done\"\n";
     let df = DataFrame::from_csv_str(csv).unwrap();
     assert_eq!(df.n_rows(), 3);
-    assert_eq!(df.value(0, "desc").unwrap().to_string(), "first, with comma");
+    assert_eq!(
+        df.value(0, "desc").unwrap().to_string(),
+        "first, with comma"
+    );
     assert_eq!(df.value(1, "desc").unwrap().to_string(), "two\nlines");
     assert_eq!(df.value(2, "desc").unwrap().to_string(), "quote \"q\" done");
 }

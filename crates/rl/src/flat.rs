@@ -3,8 +3,8 @@
 //! distinct action** — the design whose poor scaling motivates the twofold
 //! architecture.
 
-use crate::policy::{sample_categorical, ActionChoice, Evaluation, Policy, PolicyStep};
-use atena_nn::{softmax_rows, Graph, Init, Linear, Mlp, ParamSet, Tensor};
+use crate::policy::{ActionChoice, Evaluation, Policy, PolicyRow};
+use atena_nn::{softmax_rows, Graph, Init, Linear, MatmulError, Mlp, ParamSet, Tensor};
 use rand::rngs::StdRng;
 
 /// A flat-softmax actor-critic policy over an enumerated action table.
@@ -45,24 +45,20 @@ impl FlatPolicy {
 }
 
 impl Policy for FlatPolicy {
-    fn act(&self, obs: &[f32], temperature: f32, rng: &mut StdRng) -> PolicyStep {
-        debug_assert_eq!(obs.len(), self.obs_dim);
-        let mut g = Graph::new();
-        let x = g.constant(Tensor::row_vector(obs.to_vec()));
-        let h = self.trunk.forward(&mut g, x);
-        let logits = self.action_head.forward(&mut g, h);
-        let value = self.value_head.forward(&mut g, h);
-
-        let temp = temperature.max(1e-3);
-        let scaled = g.scale(logits, 1.0 / temp);
-        let probs = softmax_rows(g.value(scaled));
-        let index = sample_categorical(probs.row(0), rng);
-        let untempered = softmax_rows(g.value(logits));
-        PolicyStep {
-            choice: ActionChoice::Flat { index },
-            log_prob: untempered.get(0, index).max(1e-10).ln(),
-            value: g.value(value).get(0, 0),
-        }
+    fn forward_rows(&self, obs: &Tensor, temperature: f32) -> Result<Vec<PolicyRow>, MatmulError> {
+        let h = self.trunk.forward_batch(obs)?;
+        let logits = self.action_head.forward_batch(&h)?;
+        let value = self.value_head.forward_batch(&h)?;
+        let inv = 1.0 / temperature.max(1e-3);
+        let tempered = softmax_rows(&logits.map(|x| x * inv));
+        let untempered = softmax_rows(&logits);
+        Ok((0..obs.rows())
+            .map(|r| PolicyRow::Flat {
+                tempered: tempered.row(r).to_vec(),
+                untempered: untempered.row(r).to_vec(),
+                value: value.get(r, 0),
+            })
+            .collect())
     }
 
     fn evaluate(&self, g: &mut Graph, obs: &Tensor, choices: &[ActionChoice]) -> Evaluation {

@@ -33,12 +33,13 @@ pub use flat::FlatPolicy;
 pub use greedy::{greedy_episode, random_episode, GreedyConfig};
 pub use policy::{
     active_heads, op_of_head_choice, ActionChoice, ActionMapper, Evaluation, MappedAction, Policy,
-    PolicyStep, N_HEADS,
+    PolicyRow, PolicyStep, N_HEADS,
 };
 pub use ppo::{PpoConfig, PpoLearner, UpdateStats};
 pub use rollout::{AdvantageEstimates, RolloutBuffer, RolloutStep};
 pub use source::{
-    ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts, DEFAULT_DISPLAY_CACHE,
+    BatchedRollouts, ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts,
+    DEFAULT_DISPLAY_CACHE,
 };
 pub use trainer::{CurvePoint, EpisodeRecord, TrainLog, Trainer, TrainerConfig};
 pub use twofold::{TwofoldConfig, TwofoldPolicy};

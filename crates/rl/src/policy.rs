@@ -2,7 +2,7 @@
 //! flat off-the-shelf baselines.
 
 use atena_env::{EdaAction, FlatTermAction, OpType};
-use atena_nn::{Graph, NodeId, ParamSet, Tensor};
+use atena_nn::{Graph, MatmulError, NodeId, ParamSet, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +75,80 @@ pub struct PolicyStep {
     pub value: f32,
 }
 
+/// One observation's policy outputs from a batched forward: everything
+/// needed to sample an action and score it, without touching the network
+/// again. Probabilities are materialized at both the exploration
+/// temperature (sampling) and temperature 1 (the joint log-prob),
+/// mirroring the two softmax reads of the serial `act` path.
+///
+/// Decoupling the forward pass from sampling is what lets many sources
+/// share one `[B, obs_dim]` forward while each keeps its own RNG stream:
+/// [`PolicyRow::sample`] draws in exactly the order `act` does, so a
+/// batched row is bit-identical to a serial act on the same observation.
+#[derive(Debug, Clone)]
+pub enum PolicyRow {
+    /// Twofold-architecture outputs: per-segment probabilities.
+    Twofold {
+        /// `softmax(logits / T)` per head, canonical head order.
+        tempered: Vec<Vec<f32>>,
+        /// `softmax(logits)` per head.
+        untempered: Vec<Vec<f32>>,
+        /// Critic value estimate.
+        value: f32,
+    },
+    /// Flat-architecture outputs over the enumerated action table.
+    Flat {
+        /// `softmax(logits / T)` over all actions.
+        tempered: Vec<f32>,
+        /// `softmax(logits)` over all actions.
+        untempered: Vec<f32>,
+        /// Critic value estimate.
+        value: f32,
+    },
+}
+
+impl PolicyRow {
+    /// Sample a [`PolicyStep`], consuming `rng` exactly as the serial act
+    /// path does: the same number of draws in the same order, the same
+    /// log-prob arithmetic. The determinism suite pins this property.
+    pub fn sample(&self, rng: &mut StdRng) -> PolicyStep {
+        match self {
+            PolicyRow::Twofold {
+                tempered,
+                untempered,
+                value,
+            } => {
+                let mut heads = [0usize; N_HEADS];
+                for (i, probs) in tempered.iter().enumerate() {
+                    heads[i] = sample_categorical(probs, rng);
+                }
+                let op = op_of_head_choice(heads[0]);
+                let mut log_prob = 0.0f32;
+                for &h in active_heads(op) {
+                    log_prob += untempered[h][heads[h]].max(1e-10).ln();
+                }
+                PolicyStep {
+                    choice: ActionChoice::Twofold { heads },
+                    log_prob,
+                    value: *value,
+                }
+            }
+            PolicyRow::Flat {
+                tempered,
+                untempered,
+                value,
+            } => {
+                let index = sample_categorical(tempered, rng);
+                PolicyStep {
+                    choice: ActionChoice::Flat { index },
+                    log_prob: untempered[index].max(1e-10).ln(),
+                    value: *value,
+                }
+            }
+        }
+    }
+}
+
 /// Differentiable quantities produced by re-evaluating stored choices for a
 /// PPO/A2C update.
 pub struct Evaluation {
@@ -88,9 +162,28 @@ pub struct Evaluation {
 
 /// An actor-critic policy over the EDA action space.
 pub trait Policy: Send + Sync {
+    /// Run the network once over a `[B, obs_dim]` batch of observations,
+    /// returning one [`PolicyRow`] per input row (in input order). This is
+    /// the single forward path — `act` is defined in terms of it — so the
+    /// batched and serial routes cannot drift apart. A typed error (rather
+    /// than a panic) reports an observation-width mismatch, which lets the
+    /// server validate a loaded bundle up front.
+    fn forward_rows(&self, obs: &Tensor, temperature: f32) -> Result<Vec<PolicyRow>, MatmulError>;
+
     /// Sample an action with Boltzmann exploration at the given temperature
     /// (`1.0` = the policy's own distribution).
-    fn act(&self, obs: &[f32], temperature: f32, rng: &mut StdRng) -> PolicyStep;
+    ///
+    /// # Panics
+    /// Panics if `obs` is not `obs_dim` wide.
+    fn act(&self, obs: &[f32], temperature: f32, rng: &mut StdRng) -> PolicyStep {
+        let rows = self
+            .forward_rows(&Tensor::row_vector(obs.to_vec()), temperature)
+            .unwrap_or_else(|e| panic!("policy forward failed: {e}"));
+        rows.into_iter()
+            .next()
+            .expect("one row in, one row out")
+            .sample(rng)
+    }
 
     /// Build the differentiable evaluation of stored `choices` at `obs`
     /// (one row per sample) inside `graph`.

@@ -19,6 +19,7 @@
 use crate::policy::{ActionMapper, MappedAction, Policy};
 use crate::rollout::{RolloutBuffer, RolloutStep};
 use crate::trainer::EpisodeRecord;
+use atena_batch::BatchPlanner;
 use atena_dataframe::DataFrame;
 use atena_env::{DisplayCache, EdaEnv, EnvConfig, RewardBreakdown, RewardModel};
 use atena_runtime::{stream_seed, Runtime, ScatterProfile, STREAM_ENV, STREAM_INIT};
@@ -365,6 +366,182 @@ impl RolloutSource for ParallelRollouts {
     }
 }
 
+/// Collect one fragment from every lane of a shard, stepping all lanes
+/// through **one batched policy forward per env step** instead of one
+/// forward per lane per step.
+///
+/// Bit-identical to running [`run_lane`] over the same lanes: each lane
+/// keeps its own counter-seeded RNG and [`crate::PolicyRow::sample`] draws
+/// from it in exactly the order the serial act path would, while the
+/// batched forward itself is row-independent (DESIGN.md §4l). The batch is
+/// purely an execution-schedule choice.
+fn run_shard_batched(
+    lanes: &mut [Lane],
+    first_lane_id: usize,
+    plan: &RolloutPlan<'_>,
+    max_batch: usize,
+    telemetry: &MetricsRegistry,
+) -> Vec<(RolloutBuffer, Vec<EpisodeRecord>)> {
+    let planner = BatchPlanner::new(plan.policy.obs_dim(), max_batch);
+    let mut rngs: Vec<StdRng> = (0..lanes.len())
+        .map(|i| {
+            StdRng::seed_from_u64(stream_seed(
+                plan.base_seed,
+                (first_lane_id + i) as u64,
+                plan.iteration,
+            ))
+        })
+        .collect();
+    let mut buffers: Vec<RolloutBuffer> = (0..lanes.len()).map(|_| RolloutBuffer::new()).collect();
+    let mut episodes: Vec<Vec<EpisodeRecord>> = (0..lanes.len()).map(|_| Vec::new()).collect();
+    for _ in 0..plan.rollout_len {
+        let obs: Vec<Vec<f32>> = lanes.iter().map(|l| l.env.observation()).collect();
+        let rows = planner.run(&obs, |batch| {
+            telemetry
+                .histogram("batch.occupancy")
+                .record(batch.rows() as f64);
+            plan.policy
+                .forward_rows(batch, plan.temperature)
+                .unwrap_or_else(|e| panic!("policy forward failed: {e}"))
+        });
+        for (i, ((lane, row), ob)) in lanes.iter_mut().zip(rows).zip(obs).enumerate() {
+            let step = row.sample(&mut rngs[i]);
+            let mapped = plan.mapper.map(&step.choice);
+            let r = step_env(&mut lane.env, &mapped, plan.reward);
+            lane.episode_reward += r.total;
+            lane.episode_breakdown += r;
+            let done = lane.env.done();
+            buffers[i].push(RolloutStep {
+                obs: ob,
+                choice: step.choice,
+                log_prob: step.log_prob,
+                value: step.value,
+                reward: r.total as f32,
+                done,
+            });
+            if done {
+                episodes[i].push(episode_record(&lane.env, lane.episode_breakdown));
+                lane.episode_reward = 0.0;
+                lane.episode_breakdown = RewardBreakdown::default();
+                let seed = rngs[i].gen();
+                lane.env.reset_with_seed(seed);
+            }
+        }
+    }
+    buffers.into_iter().zip(episodes).collect()
+}
+
+/// The lane-batched schedule: all lanes of a shard advance in lockstep,
+/// one `[lanes_in_shard, obs_dim]` policy forward per environment step
+/// (chunked at `max_batch` rows by a [`BatchPlanner`]).
+///
+/// Bit-identical to [`SerialRollouts`] at the same seed and lane count,
+/// for any `(workers, max_batch)`: RNG streams are per-lane and
+/// counter-derived, the forward kernels are row-independent, and shard
+/// results merge in lane order. Batch size is execution-only — it changes
+/// steps/sec, never transcripts — and the determinism suite pins this.
+pub struct BatchedRollouts {
+    lanes: Vec<Lane>,
+    runtime: Runtime,
+    telemetry: Arc<MetricsRegistry>,
+    cache: Option<Arc<DisplayCache>>,
+    max_batch: usize,
+}
+
+impl BatchedRollouts {
+    /// Build `n_lanes` lanes over `base` collected by `workers` threads
+    /// with at most `max_batch` rows per policy forward, sharing a display
+    /// cache of the default capacity.
+    pub fn new(
+        base: &DataFrame,
+        env_config: &EnvConfig,
+        n_lanes: usize,
+        base_seed: u64,
+        workers: usize,
+        max_batch: usize,
+    ) -> Self {
+        Self::with_cache_capacity(
+            base,
+            env_config,
+            n_lanes,
+            base_seed,
+            workers,
+            max_batch,
+            DEFAULT_DISPLAY_CACHE,
+        )
+    }
+
+    /// Like [`BatchedRollouts::new`] with an explicit display-cache
+    /// capacity (0 runs uncached).
+    pub fn with_cache_capacity(
+        base: &DataFrame,
+        env_config: &EnvConfig,
+        n_lanes: usize,
+        base_seed: u64,
+        workers: usize,
+        max_batch: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        let cache = (cache_capacity > 0).then(|| Arc::new(DisplayCache::new(cache_capacity)));
+        Self {
+            lanes: make_lanes(base, env_config, n_lanes, base_seed, cache.as_ref()),
+            runtime: Runtime::new(workers),
+            telemetry: atena_telemetry::global_arc(),
+            cache,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Maximum rows per batched forward.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The display cache shared by this source's lanes, if enabled.
+    pub fn display_cache(&self) -> Option<&Arc<DisplayCache>> {
+        self.cache.as_ref()
+    }
+}
+
+impl RolloutSource for BatchedRollouts {
+    fn collect(&mut self, plan: &RolloutPlan<'_>) -> (RolloutBuffer, Vec<EpisodeRecord>) {
+        let max_batch = self.max_batch;
+        let telemetry = Arc::clone(&self.telemetry);
+        let shard_results = self
+            .runtime
+            .scatter_shards(&mut self.lanes, |offset, shard| {
+                run_shard_batched(shard, offset, plan, max_batch, &telemetry)
+            });
+        for (w, fragments) in shard_results.iter().enumerate() {
+            let steps: usize = fragments.iter().map(|(b, _)| b.len()).sum();
+            self.telemetry
+                .counter(&format!("runtime.worker.{w}.steps"))
+                .add(steps as u64);
+        }
+        merge(shard_results.into_iter().flatten().collect())
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn lane_env_mut(&mut self, lane: usize) -> &mut EdaEnv {
+        &mut self.lanes[lane].env
+    }
+
+    fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        if let Some(cache) = &self.cache {
+            cache.reroute_telemetry(&registry);
+        }
+        self.telemetry = Arc::clone(&registry);
+        self.runtime = self.runtime.clone().with_telemetry(registry);
+    }
+
+    fn scatter_profile(&self) -> Option<ScatterProfile> {
+        Some(self.runtime.last_profile())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +637,57 @@ mod tests {
                 .sum();
             assert_eq!(steps, 3 * 4 * 24, "workers={workers} step accounting");
         }
+    }
+
+    #[test]
+    fn batched_source_is_bit_identical_to_serial() {
+        let (_, _, _, env_config) = fixture();
+        let frame = base();
+        let mut serial = SerialRollouts::new(&frame, &env_config, 4, 9);
+        let reference = collect_with(&mut serial, 3);
+        for max_batch in [1, 4, 8] {
+            for workers in [1, 4] {
+                let registry = Arc::new(MetricsRegistry::new());
+                let mut batched =
+                    BatchedRollouts::new(&frame, &env_config, 4, 9, workers, max_batch);
+                batched.set_telemetry(Arc::clone(&registry));
+                let transcript = collect_with(&mut batched, 3);
+                assert_eq!(
+                    transcript, reference,
+                    "batch={max_batch} workers={workers} diverged from serial"
+                );
+                let snap = registry.snapshot();
+                let steps: u64 = (0..workers)
+                    .filter_map(|w| snap.counter(&format!("runtime.worker.{w}.steps")))
+                    .sum();
+                assert_eq!(
+                    steps,
+                    3 * 4 * 24,
+                    "batch={max_batch} workers={workers} step accounting"
+                );
+                let occ = snap
+                    .histogram("batch.occupancy")
+                    .expect("occupancy recorded");
+                assert!(occ.count > 0, "no occupancy samples");
+                let lanes_per_shard = 4usize.div_ceil(workers.min(4));
+                let expect_max = lanes_per_shard.min(max_batch) as f64;
+                assert_eq!(
+                    occ.max, expect_max,
+                    "batch={max_batch} workers={workers} occupancy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_source_with_cache_off_matches_serial() {
+        let (_, _, _, env_config) = fixture();
+        let frame = base();
+        let mut serial = SerialRollouts::with_cache_capacity(&frame, &env_config, 4, 9, 0);
+        let reference = collect_with(&mut serial, 2);
+        let mut batched = BatchedRollouts::with_cache_capacity(&frame, &env_config, 4, 9, 2, 4, 0);
+        assert!(batched.display_cache().is_none());
+        assert_eq!(collect_with(&mut batched, 2), reference);
     }
 
     #[test]

@@ -9,7 +9,8 @@ use crate::policy::{ActionMapper, Policy};
 use crate::ppo::{PpoConfig, PpoLearner, UpdateStats};
 use crate::rollout::RolloutBuffer;
 use crate::source::{
-    episode_record, step_env, ParallelRollouts, RolloutPlan, RolloutSource, SerialRollouts,
+    episode_record, step_env, BatchedRollouts, ParallelRollouts, RolloutPlan, RolloutSource,
+    SerialRollouts,
 };
 use atena_dataframe::DataFrame;
 use atena_env::{EnvConfig, ResolvedOp, RewardBreakdown, RewardModel};
@@ -50,6 +51,13 @@ pub struct TrainerConfig {
     pub eval_window: usize,
     /// Master seed.
     pub seed: u64,
+    /// Rows per batched policy forward during rollouts. `0` (the default)
+    /// keeps the per-lane serial/parallel sources; `>= 1` selects the
+    /// lane-batched source, stepping each shard's lanes through one
+    /// `[lanes, obs_dim]` forward per env step, chunked at this size.
+    /// Execution-only, like `n_workers`: any value produces bit-identical
+    /// results at the same seed (DESIGN.md §4l).
+    pub batch_lanes: usize,
 }
 
 impl Default for TrainerConfig {
@@ -64,6 +72,7 @@ impl Default for TrainerConfig {
             temperature_final: 1.0,
             eval_window: 20,
             seed: 0,
+            batch_lanes: 0,
         }
     }
 }
@@ -147,7 +156,17 @@ impl Trainer {
     ) -> Self {
         let learner = PpoLearner::new(policy.as_ref(), config.ppo);
         let n_lanes = config.n_lanes.max(1);
-        let source: Box<dyn RolloutSource> = if config.n_workers <= 1 {
+        let source: Box<dyn RolloutSource> = if config.batch_lanes > 0 {
+            Box::new(BatchedRollouts::with_cache_capacity(
+                base,
+                &env_config,
+                n_lanes,
+                config.seed,
+                config.n_workers.max(1),
+                config.batch_lanes,
+                config.display_cache,
+            ))
+        } else if config.n_workers <= 1 {
             Box::new(SerialRollouts::with_cache_capacity(
                 base,
                 &env_config,
@@ -448,6 +467,10 @@ mod tests {
     }
 
     fn make_trainer(n_workers: usize, seed: u64) -> Trainer {
+        make_trainer_batched(n_workers, 0, seed)
+    }
+
+    fn make_trainer_batched(n_workers: usize, batch_lanes: usize, seed: u64) -> Trainer {
         let env_config = EnvConfig {
             episode_len: 6,
             n_bins: 5,
@@ -474,6 +497,7 @@ mod tests {
             TrainerConfig {
                 n_lanes: 2,
                 n_workers,
+                batch_lanes,
                 rollout_len: 48,
                 eval_window: 10,
                 seed,
@@ -540,6 +564,24 @@ mod tests {
         let serial = run(1);
         assert_eq!(run(2), serial);
         assert_eq!(run(4), serial);
+    }
+
+    #[test]
+    fn batch_lanes_does_not_change_results() {
+        // Lane batching joins the determinism contract: the full TrainLog
+        // is bit-identical across batch sizes and worker counts.
+        let serial = {
+            let mut t = make_trainer(1, 11);
+            format!("{:?}", t.train(192))
+        };
+        for (batch_lanes, n_workers) in [(1, 1), (2, 1), (8, 1), (2, 4), (8, 4)] {
+            let mut t = make_trainer_batched(n_workers, batch_lanes, 11);
+            assert_eq!(
+                format!("{:?}", t.train(192)),
+                serial,
+                "batch_lanes={batch_lanes} workers={n_workers} diverged"
+            );
+        }
     }
 
     #[test]

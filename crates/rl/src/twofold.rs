@@ -5,11 +5,10 @@
 //! The critic value head shares the trunk (advantage actor-critic).
 
 use crate::policy::{
-    active_heads, op_of_head_choice, sample_categorical, ActionChoice, Evaluation, Policy,
-    PolicyStep, N_HEADS,
+    active_heads, op_of_head_choice, ActionChoice, Evaluation, Policy, PolicyRow, N_HEADS,
 };
 use atena_env::HeadSizes;
-use atena_nn::{softmax_rows, Graph, Init, Linear, Mlp, NodeId, ParamSet, Tensor};
+use atena_nn::{softmax_rows, Graph, Init, Linear, MatmulError, Mlp, NodeId, ParamSet, Tensor};
 use rand::rngs::StdRng;
 
 /// Hyperparameters of the twofold network.
@@ -85,38 +84,70 @@ impl TwofoldPolicy {
         let value = self.value_head.forward(g, h);
         (logits, value)
     }
-}
 
-impl Policy for TwofoldPolicy {
-    fn act(&self, obs: &[f32], temperature: f32, rng: &mut StdRng) -> PolicyStep {
-        debug_assert_eq!(obs.len(), self.obs_dim);
+    /// The pre-batching decode engine, kept verbatim: one step through a
+    /// fresh autodiff [`Graph`], snapshotting every weight matrix onto the
+    /// tape. This is the oracle the tensor-path [`Policy::act`] /
+    /// [`Policy::forward_rows`] must reproduce bit for bit (same
+    /// probabilities, same RNG draws, same log-prob and value), and the
+    /// perf baseline the batched-inference benchmarks report speedups
+    /// against (DESIGN.md §4l).
+    pub fn act_via_graph(
+        &self,
+        obs: &[f32],
+        temperature: f32,
+        rng: &mut StdRng,
+    ) -> crate::policy::PolicyStep {
+        use crate::policy::sample_categorical;
         let mut g = Graph::new();
         let x = g.constant(Tensor::row_vector(obs.to_vec()));
         let (logits, value) = self.forward_heads(&mut g, x);
-
-        // Boltzmann exploration: sample each segment from softmax(logits/T).
         let temp = temperature.max(1e-3);
         let mut heads = [0usize; N_HEADS];
-        let mut head_probs: Vec<Vec<f32>> = Vec::with_capacity(N_HEADS);
         for (i, &node) in logits.iter().enumerate() {
             let scaled = g.scale(node, 1.0 / temp);
             let probs = softmax_rows(g.value(scaled));
-            head_probs.push(probs.row(0).to_vec());
-            heads[i] = sample_categorical(&head_probs[i], rng);
+            heads[i] = sample_categorical(probs.row(0), rng);
         }
-        // Joint log-prob under the *untempered* policy: op head plus the
-        // heads the chosen op activates.
         let op = op_of_head_choice(heads[0]);
         let mut log_prob = 0.0f32;
         for &h in active_heads(op) {
             let probs = softmax_rows(g.value(logits[h]));
             log_prob += probs.get(0, heads[h]).max(1e-10).ln();
         }
-        PolicyStep {
+        crate::policy::PolicyStep {
             choice: ActionChoice::Twofold { heads },
             log_prob,
             value: g.value(value).get(0, 0),
         }
+    }
+}
+
+impl Policy for TwofoldPolicy {
+    fn forward_rows(&self, obs: &Tensor, temperature: f32) -> Result<Vec<PolicyRow>, MatmulError> {
+        // Graph-free tensor path: no tape and no per-call weight snapshots,
+        // shared by act (B = 1) and every batched caller. Bit-identical to
+        // the graph forward because the underlying kernels are.
+        let h = self.trunk.forward_batch(obs)?;
+        // Boltzmann exploration: sampling reads softmax(logits/T); the
+        // joint log-prob reads the *untempered* softmax, as in the serial
+        // act path.
+        let inv = 1.0 / temperature.max(1e-3);
+        let mut tempered: Vec<Tensor> = Vec::with_capacity(N_HEADS);
+        let mut untempered: Vec<Tensor> = Vec::with_capacity(N_HEADS);
+        for head in &self.heads {
+            let logits = head.forward_batch(&h)?;
+            tempered.push(softmax_rows(&logits.map(|x| x * inv)));
+            untempered.push(softmax_rows(&logits));
+        }
+        let value = self.value_head.forward_batch(&h)?;
+        Ok((0..obs.rows())
+            .map(|r| PolicyRow::Twofold {
+                tempered: tempered.iter().map(|t| t.row(r).to_vec()).collect(),
+                untempered: untempered.iter().map(|t| t.row(r).to_vec()).collect(),
+                value: value.get(r, 0),
+            })
+            .collect())
     }
 
     fn evaluate(&self, g: &mut Graph, obs: &Tensor, choices: &[ActionChoice]) -> Evaluation {
@@ -233,6 +264,65 @@ mod tests {
         }
         // A fresh policy should explore all op types.
         assert_eq!(ops_seen.len(), 3);
+    }
+
+    #[test]
+    fn tensor_act_is_bit_identical_to_graph_act() {
+        use rand::Rng;
+        let p = policy();
+        let mut obs_rng = StdRng::seed_from_u64(40);
+        for trial in 0..25 {
+            let obs: Vec<f32> = (0..20).map(|_| obs_rng.gen_range(-1.0..1.0)).collect();
+            let temperature = [1.0, 0.5, 0.001, 2.0, 0.0][trial % 5];
+            let mut rng_a = StdRng::seed_from_u64(1000 + trial as u64);
+            let mut rng_b = StdRng::seed_from_u64(1000 + trial as u64);
+            let fast = p.act(&obs, temperature, &mut rng_a);
+            let slow = p.act_via_graph(&obs, temperature, &mut rng_b);
+            assert_eq!(fast.choice, slow.choice, "trial {trial} choice");
+            assert_eq!(
+                fast.log_prob.to_bits(),
+                slow.log_prob.to_bits(),
+                "trial {trial} log_prob"
+            );
+            assert_eq!(
+                fast.value.to_bits(),
+                slow.value.to_bits(),
+                "trial {trial} value"
+            );
+            // The RNGs must have been consumed identically.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "trial {trial} rng");
+        }
+    }
+
+    #[test]
+    fn forward_rows_batch_matches_single_rows() {
+        let p = policy();
+        let mut obs_rng = StdRng::seed_from_u64(41);
+        use rand::Rng;
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..20).map(|_| obs_rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut data = Vec::new();
+        for r in &rows {
+            data.extend_from_slice(r);
+        }
+        let batch = Tensor::from_vec(5, 20, data);
+        let batched = p.forward_rows(&batch, 0.7).unwrap();
+        assert_eq!(batched.len(), 5);
+        for (i, row) in rows.iter().enumerate() {
+            let single = p
+                .forward_rows(&Tensor::row_vector(row.clone()), 0.7)
+                .unwrap();
+            // PolicyRow has no PartialEq on purpose; compare via Debug,
+            // which prints full f32 precision.
+            assert_eq!(
+                format!("{:?}", single[0]),
+                format!("{:?}", batched[i]),
+                "row {i} diverged"
+            );
+        }
+        // Wrong observation width is a typed error, not a panic.
+        assert!(p.forward_rows(&Tensor::zeros(2, 19), 1.0).is_err());
     }
 
     #[test]

@@ -269,6 +269,88 @@ impl Runtime {
         results
     }
 
+    /// Apply `f` once per shard — `f(shard_start, shard_slice)` — and
+    /// return the per-shard results **in shard order**.
+    ///
+    /// Where [`Runtime::scatter`] hands a worker one item at a time, this
+    /// hands it its whole contiguous slice, letting the callee process the
+    /// shard collectively (the lane-batched rollout source steps all lanes
+    /// of a shard through one batched forward per env step). The split is
+    /// [`Runtime::shards`], so which items a shard covers — and therefore
+    /// the result layout — depends only on `(items.len(), workers)`, never
+    /// on scheduling.
+    pub fn scatter_shards<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        let shards = self.shards(items.len());
+        self.telemetry
+            .gauge("runtime.workers")
+            .set(self.workers as f64);
+        self.telemetry.counter("runtime.scatter.calls").inc();
+        if shards.len() <= 1 {
+            let n = items.len();
+            let busy = Instant::now();
+            let out = if n == 0 {
+                Vec::new()
+            } else {
+                vec![f(0, items)]
+            };
+            let busy_secs = busy.elapsed().as_secs_f64();
+            self.record_worker(0, n, busy_secs);
+            self.telemetry.histogram("runtime.merge_secs").record(0.0);
+            *self.profile.lock().expect("runtime profile poisoned") = ScatterProfile {
+                workers: vec![WorkerProfile {
+                    items: n,
+                    busy_secs,
+                }],
+                merge_secs: 0.0,
+            };
+            return out;
+        }
+
+        let mut results: Vec<R> = Vec::with_capacity(shards.len());
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = items;
+            let mut handles = Vec::with_capacity(shards.len());
+            for range in &shards {
+                let (shard, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let offset = range.start;
+                handles.push(scope.spawn(move || {
+                    let busy = Instant::now();
+                    let n = shard.len();
+                    let out = f(offset, shard);
+                    (out, n, busy.elapsed().as_secs_f64())
+                }));
+            }
+            // Join in spawn order: result w is always shard w's.
+            let fragments: Vec<(R, usize, f64)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("runtime worker panicked"))
+                .collect();
+            let merge = Instant::now();
+            let mut worker_profiles = Vec::with_capacity(fragments.len());
+            for (w, (out, items, busy_secs)) in fragments.into_iter().enumerate() {
+                self.record_worker(w, items, busy_secs);
+                worker_profiles.push(WorkerProfile { items, busy_secs });
+                results.push(out);
+            }
+            let merge_secs = merge.elapsed().as_secs_f64();
+            self.telemetry
+                .histogram("runtime.merge_secs")
+                .record(merge_secs);
+            *self.profile.lock().expect("runtime profile poisoned") = ScatterProfile {
+                workers: worker_profiles,
+                merge_secs,
+            };
+        });
+        results
+    }
+
     fn record_worker(&self, worker: usize, items: usize, busy_secs: f64) {
         let t = &self.telemetry;
         t.counter(&format!("runtime.worker.{worker}.items"))
@@ -373,6 +455,46 @@ mod tests {
                 assert!(max - min <= 1, "unbalanced shards {lens:?}");
             }
         }
+    }
+
+    #[test]
+    fn scatter_shards_covers_items_in_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 4, 8, 23, 64] {
+            let telemetry = Arc::new(MetricsRegistry::new());
+            let rt = Runtime::new(workers).with_telemetry(Arc::clone(&telemetry));
+            let mut items: Vec<u64> = (0..23).collect();
+            let fragments = rt.scatter_shards(&mut items, |offset, shard| {
+                for (i, item) in shard.iter_mut().enumerate() {
+                    // each worker sees the item the offset claims it does
+                    assert_eq!(*item, (offset + i) as u64);
+                    *item += 100;
+                }
+                (offset, shard.len())
+            });
+            // Fragments come back in shard order and tile 0..23 exactly.
+            let mut next = 0usize;
+            for &(offset, len) in &fragments {
+                assert_eq!(offset, next);
+                next += len;
+            }
+            assert_eq!(next, 23);
+            assert_eq!(fragments.len(), rt.shards(23).len());
+            // Mutations landed on the right items.
+            let expect: Vec<u64> = (100..123).collect();
+            assert_eq!(items, expect);
+            assert_eq!(telemetry.counter("runtime.scatter.calls").get(), 1);
+            let profile = rt.last_profile();
+            assert_eq!(profile.workers.len(), fragments.len());
+            assert_eq!(profile.workers.iter().map(|w| w.items).sum::<usize>(), 23);
+        }
+    }
+
+    #[test]
+    fn scatter_shards_empty_input_yields_no_fragments() {
+        let rt = Runtime::new(4).with_telemetry(Arc::new(MetricsRegistry::new()));
+        let mut items: Vec<u32> = Vec::new();
+        let out: Vec<usize> = rt.scatter_shards(&mut items, |_, shard| shard.len());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! serving many datasets through one engine composes soundly with the
 //! determinism contract.
 
+use atena_batch::{MicroBatcher, MicrobatchConfig};
 use atena_core::{Notebook, NotebookSummary, PolicyBundle};
 use atena_dataframe::DataFrame;
 use atena_env::{DisplayCache, EdaEnv};
-use atena_rl::{Policy, TwofoldPolicy};
-use atena_telemetry::SpanGuard;
+use atena_nn::Tensor;
+use atena_rl::{Policy, PolicyRow, TwofoldPolicy};
+use atena_telemetry::{MetricsRegistry, SpanGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -99,24 +101,72 @@ impl std::fmt::Display for EngineError {
 /// The shared inference state: an immutable policy plus its dataset.
 pub struct Engine {
     bundle: PolicyBundle,
-    policy: TwofoldPolicy,
+    policy: Arc<TwofoldPolicy>,
     frame: Arc<DataFrame>,
     display_cache: Arc<DisplayCache>,
+    /// Microbatch queue coalescing concurrent decode steps into one
+    /// `[B, obs_dim]` forward. `None` when batching is off (`max_batch`
+    /// ≤ 1). Batching is execution-only: responses are bit-identical
+    /// because each request samples its own RNG from its slot's
+    /// [`PolicyRow`], exactly as the serial act path would.
+    batcher: Option<Arc<MicroBatcher<PolicyRow>>>,
 }
 
 impl Engine {
     /// Build from a loaded bundle and the dataset frame it was trained on.
+    ///
+    /// Runs one probe forward over a zero observation so a bundle whose
+    /// stored weights are internally inconsistent (layer widths that don't
+    /// chain) is rejected here with a typed error instead of panicking a
+    /// worker thread on the first request.
     pub fn new(bundle: PolicyBundle, frame: DataFrame) -> Result<Self, String> {
         let policy = bundle
             .build_policy()
             .map_err(|e| format!("cannot rebuild policy from bundle: {e}"))?;
         bundle.frame_compatible(&frame)?;
+        policy
+            .forward_rows(&Tensor::zeros(1, policy.obs_dim()), DECODE_TEMPERATURE)
+            .map_err(|e| format!("bundle weights are inconsistent: {e}"))?;
         Ok(Self {
             bundle,
-            policy,
+            policy: Arc::new(policy),
             frame: Arc::new(frame),
             display_cache: Arc::new(DisplayCache::new(DISPLAY_CACHE_CAPACITY)),
+            batcher: None,
         })
+    }
+
+    /// Enable microbatched decoding: concurrent requests' per-step
+    /// forwards are coalesced into one batched pass (up to
+    /// `config.max_batch` rows, waiting at most `config.window` for
+    /// company). `max_batch` ≤ 1 leaves the serial path in place.
+    pub fn with_microbatch(mut self, config: MicrobatchConfig) -> Self {
+        if config.max_batch <= 1 {
+            self.batcher = None;
+            return self;
+        }
+        let policy = Arc::clone(&self.policy);
+        let obs_dim = policy.obs_dim();
+        self.batcher = Some(Arc::new(MicroBatcher::new(obs_dim, config, move |batch| {
+            // The load-time probe pinned the weight shapes and the queue
+            // asserts row widths, so this forward cannot fail.
+            policy
+                .forward_rows(batch, DECODE_TEMPERATURE)
+                .unwrap_or_else(|e| panic!("probed policy rejected batch: {e}"))
+        })));
+        self
+    }
+
+    /// The microbatch queue, when batching is enabled.
+    pub fn batcher(&self) -> Option<&Arc<MicroBatcher<PolicyRow>>> {
+        self.batcher.as_ref()
+    }
+
+    /// Point the engine's batch metrics at an explicit registry.
+    pub fn reroute_telemetry(&self, registry: &Arc<MetricsRegistry>) {
+        if let Some(b) = &self.batcher {
+            b.reroute_telemetry(registry);
+        }
     }
 
     /// The display cache shared across this engine's decode requests.
@@ -238,7 +288,10 @@ impl Engine {
         let mut rng = StdRng::seed_from_u64(request.seed);
         while !env.done() {
             let obs = env.observation();
-            let step = {
+            let step = if let Some(batcher) = &self.batcher {
+                let _s = parent.map(|p| p.child("nn.forward_batched"));
+                batcher.submit(obs).sample(&mut rng)
+            } else {
                 let _s = parent.map(|p| p.child("nn.forward"));
                 self.policy.act(&obs, DECODE_TEMPERATURE, &mut rng)
             };
@@ -310,6 +363,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_decode_is_bit_identical_to_serial() {
+        let serial = engine();
+        let batched = engine().with_microbatch(MicrobatchConfig {
+            max_batch: 8,
+            window: std::time::Duration::from_micros(50),
+        });
+        assert!(batched.batcher().is_some());
+        for seed in [0u64, 7, 11] {
+            let req = serial.validate("tiny", Some(4), Some(seed)).unwrap();
+            let a = serial.decode(&req);
+            let b = batched.decode(&req);
+            assert_eq!(
+                serde_json::to_string(&a.notebook).unwrap(),
+                serde_json::to_string(&b.notebook).unwrap(),
+                "seed {seed} diverged under batching"
+            );
+        }
+        // max_batch ≤ 1 keeps the serial path (no queue to wait on).
+        let off = engine().with_microbatch(MicrobatchConfig {
+            max_batch: 1,
+            window: std::time::Duration::from_secs(5),
+        });
+        assert!(off.batcher().is_none());
+    }
+
+    #[test]
     fn validate_rejects_wrong_dataset_and_bad_lengths() {
         let e = engine();
         assert!(matches!(
@@ -371,9 +450,7 @@ mod tests {
             serde_json::to_string(&b.notebook).unwrap()
         );
         // An incompatible shape is rejected before any decode.
-        let narrow = Arc::new(
-            DataFrame::from_csv_str("only\n1\n2\n").unwrap(),
-        );
+        let narrow = Arc::new(DataFrame::from_csv_str("only\n1\n2\n").unwrap());
         assert!(matches!(
             e.validate_for_frame("ds-bad", &narrow, None, None),
             Err(EngineError::IncompatibleDataset(_))

@@ -69,9 +69,11 @@ impl Request {
 
     /// First value for `key` in the query string (raw, not percent-decoded).
     pub fn query_get(&self, key: &str) -> Option<&str> {
-        self.query()
-            .split('&')
-            .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
+        self.query().split('&').find_map(|kv| {
+            kv.split_once('=')
+                .filter(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+        })
     }
 }
 
@@ -560,7 +562,10 @@ mod tests {
             "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip, Chunked\r\nContent-Length: 3\r\n\r\nabc",
             4096,
         ));
-        assert_eq!(r.read_request().unwrap_err(), ParseError::ChunkedUnsupported);
+        assert_eq!(
+            r.read_request().unwrap_err(),
+            ParseError::ChunkedUnsupported
+        );
     }
 
     #[test]
@@ -568,11 +573,9 @@ mod tests {
         let upload = "POST /v1/datasets HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
         let body = "x".repeat(2048);
         // Default cap would refuse this body; the route cap admits it.
-        let mut r = RequestReader::with_max_body(
-            Chunked::new(format!("{upload}{body}"), 4096),
-            1024,
-        )
-        .with_route_cap("/v1/datasets", 4096);
+        let mut r =
+            RequestReader::with_max_body(Chunked::new(format!("{upload}{body}"), 4096), 1024)
+                .with_route_cap("/v1/datasets", 4096);
         let req = r.read_request().unwrap();
         assert_eq!(req.body.len(), 2048);
         // The route cap also tightens: a huge declared Content-Length on
@@ -593,7 +596,10 @@ mod tests {
         );
         // Other routes keep the default cap.
         let mut r = RequestReader::with_max_body(
-            Chunked::new("POST /v1/notebook HTTP/1.1\r\nContent-Length: 2048\r\n\r\n", 4096),
+            Chunked::new(
+                "POST /v1/notebook HTTP/1.1\r\nContent-Length: 2048\r\n\r\n",
+                4096,
+            ),
             1024,
         )
         .with_route_cap("/v1/datasets", 4096);

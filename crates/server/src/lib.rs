@@ -84,6 +84,14 @@ pub struct ServerConfig {
     pub registry: RegistryConfig,
     /// Per-tenant admission control for mutating requests.
     pub tenant_limits: TenantLimits,
+    /// Rows per microbatched decode forward: concurrent requests' decode
+    /// steps are coalesced into one `[B, obs_dim]` pass. `1` (the
+    /// default) disables the queue. Execution-only — responses are
+    /// bit-identical at any batch size (DESIGN.md §4l).
+    pub max_batch: usize,
+    /// How long the first decode step of a batch waits for company before
+    /// a timeout flush.
+    pub batch_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +105,8 @@ impl Default for ServerConfig {
             slow_threshold: Duration::from_millis(500),
             registry: RegistryConfig::default(),
             tenant_limits: TenantLimits::default(),
+            max_batch: 1,
+            batch_window: Duration::from_micros(200),
         }
     }
 }
@@ -185,6 +195,11 @@ impl Server {
         telemetry: Arc<MetricsRegistry>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let engine = engine.with_microbatch(atena_batch::MicrobatchConfig {
+            max_batch: config.max_batch,
+            window: config.batch_window,
+        });
+        engine.reroute_telemetry(&telemetry);
         let registry = Arc::new(DatasetRegistry::new(config.registry));
         registry.reroute_telemetry(&telemetry);
         // The bundle's baked-in dataset is pinned: always resolvable by id,
@@ -710,7 +725,10 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
             return fail(404, "Not Found", &format!("dataset {id} not found"));
         };
         let name = dataset.unwrap_or(&info.name);
-        match state.engine.validate_for_frame(name, &frame, episode_len, seed) {
+        match state
+            .engine
+            .validate_for_frame(name, &frame, episode_len, seed)
+        {
             Ok(v) => (frame, v),
             Err(e @ EngineError::IncompatibleDataset(_)) => {
                 return fail(409, "Conflict", &e.to_string());

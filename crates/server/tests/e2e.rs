@@ -627,7 +627,10 @@ fn dataset_upload_notebook_delete_lifecycle_over_http() {
     );
     assert_eq!(status, 201, "{body}");
     let uploaded: serde_json::Value = serde_json::from_str(&body).unwrap();
-    let id = uploaded["dataset"]["dataset_id"].as_str().unwrap().to_string();
+    let id = uploaded["dataset"]["dataset_id"]
+        .as_str()
+        .unwrap()
+        .to_string();
     assert!(id.starts_with("ds-") && id.len() == 19, "id: {id}");
     assert_eq!(uploaded["dataset"]["name"].as_str(), Some("mycsv"));
     assert_eq!(uploaded["dataset"]["rows"].as_u64(), Some(40));
@@ -681,7 +684,10 @@ fn dataset_upload_notebook_delete_lifecycle_over_http() {
         addr,
         "POST",
         "/v1/notebook",
-        &[("X-Atena-Tenant", "alice"), ("Content-Type", "application/json")],
+        &[
+            ("X-Atena-Tenant", "alice"),
+            ("Content-Type", "application/json"),
+        ],
         &request_body,
     );
     assert_eq!(status, 200, "{served}");
@@ -692,7 +698,10 @@ fn dataset_upload_notebook_delete_lifecycle_over_http() {
         .unwrap();
     let expected =
         serde_json::to_string(&offline.decode_with_frame(&frame, &validated, None)).unwrap();
-    assert_eq!(served, expected, "served notebook differs from offline decode");
+    assert_eq!(
+        served, expected,
+        "served notebook differs from offline decode"
+    );
 
     // 5. Repeat request: response-cache hit, still byte-identical.
     let (status, headers, again) = request_with(
@@ -709,9 +718,8 @@ fn dataset_upload_notebook_delete_lifecycle_over_http() {
     // 6. The baked-in dataset stays addressable both ways: by name and by
     //    its pinned dataset id, producing the same notebook bytes.
     let by_name = post_notebook(addr, r#"{"dataset":"tiny","episode_len":3,"seed":5}"#).2;
-    let by_id_body = format!(
-        r#"{{"dataset_id":"{pinned_id}","dataset":"tiny","episode_len":3,"seed":5}}"#
-    );
+    let by_id_body =
+        format!(r#"{{"dataset_id":"{pinned_id}","dataset":"tiny","episode_len":3,"seed":5}}"#);
     let by_id = request_with(addr, "POST", "/v1/notebook", &[], &by_id_body).2;
     assert_eq!(by_name, by_id);
 
@@ -743,7 +751,13 @@ fn dataset_upload_notebook_delete_lifecycle_over_http() {
     assert_eq!(status, 404);
     let (status, _, body) = request_with(addr, "POST", "/v1/notebook", &[], &request_body);
     assert_eq!(status, 404, "deleted dataset must not decode: {body}");
-    let (status, _, _) = request_with(addr, "DELETE", &format!("/v1/datasets/{pinned_id}"), &[], "");
+    let (status, _, _) = request_with(
+        addr,
+        "DELETE",
+        &format!("/v1/datasets/{pinned_id}"),
+        &[],
+        "",
+    );
     assert_eq!(status, 409);
     let (status, _, _) = request_with(addr, "GET", "/v1/datasets/ds-0000000000000000", &[], "");
     assert_eq!(status, 404);
@@ -1004,6 +1018,77 @@ fn tenant_admission_throttles_hog_not_others() {
     assert!(m["counters"]["server.http.throttled"].as_u64().unwrap() >= 1);
 
     handle.shutdown();
+}
+
+#[test]
+fn microbatched_server_responses_match_serial_server() {
+    // The batching half of the determinism contract over real sockets: a
+    // server coalescing concurrent decode steps into batched forwards
+    // returns byte-identical notebook JSON to an unbatched server, and
+    // surfaces the batch telemetry.
+    let bundle = tiny_bundle();
+    let spawn = |max_batch: usize| {
+        let engine = Engine::new(bundle.clone(), base()).unwrap();
+        let telemetry = Arc::new(atena_telemetry::MetricsRegistry::new());
+        let server = Server::bind_with_telemetry(
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 4,
+                cache_size: 0, // force every request through the decoder
+                max_batch,
+                batch_window: Duration::from_millis(2),
+                ..Default::default()
+            },
+            engine,
+            Arc::clone(&telemetry),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        (server.spawn().unwrap(), addr, telemetry)
+    };
+    let (serial_handle, serial_addr, _) = spawn(1);
+    let (batched_handle, batched_addr, batched_telemetry) = spawn(8);
+
+    let seeds: Vec<u64> = (0..8).collect();
+    let serial: Vec<String> = seeds
+        .iter()
+        .map(|s| {
+            let body = format!(r#"{{"dataset":"tiny","episode_len":4,"seed":{s}}}"#);
+            let (status, _, resp) = post_notebook(serial_addr, &body);
+            assert_eq!(status, 200, "{resp}");
+            resp
+        })
+        .collect();
+    // Hit the batched server with all seeds concurrently so decode steps
+    // actually share flushes.
+    let clients: Vec<_> = seeds
+        .iter()
+        .map(|&s| {
+            std::thread::spawn(move || {
+                let body = format!(r#"{{"dataset":"tiny","episode_len":4,"seed":{s}}}"#);
+                let (status, _, resp) = post_notebook(batched_addr, &body);
+                assert_eq!(status, 200, "{resp}");
+                resp
+            })
+        })
+        .collect();
+    let batched: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert_eq!(batched, serial, "batched responses diverged from serial");
+
+    let snap = batched_telemetry.snapshot();
+    let occupancy = snap
+        .histogram("batch.occupancy")
+        .expect("batched server records occupancy");
+    assert!(occupancy.count > 0);
+    let flushes = snap.counter("batch.flush.full").unwrap_or(0)
+        + snap.counter("batch.flush.timeout").unwrap_or(0);
+    assert_eq!(flushes, occupancy.count, "one occupancy sample per flush");
+    assert!(
+        snap.histogram("batch.queue_wait_us").is_some(),
+        "queue-wait histogram missing"
+    );
+    serial_handle.shutdown();
+    batched_handle.shutdown();
 }
 
 #[test]
