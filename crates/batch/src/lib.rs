@@ -28,11 +28,12 @@
 //! Telemetry (per flush): `batch.occupancy` and `batch.queue_wait_us`
 //! histograms, `batch.flush.full` / `batch.flush.timeout` counters.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use atena_nn::Tensor;
 use atena_telemetry::MetricsRegistry;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Microbatch queue tunables.
@@ -150,6 +151,11 @@ struct BatchCell<R> {
 /// the forward once outside all locks and wakes the others.
 ///
 /// Lock order is always `open` → `cell.state`, never the reverse.
+///
+/// Lock poisoning is recovered, not propagated: every guard under these
+/// locks is a plain value snapshot that is valid wherever a writer
+/// panicked, and pooled workers sharing a batcher must not turn one
+/// panicked peer into a cascade of poisoned-lock panics.
 pub struct MicroBatcher<R> {
     open: Mutex<Option<Arc<BatchCell<R>>>>,
     forward: Box<dyn Fn(&Tensor) -> Vec<R> + Send + Sync>,
@@ -182,7 +188,7 @@ impl<R: Send> MicroBatcher<R> {
     /// Point batch metrics at an explicit registry (servers route them to
     /// their per-instance registry; tests isolate themselves).
     pub fn reroute_telemetry(&self, registry: &Arc<MetricsRegistry>) {
-        *self.telemetry.write().expect("telemetry lock poisoned") = Arc::clone(registry);
+        *self.telemetry.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(registry);
     }
 
     /// The configured flush policy.
@@ -213,10 +219,10 @@ impl<R: Send> MicroBatcher<R> {
             };
             return self.flush(&cell, vec![row], vec![enqueued], 0, true);
         }
-        let mut open = self.open.lock().expect("open lock poisoned");
+        let mut open = self.open.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(cell) = open.clone() {
             // Join the open batch as a follower.
-            let mut st = cell.state.lock().expect("cell lock poisoned");
+            let mut st = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
             let idx = st.rows.len();
             st.rows.push(row);
             st.enqueued.push(enqueued);
@@ -250,7 +256,7 @@ impl<R: Send> MicroBatcher<R> {
         drop(open);
 
         let deadline = enqueued + self.config.window;
-        let mut st = cell.state.lock().expect("cell lock poisoned");
+        let mut st = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if st.closed {
                 // A follower filled the batch and is flushing it.
@@ -263,14 +269,14 @@ impl<R: Send> MicroBatcher<R> {
             st = cell
                 .cond
                 .wait_timeout(st, deadline - now)
-                .expect("cell lock poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
         // Window elapsed: detach from `open` (respecting open → cell lock
         // order) and flush whatever joined.
         drop(st);
-        let mut open = self.open.lock().expect("open lock poisoned");
-        let st = cell.state.lock().expect("cell lock poisoned");
+        let mut open = self.open.lock().unwrap_or_else(PoisonError::into_inner);
+        let st = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.closed {
             // Lost the race to a follower that filled the batch just now.
             drop(open);
@@ -300,7 +306,7 @@ impl<R: Send> MicroBatcher<R> {
     ) -> R {
         let flushed = Instant::now();
         {
-            let t = self.telemetry.read().expect("telemetry lock poisoned");
+            let t = self.telemetry.read().unwrap_or_else(PoisonError::into_inner);
             t.counter(if full {
                 "batch.flush.full"
             } else {
@@ -322,8 +328,9 @@ impl<R: Send> MicroBatcher<R> {
             results.len(),
             rows.len()
         );
+        // atena-lint: allow(panic-path) — gather() placed exactly one result per joined row
         let mine = results[my_idx].take().expect("own result present");
-        let mut st = cell.state.lock().expect("cell lock poisoned");
+        let mut st = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.results = Some(results);
         drop(st);
         cell.cond.notify_all();
@@ -338,9 +345,10 @@ impl<R: Send> MicroBatcher<R> {
     ) -> R {
         loop {
             if let Some(results) = st.results.as_mut() {
+                // atena-lint: allow(panic-path) — each member owns a distinct slot, taken once
                 return results[idx].take().expect("result taken exactly once");
             }
-            st = cell.cond.wait(st).expect("cell lock poisoned");
+            st = cell.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }

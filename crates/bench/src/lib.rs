@@ -8,6 +8,8 @@
 //! result (baseline ordering, convergence ranking). Scale up with the
 //! `ATENA_TRAIN_STEPS` environment variable.
 
+#![forbid(unsafe_code)]
+
 use atena_core::{Atena, AtenaConfig, GenerationResult, Notebook, Strategy};
 use atena_data::{simulate_traces, ExperimentalDataset, TraceConfig};
 use atena_env::EnvConfig;

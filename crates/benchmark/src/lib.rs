@@ -14,6 +14,7 @@
 //! - a **simulated rater** producing 1–7 ratings on the four Figure 4a
 //!   criteria from measurable notebook properties.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod edasim;

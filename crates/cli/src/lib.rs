@@ -22,6 +22,7 @@
 //! Parsing is hand-rolled (the option surface is tiny) and fully unit
 //! tested; the binary is a thin `main` over [`run`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use atena_core::{Atena, AtenaConfig, Strategy};

@@ -21,6 +21,7 @@
 //! [`Strategy`], so every Table 2 / Figure 4 / Figure 5 system is generated
 //! through the same entry point.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atena;

@@ -16,6 +16,7 @@
 //!   goal-directed-but-uncurated character of the recorded sessions the
 //!   paper replays.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cyber;

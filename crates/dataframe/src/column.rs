@@ -8,7 +8,8 @@
 use crate::error::{DataFrameError, Result};
 use crate::value::{DType, Value, ValueKey, ValueRef};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+// atena-lint: allow(hash-order) — HashMap below is the lookup-only dictionary index
+use std::collections::{BTreeMap, HashMap};
 
 /// Dictionary-encoded string column.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -16,6 +17,7 @@ pub struct StrColumn {
     codes: Vec<Option<u32>>,
     dict: Vec<String>,
     #[serde(skip)]
+    // atena-lint: allow(hash-order) — string→code lookups only; dictionary order lives in `dict`
     index: HashMap<String, u32>,
 }
 
@@ -85,7 +87,9 @@ impl StrColumn {
     pub fn take(&self, rows: &[usize]) -> StrColumn {
         let mut out = StrColumn::new();
         out.codes.reserve(rows.len());
-        // Remap old codes to new compacted codes lazily.
+        // Remap old codes to new compacted codes lazily. Compacted code
+        // assignment follows `rows` order via the entry API, never map order.
+        // atena-lint: allow(hash-order) — lookup-only remap table
         let mut remap: HashMap<u32, u32> = HashMap::new();
         for &r in rows {
             match self.codes[r] {
@@ -275,7 +279,7 @@ impl Column {
     /// Frequency of each distinct non-null value.
     ///
     /// For string columns this runs over dictionary codes and is O(n).
-    pub fn value_counts(&self) -> HashMap<ValueKey, usize> {
+    pub fn value_counts(&self) -> BTreeMap<ValueKey, usize> {
         match self {
             Column::Str(v) => {
                 let mut code_counts = vec![0usize; v.dict.len()];
@@ -290,7 +294,7 @@ impl Column {
                     .collect()
             }
             _ => {
-                let mut counts = HashMap::new();
+                let mut counts = BTreeMap::new();
                 for i in 0..self.len() {
                     let v = self.get(i);
                     if !v.is_null() {

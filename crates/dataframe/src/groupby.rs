@@ -11,6 +11,7 @@ use crate::frame::DataFrame;
 use crate::schema::{AttrRole, Field};
 use crate::value::{DType, Value, ValueKey};
 use serde::{Deserialize, Serialize};
+// atena-lint: allow(hash-order) — HashMap below is a lookup-only group index
 use std::collections::HashMap;
 use std::fmt;
 
@@ -133,6 +134,9 @@ impl DataFrame {
             key_cols.push(self.column(k)?);
         }
         let mut order: Vec<Vec<ValueKey>> = Vec::new();
+        // Group emission order is first-appearance order, tracked in `order`;
+        // the map is only ever probed by exact key, never iterated.
+        // atena-lint: allow(hash-order) — lookup-only group index
         let mut index: HashMap<Vec<ValueKey>, usize> = HashMap::new();
         let mut rows_per_group: Vec<Vec<usize>> = Vec::new();
         for row in 0..self.n_rows() {

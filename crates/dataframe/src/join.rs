@@ -7,6 +7,7 @@ use crate::error::{DataFrameError, Result};
 use crate::frame::DataFrame;
 use crate::schema::Field;
 use crate::value::ValueKey;
+// atena-lint: allow(hash-order) — HashMap below is a lookup-only probe index
 use std::collections::HashMap;
 
 /// Join variants.
@@ -40,7 +41,9 @@ impl DataFrame {
             });
         }
 
-        // Build the hash index over the right side.
+        // Build the hash index over the right side. Output row order is
+        // driven by the left-side probe loop; the index is never iterated.
+        // atena-lint: allow(hash-order) — lookup-only probe index
         let mut index: HashMap<ValueKey, Vec<usize>> = HashMap::new();
         for r in 0..other.n_rows() {
             let v = right_col.get(r);

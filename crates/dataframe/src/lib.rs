@@ -30,6 +30,7 @@
 //! assert_eq!(by_airline.n_rows(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod column;

@@ -14,7 +14,7 @@
 
 use crate::stats::{ColumnStats, ValueDistribution};
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -26,14 +26,14 @@ pub struct FrameMemo {
     /// Statistics for every column in schema order ([`crate::DataFrame::all_column_stats`]).
     pub(crate) stats: OnceLock<Vec<ColumnStats>>,
     /// Value distributions by column name ([`crate::DataFrame::value_distribution_shared`]).
-    pub(crate) distributions: Mutex<HashMap<String, Arc<ValueDistribution>>>,
+    pub(crate) distributions: Mutex<BTreeMap<String, Arc<ValueDistribution>>>,
     /// Content fingerprint ([`crate::DataFrame::fingerprint`]).
     pub(crate) fingerprint: OnceLock<u64>,
     /// Caller-defined derived values keyed by (parameter hash, type)
     /// ([`crate::DataFrame::memo_extension`]). Lets downstream crates hang
     /// their own pure-function-of-the-frame caches off the shared memo
     /// without this crate knowing their types.
-    pub(crate) extensions: Mutex<HashMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>>,
+    pub(crate) extensions: Mutex<BTreeMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>>,
 }
 
 impl fmt::Debug for FrameMemo {

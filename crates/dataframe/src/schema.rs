@@ -95,7 +95,7 @@ pub struct Schema {
 impl Schema {
     /// Create a schema from fields, rejecting duplicate names.
     pub fn new(fields: Vec<Field>) -> Result<Self> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for f in &fields {
             if !seen.insert(f.name.as_str()) {
                 return Err(DataFrameError::DuplicateColumn(f.name.clone()));

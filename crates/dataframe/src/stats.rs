@@ -6,7 +6,7 @@ use crate::column::Column;
 use crate::error::Result;
 use crate::frame::DataFrame;
 use crate::value::ValueKey;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Descriptive statistics of a single column, as consumed by the
@@ -80,12 +80,12 @@ pub fn entropy_of_counts<'a, I: IntoIterator<Item = &'a usize>>(counts: I) -> f6
 /// used by the KL-divergence interestingness reward for filters.
 #[derive(Debug, Clone, Default)]
 pub struct ValueDistribution {
-    probs: HashMap<ValueKey, f64>,
+    probs: BTreeMap<ValueKey, f64>,
 }
 
 impl ValueDistribution {
     /// Build from value counts.
-    pub fn from_counts(counts: &HashMap<ValueKey, usize>) -> Self {
+    pub fn from_counts(counts: &BTreeMap<ValueKey, usize>) -> Self {
         let total: usize = counts.values().sum();
         if total == 0 {
             return Self::default();
@@ -124,12 +124,11 @@ impl ValueDistribution {
         if self.is_empty() {
             return 0.0;
         }
-        // Sort terms so the float accumulation order is independent of
-        // hash-map iteration order (bit-exact reward reproducibility).
-        let mut entries: Vec<(&ValueKey, f64)> = self.probs.iter().map(|(k, &p)| (k, p)).collect();
-        entries.sort_by(|a, b| a.0.cmp(b.0));
+        // BTreeMap iterates in key order, so the float accumulation order
+        // is deterministic by construction (bit-exact reward reproducibility;
+        // this used to sort a HashMap's entries before accumulating).
         let mut kl = 0.0;
-        for (k, p) in entries {
+        for (k, &p) in &self.probs {
             if p <= 0.0 {
                 continue;
             }
@@ -367,7 +366,7 @@ mod tests {
 
     #[test]
     fn kl_divergence_identical_is_zero() {
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert(ValueKey::Int(1), 5usize);
         c.insert(ValueKey::Int(2), 5usize);
         let d = ValueDistribution::from_counts(&c);
@@ -376,12 +375,12 @@ mod tests {
 
     #[test]
     fn kl_divergence_detects_shift() {
-        let mut base = HashMap::new();
+        let mut base = BTreeMap::new();
         base.insert(ValueKey::Int(1), 50usize);
         base.insert(ValueKey::Int(2), 50usize);
         let p_base = ValueDistribution::from_counts(&base);
 
-        let mut skew = HashMap::new();
+        let mut skew = BTreeMap::new();
         skew.insert(ValueKey::Int(1), 99usize);
         skew.insert(ValueKey::Int(2), 1usize);
         let p_skew = ValueDistribution::from_counts(&skew);
@@ -392,7 +391,7 @@ mod tests {
 
     #[test]
     fn kl_divergence_missing_support_is_finite() {
-        let mut a = HashMap::new();
+        let mut a = BTreeMap::new();
         a.insert(ValueKey::Str("only-here".into()), 10usize);
         let pa = ValueDistribution::from_counts(&a);
         let empty = ValueDistribution::default();

@@ -5,7 +5,7 @@ use atena_dataframe::{
     ValueKey,
 };
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn int_frame(values: Vec<Option<i64>>, cats: Vec<u8>) -> DataFrame {
     let n = values.len().min(cats.len());
@@ -125,7 +125,7 @@ proptest! {
     fn kl_nonnegative(counts_p in prop::collection::vec(1usize..100, 1..20),
                       counts_q in prop::collection::vec(1usize..100, 1..20)) {
         let to_dist = |cs: &[usize]| {
-            let map: HashMap<ValueKey, usize> =
+            let map: BTreeMap<ValueKey, usize> =
                 cs.iter().enumerate().map(|(i, &c)| (ValueKey::Int(i as i64), c)).collect();
             ValueDistribution::from_counts(&map)
         };
@@ -175,6 +175,48 @@ proptest! {
                 }
                 None => seen_null = true,
             }
+        }
+    }
+
+    /// Row permutation invariance: `value_counts` iterates in `ValueKey`
+    /// order (BTreeMap) and distributions/KL are bit-identical regardless
+    /// of the order rows arrived in — the property the hash-order lint
+    /// rule exists to protect.
+    #[test]
+    fn value_counts_order_is_row_permutation_invariant(
+        values in prop::collection::vec(prop::option::of(-8i64..8), 2..80),
+        cats in prop::collection::vec(any::<u8>(), 2..80),
+        rotate in 1usize..40,
+    ) {
+        let df = int_frame(values.clone(), cats.clone());
+        let n = df.n_rows();
+        let rows: Vec<usize> = (0..n).map(|r| (r + rotate) % n).collect();
+        let permuted = df.take(&rows);
+
+        for col in ["x", "cat"] {
+            let a = df.column(col).unwrap().value_counts();
+            let b = permuted.column(col).unwrap().value_counts();
+            // Same multiset of counts, and iteration yields sorted keys.
+            prop_assert_eq!(&a, &b);
+            let keys: Vec<&ValueKey> = a.keys().collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            prop_assert_eq!(keys, sorted);
+
+            // Distributions built from the two orderings are bit-identical:
+            // same support, same probability bits, same KL against a shared
+            // reference.
+            let da = ValueDistribution::from_counts(&a);
+            let db = ValueDistribution::from_counts(&b);
+            prop_assert_eq!(da.support_size(), db.support_size());
+            for k in a.keys() {
+                prop_assert_eq!(da.prob(k).to_bits(), db.prob(k).to_bits());
+            }
+            let reference = ValueDistribution::from_counts(&df.column(col).unwrap().value_counts());
+            prop_assert_eq!(
+                da.kl_divergence(&reference).to_bits(),
+                db.kl_divergence(&reference).to_bits()
+            );
         }
     }
 }

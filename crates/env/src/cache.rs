@@ -21,6 +21,7 @@ use crate::display::{Display, DisplaySpec};
 use atena_dataframe::StableHasher;
 use atena_runtime::Sharded;
 use atena_telemetry::MetricsRegistry;
+// atena-lint: allow(hash-order) — HashMap below backs the LRU's key→slot lookups
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,9 @@ struct Entry<K, V> {
 /// server's response cache (re-exported there), so eviction semantics are
 /// identical across the two.
 pub struct LruCache<K, V> {
+    // Keys are only ever probed; recency order lives in the intrusive list
+    // and eviction order is therefore independent of map iteration order.
+    // atena-lint: allow(hash-order) — lookup-only key→slot map
     map: HashMap<K, usize>,
     slab: Vec<Entry<K, V>>,
     /// Most recently used slot.
@@ -58,6 +62,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Create with room for `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> Self {
         Self {
+            // atena-lint: allow(hash-order) — lookup-only key→slot map
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
             head: NIL,
@@ -346,6 +351,7 @@ impl DisplayCache {
         // clock reads plus a shared-histogram lock); sample 1 in
         // LOOKUP_SAMPLE instead. Counters stay exact.
         let tick = self.lookup_tick.fetch_add(1, Ordering::Relaxed);
+        // atena-lint: allow(wall-clock) — sampled latency telemetry; never affects results
         let start = (tick % Self::LOOKUP_SAMPLE == 0).then(Instant::now);
         let key = display_key(dataset_fingerprint, spec);
         let found = self.shards.with(key, |shard| {

@@ -563,6 +563,7 @@ impl EdaEnv {
 
     /// Resolve, preview, and commit in one call (the plain RL interface).
     pub fn step(&mut self, action: &EdaAction) -> Transition {
+        // atena-lint: allow(wall-clock) — step-latency telemetry; never affects results
         let start = std::time::Instant::now();
         let op = self.resolve(action);
         let preview = self.preview(&op);
@@ -573,6 +574,7 @@ impl EdaEnv {
 
     /// Step with an explicit-term flat action (OTS-DRL baseline).
     pub fn step_flat_term(&mut self, action: &FlatTermAction) -> Transition {
+        // atena-lint: allow(wall-clock) — step-latency telemetry; never affects results
         let start = std::time::Instant::now();
         let op = self.resolve_flat_term(action);
         let preview = self.preview(&op);

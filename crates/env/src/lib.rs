@@ -16,6 +16,7 @@
 //!   step pipeline that supports both RL training and greedy lookahead
 //!   baselines, and a [`RewardModel`] trait implemented by `atena-reward`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod action;

@@ -1,0 +1,175 @@
+//! `atena-lint` CLI — see `atena-lint help`.
+//!
+//! Exit codes: 0 = clean (no new findings), 1 = new findings, 2 = usage or
+//! I/O error. `--write-baseline` regenerates the ratchet and exits 0.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use atena_lint::{check_workspace, find_workspace_root, Baseline, Config, Rule};
+
+const USAGE: &str = "\
+atena-lint — determinism & soundness static analysis for the ATENA workspace
+
+USAGE:
+    atena-lint check [--root <dir>] [--baseline <file>] [--format text|json]
+                     [--write-baseline] [--metrics-out <file>]
+    atena-lint rules
+    atena-lint help
+
+OPTIONS (check):
+    --root <dir>         workspace root (default: nearest [workspace] Cargo.toml)
+    --baseline <file>    ratchet baseline (default: <root>/lint-baseline.json)
+    --format text|json   report format (default: text)
+    --write-baseline     regenerate the baseline from current findings, exit 0
+    --metrics-out <file> emit lint.* counters as JSONL telemetry
+                         (also honors ATENA_METRICS_OUT)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for r in Rule::ALL {
+                println!("{:<16} {}", r.id(), r.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("atena-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut write_baseline = false;
+    let mut metrics_out: Option<PathBuf> = std::env::var_os("ATENA_METRICS_OUT").map(Into::into);
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        macro_rules! value {
+            () => {
+                match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("atena-lint: {arg} requires a value\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(value!())),
+            "--baseline" => baseline_path = Some(PathBuf::from(value!())),
+            "--format" => format = value!().clone(),
+            "--write-baseline" => write_baseline = true,
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value!())),
+            other => {
+                eprintln!("atena-lint: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !matches!(format.as_str(), "text" | "json") {
+        eprintln!("atena-lint: --format must be text or json");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("atena-lint: could not locate a [workspace] Cargo.toml; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("atena-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        // Missing baseline = empty ratchet: every finding counts as new.
+        Err(_) => Baseline::default(),
+    };
+
+    let config = Config::workspace_default();
+    let report = match check_workspace(&root, &config, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("atena-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        // Regenerate from scratch: re-run with an empty ratchet so previously
+        // baselined findings are counted again rather than dropped.
+        let fresh = match check_workspace(&root, &config, &Baseline::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("atena-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let regenerated = Baseline::from_report(&fresh);
+        if let Err(e) = std::fs::write(&baseline_path, regenerated.to_json()) {
+            eprintln!("atena-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "atena-lint: wrote {} ({} entries)",
+            baseline_path.display(),
+            regenerated.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.render_text()),
+    }
+
+    if let Some(path) = metrics_out {
+        let registry = atena_telemetry::global();
+        if let Err(e) = registry.set_jsonl_sink(&path) {
+            eprintln!("atena-lint: cannot open metrics sink {}: {e}", path.display());
+        } else {
+            use atena_lint::Status;
+            registry.counter("lint.findings_total").add(report.findings.len() as u64);
+            registry.counter("lint.findings_new").add(report.count(Status::New) as u64);
+            registry
+                .counter("lint.findings_allowed")
+                .add(report.count(Status::Allowed) as u64);
+            registry
+                .counter("lint.findings_baselined")
+                .add(report.count(Status::Baselined) as u64);
+            registry.counter("lint.rules_checked").add(Rule::ALL.len() as u64);
+            registry.counter("lint.files_scanned").add(report.files_scanned as u64);
+            registry.flush();
+        }
+    }
+
+    if report.new_findings().next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

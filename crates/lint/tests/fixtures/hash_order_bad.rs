@@ -1,0 +1,16 @@
+//! Fixture: hash-order violations in a semantic crate.
+//! Scanned by the golden tests under a fake `crates/env/src/` path; this
+//! file is never compiled.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn leaky_iteration() -> Vec<String> {
+    let mut m: HashMap<String, u64> = HashMap::new();
+    m.insert("a".into(), 1);
+    m.iter().map(|(k, _)| k.clone()).collect()
+}
+
+pub fn set_in_signature(s: &HashSet<u32>) -> usize {
+    s.len()
+}

@@ -1,0 +1,33 @@
+//! Fixture: the clean counterparts — BTreeMap, an annotated lookup-only
+//! HashMap, and a HashMap confined to a test module.
+
+use std::collections::BTreeMap;
+// atena-lint: allow(hash-order) — lookup-only index, never iterated
+use std::collections::HashMap;
+
+pub fn ordered_iteration() -> Vec<String> {
+    let mut m: BTreeMap<String, u64> = BTreeMap::new();
+    m.insert("a".into(), 1);
+    m.iter().map(|(k, _)| k.clone()).collect()
+}
+
+// atena-lint: allow(hash-order) — probe by key, no iteration
+pub fn probe_only(index: &HashMap<String, usize>, key: &str) -> Option<usize> {
+    index.get(key).copied()
+}
+
+pub fn mentions_in_strings() -> &'static str {
+    "HashMap and HashSet inside a string literal are not code"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_tier_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: panics and unguarded indexing in a pooled request path.
+//! Scanned under a fake `crates/server/src/http.rs` path.
+
+pub fn handle(results: Vec<Option<u32>>, my_idx: usize) -> u32 {
+    let first = results.first().cloned().expect("at least one result");
+    let _ = first;
+    let mine = results[my_idx].unwrap();
+    if mine == 0 {
+        panic!("zero result");
+    }
+    match mine {
+        u32::MAX => unreachable!(),
+        v => v,
+    }
+}
+
+pub fn guarded(results: &[u32], idx: usize) -> Option<u32> {
+    // Slices and literal indices don't trip the heuristic.
+    let _head = &results[..1.min(results.len())];
+    results.get(idx).copied()
+}

@@ -1,0 +1,16 @@
+//! Fixture: RNG discipline violations — ad-hoc seed construction outside
+//! the registered runtime stream constructors.
+
+pub fn adhoc_seed(x: u64) -> u64 {
+    splitmix64(x ^ 0xdeadbeef)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x
+}
+
+pub fn global_stream() -> u64 {
+    let _ = rand::thread_rng();
+    rand::random()
+}

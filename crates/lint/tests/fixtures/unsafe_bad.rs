@@ -1,0 +1,5 @@
+//! Fixture: unsafe outside the allowlist and undocumented unsafe.
+
+pub fn sneaky(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,13 @@
+//! Fixture: wall-clock reads in semantic code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed_step() -> f64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

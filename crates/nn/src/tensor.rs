@@ -100,6 +100,8 @@ fn axpy_scalar(a: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+// SAFETY: callers must verify AVX support at runtime before invoking (the
+// `axpy` dispatcher does); all loads/stores below stay within `x`/`y` bounds.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[target_feature(enable = "avx")]
 unsafe fn axpy_avx(a: f32, x: &[f32], y: &mut [f32]) {

@@ -23,6 +23,8 @@
 //! content, and telemetry (`registry.*`, `admission.*`) uses cached handles
 //! so hot paths never touch the metrics-registry mutex.
 
+#![forbid(unsafe_code)]
+
 mod admission;
 mod registry;
 

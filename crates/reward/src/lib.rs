@@ -15,6 +15,7 @@
 //! auto-balances component weights on a random-policy probe so that no
 //! component contributes less than 10% of the total (paper §6.1).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coherency;

@@ -16,6 +16,7 @@
 //!   convergence-curve logging, and best-episode extraction;
 //! - [`greedy_episode`] — the non-learned Greedy-IO / Greedy-CR baselines.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checkpoint;

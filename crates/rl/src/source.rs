@@ -130,6 +130,7 @@ pub(crate) fn step_env(
     action: &MappedAction,
     reward: &dyn RewardModel,
 ) -> RewardBreakdown {
+    // atena-lint: allow(wall-clock) — rollout timing telemetry; never affects results
     let start = Instant::now();
     let op = match action {
         MappedAction::Binned(a) => env.resolve(a),

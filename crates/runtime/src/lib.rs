@@ -23,6 +23,7 @@
 //! `runtime.workers` gauge, into the global registry by default
 //! ([`Runtime::with_telemetry`] reroutes them).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use atena_telemetry::MetricsRegistry;

@@ -83,6 +83,9 @@ pub enum EngineError {
     IncompatibleDataset(String),
     /// Request parameters out of range → 400.
     InvalidRequest(String),
+    /// An invariant the engine relies on failed mid-decode → 500. Returned
+    /// instead of panicking so one bad decode cannot poison a pool worker.
+    Internal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -94,6 +97,7 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::IncompatibleDataset(m) => write!(f, "incompatible dataset: {m}"),
             EngineError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            EngineError::Internal(m) => write!(f, "internal decode error: {m}"),
         }
     }
 }
@@ -149,9 +153,12 @@ impl Engine {
         let obs_dim = policy.obs_dim();
         self.batcher = Some(Arc::new(MicroBatcher::new(obs_dim, config, move |batch| {
             // The load-time probe pinned the weight shapes and the queue
-            // asserts row widths, so this forward cannot fail.
+            // asserts row widths, so this forward cannot fail. The closure's
+            // signature leaves no error channel, and the probe makes this
+            // genuinely unreachable rather than a request-dependent panic.
             policy
                 .forward_rows(batch, DECODE_TEMPERATURE)
+                // atena-lint: allow(panic-path) — shape pinned by the Engine::new probe
                 .unwrap_or_else(|e| panic!("probed policy rejected batch: {e}"))
         })));
         self
@@ -248,7 +255,7 @@ impl Engine {
     /// Greedy-decode one notebook over the baked-in dataset. Deterministic
     /// for a given request: the environment seed is fixed and the decode
     /// temperature is ≈0.
-    pub fn decode(&self, request: &NotebookRequest) -> NotebookResponse {
+    pub fn decode(&self, request: &NotebookRequest) -> Result<NotebookResponse, EngineError> {
         self.decode_traced(request, None)
     }
 
@@ -260,7 +267,7 @@ impl Engine {
         &self,
         request: &NotebookRequest,
         parent: Option<&SpanGuard<'_, '_>>,
-    ) -> NotebookResponse {
+    ) -> Result<NotebookResponse, EngineError> {
         let frame = Arc::clone(&self.frame);
         self.decode_with_frame(&frame, request, parent)
     }
@@ -274,7 +281,7 @@ impl Engine {
         frame: &Arc<DataFrame>,
         request: &NotebookRequest,
         parent: Option<&SpanGuard<'_, '_>>,
-    ) -> NotebookResponse {
+    ) -> Result<NotebookResponse, EngineError> {
         let mut env_config = self.bundle.env.clone();
         env_config.episode_len = request.episode_len;
         env_config.seed = request.seed;
@@ -295,22 +302,21 @@ impl Engine {
                 let _s = parent.map(|p| p.child("nn.forward"));
                 self.policy.act(&obs, DECODE_TEMPERATURE, &mut rng)
             };
-            let action = step
-                .choice
-                .to_eda_action()
-                .expect("twofold policy emits twofold choices");
+            let action = step.choice.to_eda_action().ok_or_else(|| {
+                EngineError::Internal("twofold policy emitted a non-twofold choice".into())
+            })?;
             let _s = parent.map(|p| p.child("env.step"));
             env.step(&action);
         }
         let ops: Vec<_> = env.session().ops().iter().map(|o| o.op.clone()).collect();
         let notebook = Notebook::replay(&request.dataset, frame, &ops);
-        NotebookResponse {
+        Ok(NotebookResponse {
             dataset: request.dataset.clone(),
             episode_len: request.episode_len,
             seed: request.seed,
             strategy: self.bundle.strategy.name().to_string(),
             notebook: notebook.summary(),
-        }
+        })
     }
 }
 
@@ -349,8 +355,8 @@ mod tests {
     fn decode_is_deterministic_per_request() {
         let e = engine();
         let req = e.validate("tiny", Some(3), Some(7)).unwrap();
-        let a = e.decode(&req);
-        let b = e.decode(&req);
+        let a = e.decode(&req).unwrap();
+        let b = e.decode(&req).unwrap();
         assert_eq!(a.notebook.cells.len(), 3);
         assert_eq!(
             serde_json::to_string(&a.notebook).unwrap(),
@@ -358,7 +364,7 @@ mod tests {
         );
         // A different seed may (and usually does) draw different filter
         // terms; at minimum it must still decode a full notebook.
-        let other = e.decode(&e.validate("tiny", Some(3), Some(8)).unwrap());
+        let other = e.decode(&e.validate("tiny", Some(3), Some(8)).unwrap()).unwrap();
         assert_eq!(other.notebook.cells.len(), 3);
     }
 
@@ -372,8 +378,8 @@ mod tests {
         assert!(batched.batcher().is_some());
         for seed in [0u64, 7, 11] {
             let req = serial.validate("tiny", Some(4), Some(seed)).unwrap();
-            let a = serial.decode(&req);
-            let b = batched.decode(&req);
+            let a = serial.decode(&req).unwrap();
+            let b = batched.decode(&req).unwrap();
             assert_eq!(
                 serde_json::to_string(&a.notebook).unwrap(),
                 serde_json::to_string(&b.notebook).unwrap(),
@@ -441,8 +447,8 @@ mod tests {
             .validate_for_frame("ds-test", &uploaded, Some(3), Some(11))
             .unwrap();
         assert_eq!(req.fingerprint, uploaded.fingerprint());
-        let a = e.decode_with_frame(&uploaded, &req, None);
-        let b = e.decode_with_frame(&uploaded, &req, None);
+        let a = e.decode_with_frame(&uploaded, &req, None).unwrap();
+        let b = e.decode_with_frame(&uploaded, &req, None).unwrap();
         assert_eq!(a.dataset, "ds-test");
         assert_eq!(a.notebook.cells.len(), 3);
         assert_eq!(

@@ -58,7 +58,7 @@ use http::push_json_string;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Entries kept in the `/v1/debug/requests` recent-request ring.
@@ -428,7 +428,7 @@ impl RouteOutcome {
 
 /// Append to the debug ring, evicting the oldest entry when full.
 fn push_debug_entry(state: &AppState, entry: RequestDebug) {
-    let mut ring = state.debug.lock().expect("debug ring poisoned");
+    let mut ring = state.debug.lock().unwrap_or_else(PoisonError::into_inner);
     if ring.len() >= DEBUG_RING_CAPACITY {
         ring.pop_front();
     }
@@ -754,6 +754,9 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
             Err(e @ EngineError::InvalidRequest(_)) => {
                 return fail(400, "Bad Request", &e.to_string());
             }
+            Err(e @ EngineError::Internal(_)) => {
+                return fail(500, "Internal Server Error", &e.to_string());
+            }
         }
     };
     drop(parse_span);
@@ -762,7 +765,7 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
     let cached = state
         .cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .get(&validated)
         .cloned();
     drop(lookup_span);
@@ -781,16 +784,33 @@ fn serve_notebook(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) 
     decode_span.set_attr("episode_len", validated.episode_len.to_string());
     decode_span.set_attr("seed", validated.seed.to_string());
     let span = atena_telemetry::Span::enter(t.histogram("server.notebook.decode_secs"));
-    let decoded = state
+    let decoded = match state
         .engine
-        .decode_with_frame(&frame, &validated, Some(&decode_span));
+        .decode_with_frame(&frame, &validated, Some(&decode_span))
+    {
+        Ok(d) => d,
+        Err(e) => {
+            let _ = span.finish();
+            drop(decode_span);
+            return fail(500, "Internal Server Error", &e.to_string());
+        }
+    };
     let decode_secs = span.finish();
     drop(decode_span);
-    let body = Arc::new(serde_json::to_string(&decoded).expect("response serializes"));
+    let body = match serde_json::to_string(&decoded) {
+        Ok(body) => Arc::new(body),
+        Err(e) => {
+            return fail(
+                500,
+                "Internal Server Error",
+                &format!("response serialization failed: {e}"),
+            );
+        }
+    };
     state
         .cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(validated, Arc::clone(&body));
     RouteOutcome {
         response: Response::ok_json(body.as_bytes().to_vec()).with_header("X-Atena-Cache", "miss"),
@@ -812,7 +832,7 @@ fn debug_requests_json(state: &AppState) -> String {
         counts.spans_dropped,
         counts.traces_recorded,
     );
-    let ring = state.debug.lock().expect("debug ring poisoned");
+    let ring = state.debug.lock().unwrap_or_else(PoisonError::into_inner);
     for (i, r) in ring.iter().rev().enumerate() {
         if i > 0 {
             out.push(',');

@@ -37,6 +37,7 @@ impl ThreadPool {
                             Err(_) => return, // channel closed: drain complete
                         }
                     })
+                    // atena-lint: allow(panic-path) — pool construction at startup, before any request is accepted
                     .expect("failed to spawn worker thread")
             })
             .collect();

@@ -29,13 +29,13 @@ static LISTENERS: Mutex<Vec<SocketAddr>> = Mutex::new(Vec::new());
 pub(crate) fn register_listener(addr: SocketAddr) {
     LISTENERS
         .lock()
-        .expect("listener registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .push(addr);
 }
 
 /// Forget a stopped accept loop's address.
 pub(crate) fn deregister_listener(addr: SocketAddr) {
-    let mut listeners = LISTENERS.lock().expect("listener registry poisoned");
+    let mut listeners = LISTENERS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(pos) = listeners.iter().position(|a| *a == addr) {
         listeners.swap_remove(pos);
     }
@@ -58,7 +58,7 @@ pub(crate) fn wake_addr(mut addr: SocketAddr) {
 pub(crate) fn wake_listeners() {
     let addrs: Vec<SocketAddr> = LISTENERS
         .lock()
-        .expect("listener registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clone();
     for addr in addrs {
         wake_addr(addr);
@@ -91,6 +91,8 @@ mod sys {
         let fd = WAKE_FD.load(Ordering::SeqCst);
         if fd >= 0 {
             let byte = 1u8;
+            // SAFETY: `write(2)` is async-signal-safe; `byte` outlives the
+            // call and the fd is either valid or write fails harmlessly.
             unsafe {
                 write(fd, &byte, 1);
             }
@@ -102,6 +104,7 @@ mod sys {
     /// signaling (the next accepted connection still observes the drain).
     pub fn spawn_watcher() {
         let mut fds = [-1i32; 2];
+        // SAFETY: `fds` is a valid 2-element buffer for pipe(2) to fill.
         if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
             return;
         }
@@ -111,6 +114,8 @@ mod sys {
             .name("atena-signal-watch".into())
             .spawn(move || loop {
                 let mut buf = [0u8; 16];
+                // SAFETY: `buf` is valid for `buf.len()` writable bytes and
+                // `read_fd` is the read end of the pipe created above.
                 let n = unsafe { read(read_fd, buf.as_mut_ptr(), buf.len()) };
                 if n == 0 {
                     return; // write end closed: process is tearing down
@@ -131,6 +136,8 @@ pub fn install_handlers() {
     {
         static INIT: std::sync::Once = std::sync::Once::new();
         INIT.call_once(sys::spawn_watcher);
+        // SAFETY: `on_signal` is async-signal-safe (atomic store + write(2))
+        // and has the `extern "C" fn(i32)` ABI signal(2) expects.
         unsafe {
             let handler = sys::on_signal as extern "C" fn(i32) as usize;
             sys::signal(sys::SIGINT, handler);

@@ -25,6 +25,8 @@
 //! hierarchical timed spans with attributes, a bounded span ring, and JSONL
 //! trace export (see DESIGN.md §4j).
 
+#![forbid(unsafe_code)]
+
 pub mod trace;
 
 pub use trace::{

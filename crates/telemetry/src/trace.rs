@@ -181,6 +181,7 @@ impl Tracer {
     /// distinguishable while a single process never repeats an id.
     pub fn next_trace_id(&self) -> u64 {
         let n = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        // atena-lint: allow(rng-discipline) — trace ids are execution-only, never in results
         let id = splitmix64(process_trace_seed().wrapping_add(n));
         if id == 0 {
             1
@@ -272,6 +273,7 @@ impl Tracer {
     }
 }
 
+// atena-lint: allow(rng-discipline) — local mixer for trace ids, not a seed stream
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -287,6 +289,7 @@ fn process_trace_seed() -> u64 {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0);
+        // atena-lint: allow(rng-discipline) — trace-id salt, execution-only
         splitmix64(nanos ^ ((std::process::id() as u64) << 32))
     })
 }

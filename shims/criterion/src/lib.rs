@@ -9,6 +9,8 @@
 //! Reports median/mean per-iteration times as text on stdout; there is no
 //! statistical analysis, HTML report, or baseline comparison.
 
+#![forbid(unsafe_code)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

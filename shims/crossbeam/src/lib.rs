@@ -6,6 +6,8 @@
 //! closure receives the scope, `scope` returns a `Result`) onto
 //! `std::thread::scope`.
 
+#![forbid(unsafe_code)]
+
 /// Scoped threads.
 pub mod thread {
     use std::any::Any;

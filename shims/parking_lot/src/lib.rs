@@ -5,6 +5,8 @@
 //! locks are recovered (parking_lot has no poisoning at all, so continuing
 //! with the inner data matches its semantics).
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, LockResult};
 
 /// Mutual exclusion lock; `lock()` never returns an error.

@@ -11,6 +11,8 @@
 //! reported by panicking with the failing case index, and there is **no
 //! shrinking** — the first failing input is reported as-is.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;

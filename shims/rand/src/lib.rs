@@ -11,6 +11,8 @@
 //! experiments require. Streams are **not** bit-compatible with the real
 //! `rand` crate; nothing in the workspace depends on rand's exact streams.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of randomness: a stream of `u64`s.
 pub trait RngCore {
     /// Next 64 random bits.

@@ -12,6 +12,8 @@
 //! renders/parses that tree as JSON. External enum tagging and newtype
 //! transparency match real serde's JSON output shape.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};

@@ -15,6 +15,8 @@
 //! workspace is generic — and hitting one fails the build loudly rather
 //! than silently producing wrong code.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// A parsed field of a struct or struct variant.

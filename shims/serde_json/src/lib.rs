@@ -8,6 +8,8 @@
 //! every finite `f64`/`f32` survives a round trip bit-exactly. Non-finite
 //! floats serialize as `null`, matching real serde_json.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Content as Value;
 use serde::{Content, DeError, Deserialize, Serialize};
 use std::fmt;

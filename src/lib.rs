@@ -37,6 +37,7 @@
 //! println!("{}", result.notebook.to_markdown());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use atena_core::{Atena, AtenaConfig, GenerationResult, Notebook, Strategy};
