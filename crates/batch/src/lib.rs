@@ -126,6 +126,23 @@ impl BatchPlanner {
     }
 }
 
+/// Returned to waiters whose batch died before results were published:
+/// the flushing thread panicked mid-forward (or mid-publish), so their
+/// slots will never be filled. The queue itself recovers — the dead cell
+/// was already detached from `open`, and the next submission opens a
+/// fresh batch — so one poisoned flush costs its co-batched requests one
+/// typed error each, never a stalled worker or a wedged queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAborted;
+
+impl std::fmt::Display for BatchAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "microbatch aborted: the flushing peer died mid-flush")
+    }
+}
+
+impl std::error::Error for BatchAborted {}
+
 /// One in-flight microbatch: rows joined so far and, once flushed, the
 /// per-row results for waiters to collect.
 struct CellState<R> {
@@ -133,6 +150,9 @@ struct CellState<R> {
     enqueued: Vec<Instant>,
     /// Set by the thread that flushes; once true no new rows may join.
     closed: bool,
+    /// Set when the flusher unwound before publishing; waiters error out
+    /// instead of blocking forever.
+    aborted: bool,
     /// Published after the batched forward; `None` slots were taken.
     results: Option<Vec<Option<R>>>,
 }
@@ -188,7 +208,10 @@ impl<R: Send> MicroBatcher<R> {
     /// Point batch metrics at an explicit registry (servers route them to
     /// their per-instance registry; tests isolate themselves).
     pub fn reroute_telemetry(&self, registry: &Arc<MetricsRegistry>) {
-        *self.telemetry.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(registry);
+        *self
+            .telemetry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::clone(registry);
     }
 
     /// The configured flush policy.
@@ -200,9 +223,13 @@ impl<R: Send> MicroBatcher<R> {
     /// The result is keyed to this row's slot in the batch, so what comes
     /// back is bit-identical to running the forward on this row alone.
     ///
+    /// Returns [`BatchAborted`] when the peer that was flushing this row's
+    /// batch panicked before publishing results; the queue itself stays
+    /// healthy and the next submission opens a fresh batch.
+    ///
     /// # Panics
     /// Panics if `row.len() != obs_dim`.
-    pub fn submit(&self, row: Vec<f32>) -> R {
+    pub fn submit(&self, row: Vec<f32>) -> Result<R, BatchAborted> {
         assert_eq!(row.len(), self.obs_dim, "observation width mismatch");
         let enqueued = Instant::now();
         if self.config.max_batch <= 1 {
@@ -213,11 +240,12 @@ impl<R: Send> MicroBatcher<R> {
                     rows: Vec::new(),
                     enqueued: Vec::new(),
                     closed: true,
+                    aborted: false,
                     results: None,
                 }),
                 cond: Condvar::new(),
             };
-            return self.flush(&cell, vec![row], vec![enqueued], 0, true);
+            return Ok(self.flush(&cell, vec![row], vec![enqueued], 0, true));
         }
         let mut open = self.open.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(cell) = open.clone() {
@@ -237,7 +265,7 @@ impl<R: Send> MicroBatcher<R> {
                 // The leader may be in its timed wait; let it move to the
                 // results wait promptly.
                 cell.cond.notify_all();
-                return self.flush(&cell, rows, waits, idx, true);
+                return Ok(self.flush(&cell, rows, waits, idx, true));
             }
             drop(open);
             return Self::await_result(&cell, st, idx);
@@ -248,6 +276,7 @@ impl<R: Send> MicroBatcher<R> {
                 rows: vec![row],
                 enqueued: vec![enqueued],
                 closed: false,
+                aborted: false,
                 results: None,
             }),
             cond: Condvar::new(),
@@ -291,11 +320,19 @@ impl<R: Send> MicroBatcher<R> {
         let rows = std::mem::take(&mut st.rows);
         let waits = std::mem::take(&mut st.enqueued);
         drop(st);
-        self.flush(&cell, rows, waits, 0, false)
+        Ok(self.flush(&cell, rows, waits, 0, false))
     }
 
     /// Run the batched forward outside all locks, publish per-row results,
     /// wake the waiters, and return the flusher's own result.
+    ///
+    /// The flush is unwind-safe for its waiters: if the forward (or any
+    /// step before results are published) panics, a drop guard marks the
+    /// cell aborted and wakes every waiter, which then returns
+    /// [`BatchAborted`] from [`MicroBatcher::submit`] instead of blocking
+    /// forever on results that will never arrive. The cell was already
+    /// detached from `open` before `flush` is called, so the queue itself
+    /// is never wedged by a dead flusher.
     fn flush(
         &self,
         cell: &BatchCell<R>,
@@ -304,9 +341,44 @@ impl<R: Send> MicroBatcher<R> {
         my_idx: usize,
         full: bool,
     ) -> R {
+        /// Wakes waiters with an abort verdict if the flush unwinds before
+        /// results are published; disarmed on the success path.
+        struct AbortOnUnwind<'a, R> {
+            cell: &'a BatchCell<R>,
+            telemetry: &'a RwLock<Arc<MetricsRegistry>>,
+            armed: bool,
+        }
+        impl<R> Drop for AbortOnUnwind<'_, R> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let mut st = self
+                    .cell
+                    .state
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                st.aborted = true;
+                drop(st);
+                self.cell.cond.notify_all();
+                self.telemetry
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .counter("batch.flush.aborted")
+                    .inc();
+            }
+        }
+        let mut guard = AbortOnUnwind {
+            cell,
+            telemetry: &self.telemetry,
+            armed: true,
+        };
         let flushed = Instant::now();
         {
-            let t = self.telemetry.read().unwrap_or_else(PoisonError::into_inner);
+            let t = self
+                .telemetry
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
             t.counter(if full {
                 "batch.flush.full"
             } else {
@@ -332,21 +404,26 @@ impl<R: Send> MicroBatcher<R> {
         let mine = results[my_idx].take().expect("own result present");
         let mut st = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.results = Some(results);
+        guard.armed = false;
         drop(st);
         cell.cond.notify_all();
         mine
     }
 
-    /// Block on the cell until results are published, then take slot `idx`.
+    /// Block on the cell until results are published (or the flush is
+    /// aborted), then take slot `idx`.
     fn await_result(
         cell: &BatchCell<R>,
         mut st: std::sync::MutexGuard<'_, CellState<R>>,
         idx: usize,
-    ) -> R {
+    ) -> Result<R, BatchAborted> {
         loop {
+            if st.aborted {
+                return Err(BatchAborted);
+            }
             if let Some(results) = st.results.as_mut() {
                 // atena-lint: allow(panic-path) — each member owns a distinct slot, taken once
-                return results[idx].take().expect("result taken exactly once");
+                return Ok(results[idx].take().expect("result taken exactly once"));
             }
             st = cell.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
@@ -417,7 +494,7 @@ mod tests {
                 let barrier = Arc::clone(&barrier);
                 std::thread::spawn(move || {
                     barrier.wait();
-                    (i, b.submit(vec![i as f32]))
+                    (i, b.submit(vec![i as f32]).unwrap())
                 })
             })
             .collect();
@@ -452,7 +529,7 @@ mod tests {
             row_sums,
         );
         b.reroute_telemetry(&telemetry);
-        assert_eq!(b.submit(vec![1.5, 2.5]), 4.0);
+        assert_eq!(b.submit(vec![1.5, 2.5]).unwrap(), 4.0);
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("batch.flush.timeout"), Some(1));
         assert_eq!(snap.histogram("batch.occupancy").map(|h| h.max), Some(1.0));
@@ -469,11 +546,65 @@ mod tests {
             row_sums,
         );
         let start = Instant::now();
-        assert_eq!(b.submit(vec![7.0]), 7.0);
+        assert_eq!(b.submit(vec![7.0]).unwrap(), 7.0);
         assert!(
             start.elapsed() < Duration::from_secs(1),
             "max_batch 1 must flush immediately, not wait out the window"
         );
+    }
+
+    #[test]
+    fn flusher_panic_aborts_waiters_and_queue_recovers() {
+        let telemetry = Arc::new(MetricsRegistry::new());
+        // The forward panics whenever the batch contains a poisoned row,
+        // exactly as a latent engine bug triggered by one hostile request
+        // would: the flushing thread unwinds mid-flush.
+        let b = Arc::new(MicroBatcher::new(
+            1,
+            MicrobatchConfig {
+                max_batch: 4,
+                window: Duration::from_secs(5),
+            },
+            |batch: &Tensor| {
+                if (0..batch.rows()).any(|r| batch.row(r)[0] < 0.0) {
+                    panic!("injected flush fault");
+                }
+                row_sums(batch)
+            },
+        ));
+        b.reroute_telemetry(&telemetry);
+        let barrier = Arc::new(Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // Every row poisoned: whoever flushes, the batch dies.
+                    b.submit(vec![-1.0 - i as f32])
+                })
+            })
+            .collect();
+        let mut panicked = 0usize;
+        let mut aborted = 0usize;
+        for h in handles {
+            match h.join() {
+                Err(_) => panicked += 1,               // the flusher itself
+                Ok(Err(BatchAborted)) => aborted += 1, // its co-batched peers
+                Ok(Ok(v)) => panic!("no result should surface, got {v}"),
+            }
+        }
+        assert_eq!(panicked, 1, "exactly one thread flushed and unwound");
+        assert_eq!(aborted, 3, "every waiter got a typed abort, none stalled");
+        assert_eq!(
+            telemetry.snapshot().counter("batch.flush.aborted"),
+            Some(1),
+            "abort counted once"
+        );
+        // The queue is not wedged: healthy submissions keep working.
+        for i in 0..4 {
+            assert_eq!(b.submit(vec![i as f32]).unwrap(), i as f32);
+        }
     }
 
     #[test]
@@ -487,7 +618,7 @@ mod tests {
             row_sums,
         );
         for i in 0..16 {
-            assert_eq!(b.submit(vec![i as f32]), i as f32);
+            assert_eq!(b.submit(vec![i as f32]).unwrap(), i as f32);
         }
     }
 }

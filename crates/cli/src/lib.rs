@@ -13,7 +13,7 @@
 //! atena checkpoint save <dataset-id> --out <ckpt.json> [--steps N] ...
 //! atena checkpoint load <ckpt.json>           # validate + describe a checkpoint
 //! atena serve --checkpoint <ckpt.json> [--addr A] [--workers N] [--cache-size N]
-//!                           [--slow-ms N] [--trace-out traces.jsonl]
+//!                           [--slow-ms N] [--timeout-ms N] [--trace-out traces.jsonl]
 //! atena metrics summarize <metrics.jsonl> [--format text|json]
 //! atena trace summarize <traces.jsonl>        # flame table of a span stream
 //! atena help
@@ -72,6 +72,8 @@ SERVE OPTIONS:
   --workers <N>       worker threads               [default: 4]
   --cache-size <N>    LRU response-cache entries   [default: 256]
   --slow-ms <N>       slow-request WARN threshold  [default: 500]
+  --timeout-ms <N>    per-request I/O deadline (read budget and write
+                      budget each; bounds slow-loris)  [default: 10000]
   --trace-out <f>     record request span trees to <f> as JSONL
   --registry-budget-mb <N>   upload-registry byte budget   [default: 256]
   --upload-max-mb <N>        per-upload CSV size cap       [default: 8]
@@ -173,6 +175,10 @@ pub enum Command {
         cache_size: usize,
         /// Slow-request WARN threshold in milliseconds.
         slow_ms: u64,
+        /// Per-request I/O deadline in milliseconds: total wall-clock
+        /// budget for reading one request and (separately) writing its
+        /// response, regardless of how the peer paces its bytes.
+        timeout_ms: u64,
         /// Trace JSONL output path (enables span recording when set).
         trace_out: Option<String>,
         /// Dataset-registry byte budget for uploads, in MiB.
@@ -474,6 +480,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut workers = 4usize;
             let mut cache_size = 256usize;
             let mut slow_ms = 500u64;
+            let mut timeout_ms = 10_000u64;
             let mut trace_out = None;
             let mut registry_budget_mb = 256usize;
             let mut upload_max_mb = 8usize;
@@ -502,6 +509,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         slow_ms = value
                             .parse()
                             .map_err(|_| CliError::Usage("--slow-ms expects an integer".into()))?;
+                    }
+                    "--timeout-ms" => {
+                        timeout_ms = value.parse().ok().filter(|v| *v > 0).ok_or_else(|| {
+                            CliError::Usage("--timeout-ms expects a positive integer".into())
+                        })?;
                     }
                     "--trace-out" => trace_out = Some(value.clone()),
                     "--registry-budget-mb" => registry_budget_mb = int("--registry-budget-mb")?,
@@ -533,6 +545,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 workers,
                 cache_size,
                 slow_ms,
+                timeout_ms,
                 trace_out,
                 registry_budget_mb,
                 upload_max_mb,
@@ -1039,6 +1052,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             workers,
             cache_size,
             slow_ms,
+            timeout_ms,
             trace_out,
             registry_budget_mb,
             upload_max_mb,
@@ -1072,6 +1086,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 workers,
                 cache_size,
                 slow_threshold: std::time::Duration::from_millis(slow_ms),
+                request_timeout: std::time::Duration::from_millis(timeout_ms),
                 registry,
                 tenant_limits: atena_registry::TenantLimits {
                     max_inflight: tenant_max_inflight,
@@ -1624,6 +1639,8 @@ garbage line
             "32",
             "--slow-ms",
             "100",
+            "--timeout-ms",
+            "2500",
             "--trace-out",
             "t.jsonl",
             "--registry-budget-mb",
@@ -1648,6 +1665,7 @@ garbage line
                 workers: 8,
                 cache_size: 32,
                 slow_ms: 100,
+                timeout_ms: 2500,
                 trace_out: Some("t.jsonl".into()),
                 registry_budget_mb: 64,
                 upload_max_mb: 2,
@@ -1663,6 +1681,7 @@ garbage line
             workers,
             cache_size,
             slow_ms,
+            timeout_ms,
             trace_out,
             registry_budget_mb,
             upload_max_mb,
@@ -1679,6 +1698,7 @@ garbage line
         assert_eq!(workers, 4);
         assert_eq!(cache_size, 256);
         assert_eq!(slow_ms, 500);
+        assert_eq!(timeout_ms, 10_000, "per-request deadline defaults to 10s");
         assert_eq!(trace_out, None);
         assert_eq!(registry_budget_mb, 256);
         assert_eq!(upload_max_mb, 8);

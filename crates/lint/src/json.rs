@@ -72,7 +72,10 @@ pub fn escape(s: &str) -> String {
 
 /// Parse a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(src: &str) -> Result<Value, String> {
-    let mut p = Parser { b: src.as_bytes(), i: 0 };
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();

@@ -82,7 +82,9 @@ impl Rule {
         match self {
             Rule::HashOrder => "no HashMap/HashSet in semantic crates (iteration order leaks)",
             Rule::WallClock => "no wall-clock reads outside execution-layer crates",
-            Rule::RngDiscipline => "seeds come only from the registered runtime stream constructors",
+            Rule::RngDiscipline => {
+                "seeds come only from the registered runtime stream constructors"
+            }
             Rule::PanicPath => "no unwrap/expect/panic/unguarded indexing in pooled request paths",
             Rule::UnsafeInventory => "unsafe only in allowlisted modules, with SAFETY comments",
         }
@@ -181,7 +183,14 @@ impl Report {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in self.findings.iter().filter(|f| f.status == Status::New) {
-            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule.id(), f.message);
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {}",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message
+            );
         }
         for f in self.findings.iter().filter(|f| f.status != Status::New) {
             let _ = write!(
@@ -408,7 +417,11 @@ pub fn classify(rel: &str) -> FileClass {
         .iter()
         .any(|p| matches!(*p, "tests" | "benches" | "examples" | "fixtures"))
     {
-        return FileClass { crate_dir: None, tier: Tier::Test, crate_root: false };
+        return FileClass {
+            crate_dir: None,
+            tier: Tier::Test,
+            crate_root: false,
+        };
     }
     let (crate_dir, vendored, root_src) = match parts.as_slice() {
         ["crates", dir, rest @ ..] => (Some((*dir).to_string()), false, rest),
@@ -418,8 +431,16 @@ pub fn classify(rel: &str) -> FileClass {
         _ => (None, false, &parts[..]),
     };
     let crate_root = matches!(root_src, ["src", "lib.rs"]);
-    let tier = if vendored { Tier::Vendored } else { Tier::Execution };
-    FileClass { crate_dir, tier, crate_root }
+    let tier = if vendored {
+        Tier::Vendored
+    } else {
+        Tier::Execution
+    };
+    FileClass {
+        crate_dir,
+        tier,
+        crate_root,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -529,7 +550,9 @@ pub fn scan_source(rel: &str, src: &str, config: &Config) -> Vec<Finding> {
     // style rules, not from the unsafe inventory.
     if class.crate_root
         && !config.forbid_exempt_crates.contains(&crate_name.as_str())
-        && !lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"))
+        && !lines
+            .iter()
+            .any(|l| l.code.contains("#![forbid(unsafe_code)]"))
     {
         push(
             &mut findings,
@@ -643,8 +666,14 @@ pub fn scan_source(rel: &str, src: &str, config: &Config) -> Vec<Finding> {
         }
 
         if config.panic_path_files.contains(&rel) {
-            for pat in [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"]
-            {
+            for pat in [
+                ".unwrap()",
+                ".expect(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ] {
                 if code.contains(pat) {
                     push(
                         &mut findings,
@@ -784,7 +813,8 @@ mod tests {
 
     #[test]
     fn annotation_covers_next_line() {
-        let src = "// atena-lint: allow(wall-clock) — telemetry sampling\nlet t = Instant::now();\n";
+        let src =
+            "// atena-lint: allow(wall-clock) — telemetry sampling\nlet t = Instant::now();\n";
         let f = scan_source("crates/env/src/x.rs", src, &cfg());
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].status, Status::Allowed);
@@ -818,7 +848,8 @@ mod tests {
     fn baseline_round_trips_through_json() {
         let mut b = Baseline::default();
         b.entries.insert(("a/b.rs".into(), "panic-path".into()), 3);
-        b.entries.insert(("c — d.rs".into(), "hash-order".into()), 1);
+        b.entries
+            .insert(("c — d.rs".into(), "hash-order".into()), 1);
         assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
     }
 }

@@ -150,19 +150,30 @@ fn check(args: &[String]) -> ExitCode {
     if let Some(path) = metrics_out {
         let registry = atena_telemetry::global();
         if let Err(e) = registry.set_jsonl_sink(&path) {
-            eprintln!("atena-lint: cannot open metrics sink {}: {e}", path.display());
+            eprintln!(
+                "atena-lint: cannot open metrics sink {}: {e}",
+                path.display()
+            );
         } else {
             use atena_lint::Status;
-            registry.counter("lint.findings_total").add(report.findings.len() as u64);
-            registry.counter("lint.findings_new").add(report.count(Status::New) as u64);
+            registry
+                .counter("lint.findings_total")
+                .add(report.findings.len() as u64);
+            registry
+                .counter("lint.findings_new")
+                .add(report.count(Status::New) as u64);
             registry
                 .counter("lint.findings_allowed")
                 .add(report.count(Status::Allowed) as u64);
             registry
                 .counter("lint.findings_baselined")
                 .add(report.count(Status::Baselined) as u64);
-            registry.counter("lint.rules_checked").add(Rule::ALL.len() as u64);
-            registry.counter("lint.files_scanned").add(report.files_scanned as u64);
+            registry
+                .counter("lint.rules_checked")
+                .add(Rule::ALL.len() as u64);
+            registry
+                .counter("lint.files_scanned")
+                .add(report.files_scanned as u64);
             registry.flush();
         }
     }

@@ -143,9 +143,7 @@ pub fn preprocess(src: &str) -> Vec<Line> {
                 }
                 // Raw strings and byte strings — only when the prefix letter
                 // isn't the tail of an identifier (e.g. `for r in rows`).
-                if (c == b'r' || c == b'b')
-                    && !code.last().copied().is_some_and(is_ident_byte)
-                {
+                if (c == b'r' || c == b'b') && !code.last().copied().is_some_and(is_ident_byte) {
                     if let Some((skip, hashes)) = raw_str_open(&b[i..]) {
                         state = State::RawStr(hashes);
                         code.push(b' ');
@@ -191,7 +189,11 @@ pub fn preprocess(src: &str) -> Vec<Line> {
                     continue;
                 }
                 if c == b'*' && b.get(i + 1) == Some(&b'/') {
-                    state = if depth == 1 { State::Code } else { State::Block(depth - 1) };
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
                     i += 2;
                     continue;
                 }

@@ -139,7 +139,10 @@ fn crate_root_forbid_check() {
     assert!(scan_source("crates/nn/src/lib.rs", without, &cfg()).is_empty());
     // Shims are not exempt: vendored code skips style rules, not the
     // unsafe inventory.
-    assert_eq!(scan_source("shims/rand/src/lib.rs", without, &cfg()).len(), 1);
+    assert_eq!(
+        scan_source("shims/rand/src/lib.rs", without, &cfg()).len(),
+        1
+    );
 }
 
 #[test]
@@ -166,7 +169,9 @@ fn baseline_round_trips_through_json_report() {
     assert_eq!(summary.get("new").and_then(|v| v.as_u64()), Some(0));
     assert_eq!(summary.get("baselined").and_then(|v| v.as_u64()), Some(4));
     assert_eq!(
-        doc.get("findings").and_then(|v| v.as_arr()).map(|a| a.len()),
+        doc.get("findings")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.len()),
         Some(4)
     );
     for f in doc.get("findings").and_then(|v| v.as_arr()).unwrap() {

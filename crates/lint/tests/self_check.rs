@@ -24,7 +24,11 @@ fn workspace_is_clean_modulo_baseline() {
 
     let report = check_workspace(&root, &Config::workspace_default(), &baseline)
         .expect("workspace scan succeeds");
-    assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {} files",
+        report.files_scanned
+    );
 
     let new: Vec<String> = report
         .new_findings()

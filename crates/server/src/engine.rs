@@ -297,7 +297,13 @@ impl Engine {
             let obs = env.observation();
             let step = if let Some(batcher) = &self.batcher {
                 let _s = parent.map(|p| p.child("nn.forward_batched"));
-                batcher.submit(obs).sample(&mut rng)
+                // An aborted batch (the flushing peer died mid-flush) costs
+                // this request a typed 500; the queue itself recovers and
+                // the next submission opens a fresh batch.
+                let row = batcher
+                    .submit(obs)
+                    .map_err(|e| EngineError::Internal(e.to_string()))?;
+                row.sample(&mut rng)
             } else {
                 let _s = parent.map(|p| p.child("nn.forward"));
                 self.policy.act(&obs, DECODE_TEMPERATURE, &mut rng)
@@ -364,7 +370,9 @@ mod tests {
         );
         // A different seed may (and usually does) draw different filter
         // terms; at minimum it must still decode a full notebook.
-        let other = e.decode(&e.validate("tiny", Some(3), Some(8)).unwrap()).unwrap();
+        let other = e
+            .decode(&e.validate("tiny", Some(3), Some(8)).unwrap())
+            .unwrap();
         assert_eq!(other.notebook.cells.len(), 3);
     }
 

@@ -8,9 +8,16 @@
 //! reading, so an oversized request is rejected without buffering it all.
 
 use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on the request line + headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Floor for re-armed socket timeouts: `set_read_timeout(Some(ZERO))` is an
+/// error (and a zero timeout would mean "block forever" to setsockopt), so
+/// an almost-expired deadline still arms a small positive timeout.
+const MIN_IO_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// Default cap on a request body, in bytes (overridable per connection).
 pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
@@ -125,6 +132,18 @@ pub struct RequestReader<R> {
     buffer: Vec<u8>,
     max_body: usize,
     route_caps: Vec<(String, usize)>,
+    /// Total wall-clock budget for reading one request, re-armed at the
+    /// start of every [`RequestReader::read_request`] call. `None` leaves
+    /// only the transport's own per-call timeout in force — which a
+    /// slow-loris client defeats by dribbling one byte per tick, resetting
+    /// the socket timer on every read.
+    read_budget: Option<Duration>,
+    /// Deadline for the request currently being read.
+    deadline: Option<Instant>,
+    /// Hook that re-arms the transport's per-call timeout to the remaining
+    /// budget before each read, so even a fully silent peer cannot block
+    /// past the deadline.
+    rearm: Option<Box<dyn Fn(Duration) + Send>>,
 }
 
 impl<R: Read> RequestReader<R> {
@@ -140,7 +159,27 @@ impl<R: Read> RequestReader<R> {
             buffer: Vec::new(),
             max_body,
             route_caps: Vec::new(),
+            read_budget: None,
+            deadline: None,
+            rearm: None,
         }
+    }
+
+    /// Bound every [`RequestReader::read_request`] call to `budget` of
+    /// total wall-clock, independent of how the peer paces its bytes. The
+    /// `rearm` hook is called with the remaining budget before each
+    /// transport read and should shrink the transport's per-call timeout
+    /// accordingly (for sockets: `set_read_timeout`). Once the deadline
+    /// passes, the reader returns [`ParseError::Timeout`] mid-request or
+    /// [`ParseError::Closed`] for an idle keep-alive connection.
+    pub fn with_read_budget(
+        mut self,
+        budget: Duration,
+        rearm: impl Fn(Duration) + Send + 'static,
+    ) -> Self {
+        self.read_budget = Some(budget);
+        self.rearm = Some(Box::new(rearm));
+        self
     }
 
     /// Give one exact path its own body cap (e.g. a larger allowance for
@@ -165,6 +204,11 @@ impl<R: Read> RequestReader<R> {
     /// Read one full request. Leftover bytes (pipelined requests) stay
     /// buffered for the next call.
     pub fn read_request(&mut self) -> Result<Request, ParseError> {
+        // Each request gets a fresh deadline. The idle keep-alive wait for
+        // the next request shares the same budget, which preserves the
+        // previous idle-timeout behavior (an idle peer is closed after one
+        // budget) while also bounding a dribbled request.
+        self.deadline = self.read_budget.map(|b| Instant::now() + b);
         let head_end = self.fill_until_head_end()?;
         let head = self.buffer[..head_end].to_vec();
         let (method, target, version, headers) = parse_head(&head)?;
@@ -248,6 +292,24 @@ impl<R: Read> RequestReader<R> {
     /// One transport read. `clean_eof_ok` distinguishes "peer closed between
     /// requests" (fine) from "peer closed mid-request" (an error).
     fn fill_some(&mut self, clean_eof_ok: bool) -> Result<(), ParseError> {
+        // Per-request deadline check before every transport read: a peer
+        // that dribbles bytes keeps each *read* fast but cannot stretch
+        // the *request* past the budget. The rearm hook shrinks the
+        // transport timeout to the remainder so a peer that goes silent
+        // is also cut off at the same deadline, not a full timeout later.
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(if clean_eof_ok && self.buffer.is_empty() {
+                    ParseError::Closed
+                } else {
+                    ParseError::Timeout
+                });
+            }
+            if let Some(rearm) = &self.rearm {
+                rearm((deadline - now).max(MIN_IO_TIMEOUT));
+            }
+        }
         let mut chunk = [0u8; 4096];
         loop {
             match self.transport.read(&mut chunk) {
@@ -406,6 +468,54 @@ impl Response {
         w.write_all(head.as_bytes())?;
         w.write_all(&self.body)?;
         w.flush()
+    }
+}
+
+/// A [`Write`] adapter over a [`TcpStream`] that bounds the *total*
+/// wall-clock a response write may take. `set_write_timeout` alone is
+/// per-call: a byzantine client that drains the response one byte per tick
+/// keeps every individual `write` fast while holding the worker
+/// indefinitely. Before each write this adapter checks an absolute
+/// deadline and shrinks the socket's write timeout to the remainder, so
+/// the worker is released at the deadline no matter how the peer paces
+/// its reads. A missed deadline surfaces as [`ErrorKind::TimedOut`]; the
+/// connection is then closed (partial responses are unambiguous because
+/// every response carries `Content-Length`).
+pub struct DeadlineWriter<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl<'a> DeadlineWriter<'a> {
+    /// Bound writes on `stream` to complete before `deadline`.
+    pub fn new(stream: &'a TcpStream, deadline: Instant) -> Self {
+        Self { stream, deadline }
+    }
+
+    fn arm(&self) -> std::io::Result<()> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "response write deadline exceeded",
+            ));
+        }
+        self.stream
+            .set_write_timeout(Some((self.deadline - now).max(MIN_IO_TIMEOUT)))
+    }
+}
+
+impl Write for DeadlineWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        // `write_all` loops through here on every partial write, so the
+        // deadline is re-checked even inside one large body.
+        self.arm()?;
+        (&mut &*self.stream).write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.arm()?;
+        (&mut &*self.stream).flush()
     }
 }
 
@@ -670,6 +780,80 @@ mod tests {
             4096,
         ));
         assert!(r.read_request().unwrap().keep_alive());
+    }
+
+    /// A transport that yields one byte per read, sleeping `delay` first —
+    /// a cooperative slow-loris.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(self.delay);
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn read_budget_cuts_off_dribbled_request() {
+        // 300 bytes at 5 ms/byte would take 1.5 s; the 40 ms budget must
+        // cut the request off long before the head completes, regardless
+        // of the fact that every individual read succeeds quickly.
+        let head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(280));
+        let mut r = RequestReader::new(Dribble {
+            data: head.into_bytes(),
+            pos: 0,
+            delay: Duration::from_millis(5),
+        })
+        .with_read_budget(Duration::from_millis(40), |_| {});
+        let start = Instant::now();
+        assert_eq!(r.read_request().unwrap_err(), ParseError::Timeout);
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "budget must bound the dribble, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn read_budget_rearms_transport_with_shrinking_remainder() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut r = RequestReader::new(Dribble {
+            data: b"GET /v1/healthz HTTP/1.1\r\n\r\n".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(2),
+        })
+        .with_read_budget(Duration::from_secs(5), move |remaining| {
+            sink.lock().unwrap().push(remaining);
+        });
+        r.read_request().unwrap();
+        let seen = seen.lock().unwrap();
+        assert!(seen.len() >= 2, "hook called before each read");
+        assert!(
+            seen.windows(2).all(|w| w[1] <= w[0]),
+            "remaining budget must shrink monotonically: {seen:?}"
+        );
+        assert!(seen.iter().all(|d| *d >= MIN_IO_TIMEOUT));
+    }
+
+    #[test]
+    fn read_budget_does_not_break_fast_requests() {
+        let two = format!("{POST}GET /v1/metrics HTTP/1.1\r\n\r\n");
+        let mut r = RequestReader::new(Chunked::new(two, 3))
+            .with_read_budget(Duration::from_secs(5), |_| {});
+        assert_eq!(r.read_request().unwrap().path(), "/v1/notebook");
+        assert_eq!(r.read_request().unwrap().path(), "/v1/metrics");
+        assert_eq!(r.read_request().unwrap_err(), ParseError::Closed);
     }
 
     #[test]

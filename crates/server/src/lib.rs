@@ -44,7 +44,9 @@ mod signal;
 
 pub use cache::LruCache;
 pub use engine::{Engine, EngineError, NotebookRequest, NotebookResponse, MAX_EPISODE_LEN};
-pub use http::{ParseError, Request, RequestReader, Response, DEFAULT_MAX_BODY_BYTES};
+pub use http::{
+    DeadlineWriter, ParseError, Request, RequestReader, Response, DEFAULT_MAX_BODY_BYTES,
+};
 pub use pool::ThreadPool;
 pub use signal::{install_handlers, request_shutdown, shutdown_requested};
 
@@ -239,7 +241,15 @@ impl Server {
             config,
             shutdown,
         } = self;
-        let pool = ThreadPool::new(config.workers);
+        // Panic-isolated workers: a request that trips a latent panic costs
+        // one connection (counted below), never a pool thread.
+        let panic_telemetry = Arc::clone(&state.telemetry);
+        let pool = ThreadPool::with_panic_hook(
+            config.workers,
+            Some(Arc::new(move || {
+                panic_telemetry.counter("server.pool.panics").inc();
+            })),
+        );
         // The accept is fully blocking: zero idle CPU and no accept-latency
         // floor. Shutdown paths (handle, request_shutdown, signals via the
         // self-pipe watcher) unblock it with a throwaway self-connect, so
@@ -308,11 +318,25 @@ fn handle_connection(
 ) {
     let _ = stream.set_read_timeout(Some(config.request_timeout));
     let _ = stream.set_write_timeout(Some(config.request_timeout));
+    // The read budget below is a *per-request* deadline, not a per-read
+    // timeout: a slow-loris client dribbling one byte per tick keeps every
+    // socket read fast (each read resets the kernel timer) but cannot
+    // stretch one request past `request_timeout` total. The rearm hook
+    // shrinks the socket timeout to the remaining budget before each read,
+    // so a peer that goes silent mid-dribble is cut off at the same
+    // deadline. A failed `try_clone` leaves the hook inert; the explicit
+    // deadline check in the reader still bounds any peer that keeps
+    // sending.
+    let rearm = stream.try_clone().ok();
     // Uploads get their own body cap: the registry's per-upload byte
     // limit, checked against Content-Length before any buffering.
     let mut reader = RequestReader::with_max_body(&stream, config.max_body_bytes)
-        .with_route_cap("/v1/datasets", state.registry.config().limits.max_bytes);
-    let mut out = &stream;
+        .with_route_cap("/v1/datasets", state.registry.config().limits.max_bytes)
+        .with_read_budget(config.request_timeout, move |remaining| {
+            if let Some(s) = &rearm {
+                let _ = s.set_read_timeout(Some(remaining));
+            }
+        });
     let mut served = 0usize;
     loop {
         let draining = shutdown.load(Ordering::SeqCst) || signal::shutdown_requested();
@@ -367,10 +391,25 @@ fn handle_connection(
                 let keep_alive = request.keep_alive() && !draining;
                 let response = outcome.response.with_header("X-Atena-Trace-Id", &trace_hex);
                 let write_span = trace.span("http.write");
+                // The response write gets its own fresh budget (decode time
+                // already elapsed does not count against the client's read
+                // pace), but that budget is a hard total: a peer draining
+                // the response one byte per tick is cut off at the
+                // deadline, releasing the worker.
+                let mut out = DeadlineWriter::new(&stream, Instant::now() + config.request_timeout);
                 let wrote = response.write_to(&mut out, keep_alive);
                 drop(write_span);
                 drop(trace);
-                if wrote.is_err() || !keep_alive {
+                if let Err(e) = &wrote {
+                    // Partial writes (peer vanished mid-response, or the
+                    // write deadline fired) close the connection; the
+                    // Content-Length framing makes the truncation
+                    // unambiguous to any reader still listening.
+                    state.telemetry.counter("server.http.write_errors").inc();
+                    atena_telemetry::debug!("response write failed: {e}");
+                    return;
+                }
+                if !keep_alive {
                     return;
                 }
             }
@@ -380,6 +419,8 @@ fn handle_connection(
                 if let Some((status, reason)) = err.status() {
                     state.telemetry.counter("server.http.parse_errors").inc();
                     let body = format!("{err:?}");
+                    let mut out =
+                        DeadlineWriter::new(&stream, Instant::now() + config.request_timeout);
                     let _ = Response::error(status, reason, &body).write_to(&mut out, false);
                     drain_before_close(&stream);
                 }
@@ -399,8 +440,13 @@ fn drain_before_close(stream: &TcpStream) {
     let mut reader: &TcpStream = stream;
     let mut scratch = [0u8; 4096];
     let mut drained = 0usize;
-    // Cap the drain so a hostile client cannot pin a worker thread.
-    while drained < (1 << 20) {
+    // Cap the drain by bytes *and* wall clock: without the deadline, a
+    // client dribbling its unread body one byte per 250 ms would keep
+    // every read succeeding and pin this worker for up to a megabyte of
+    // dribble. Past the deadline the connection is abandoned (RST risk
+    // accepted — the peer is hostile or gone).
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while drained < (1 << 20) && Instant::now() < deadline {
         match reader.read(&mut scratch) {
             Ok(0) | Err(_) => break,
             Ok(n) => drained += n,
@@ -502,6 +548,12 @@ fn route(request: &Request, state: &AppState, trace: &ActiveTrace<'_>) -> RouteO
         }
         ("GET", "/v1/metrics") => {
             t.counter("server.http.requests.metrics").inc();
+            // Sampled on every scrape (observational only): soak harnesses
+            // assert flat memory through this gauge without needing a
+            // sidecar probe on the server host.
+            if let Some(rss) = atena_telemetry::rss_bytes() {
+                t.gauge("server.mem.rss_bytes").set(rss as f64);
+            }
             if request.query_has("format", "prometheus") {
                 return RouteOutcome::plain(Response::ok_text(
                     "text/plain; version=0.0.4",

@@ -3,12 +3,21 @@
 //! worker locks the receiver, pulls one job, and runs it. Dropping the pool
 //! closes the channel, lets in-flight jobs finish, and joins every worker —
 //! the drain half of graceful shutdown.
+//!
+//! Workers are panic-isolated: a job that panics is caught with
+//! `catch_unwind`, reported through the optional panic hook, and the worker
+//! returns to the queue — so a hostile request that trips a latent panic
+//! costs one response, not one pool thread for the rest of the process.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Called (with no job context) every time a pooled job panics.
+pub type PanicHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Fixed pool of named worker threads.
 pub struct ThreadPool {
@@ -19,11 +28,19 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Spawn `size` workers (clamped to at least 1).
     pub fn new(size: usize) -> Self {
+        Self::with_panic_hook(size, None)
+    }
+
+    /// [`ThreadPool::new`] with a hook invoked whenever a job panics (the
+    /// server counts these as `server.pool.panics`). The panicking job's
+    /// payload is swallowed after the hook runs; the worker keeps serving.
+    pub fn with_panic_hook(size: usize, hook: Option<PanicHook>) -> Self {
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..size.max(1))
             .map(|i| {
                 let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                let hook = hook.clone();
                 std::thread::Builder::new()
                     .name(format!("atena-server-worker-{i}"))
                     .spawn(move || loop {
@@ -33,7 +50,17 @@ impl ThreadPool {
                             Err(_) => return, // a worker panicked while holding the lock
                         };
                         match job {
-                            Ok(job) => job(),
+                            Ok(job) => {
+                                // The job owns all its captured state, so
+                                // nothing observable survives an unwind in a
+                                // broken intermediate state; shared locks in
+                                // this codebase recover poison explicitly.
+                                if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    if let Some(hook) = &hook {
+                                        hook();
+                                    }
+                                }
+                            }
                             Err(_) => return, // channel closed: drain complete
                         }
                     })
@@ -112,6 +139,34 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 6);
         // After join the pool refuses new work instead of hanging.
         assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn panicking_job_does_not_shrink_the_pool() {
+        let panics = Arc::new(AtomicUsize::new(0));
+        let hook_counter = Arc::clone(&panics);
+        let pool = ThreadPool::with_panic_hook(
+            2,
+            Some(Arc::new(move || {
+                hook_counter.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        let done = Arc::new(AtomicUsize::new(0));
+        // Interleave panicking and healthy jobs: with only 2 workers, every
+        // worker is guaranteed to survive at least one panic for all the
+        // healthy jobs to complete.
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("injected fault");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 10, "healthy jobs all ran");
+        assert_eq!(panics.load(Ordering::Relaxed), 10, "every panic counted");
     }
 
     #[test]

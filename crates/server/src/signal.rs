@@ -35,7 +35,9 @@ pub(crate) fn register_listener(addr: SocketAddr) {
 
 /// Forget a stopped accept loop's address.
 pub(crate) fn deregister_listener(addr: SocketAddr) {
-    let mut listeners = LISTENERS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut listeners = LISTENERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(pos) = listeners.iter().position(|a| *a == addr) {
         listeners.swap_remove(pos);
     }

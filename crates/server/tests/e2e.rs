@@ -697,7 +697,8 @@ fn dataset_upload_notebook_delete_lifecycle_over_http() {
         .validate_for_frame("mycsv", &frame, Some(3), Some(7))
         .unwrap();
     let expected =
-        serde_json::to_string(&offline.decode_with_frame(&frame, &validated, None).unwrap()).unwrap();
+        serde_json::to_string(&offline.decode_with_frame(&frame, &validated, None).unwrap())
+            .unwrap();
     assert_eq!(
         served, expected,
         "served notebook differs from offline decode"

@@ -177,6 +177,37 @@ pub fn unix_ts() -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Resident-set size of this process in bytes, or `None` where no probe is
+/// available. Reads `/proc/self/status` (`VmRSS`, reported in kB, no
+/// page-size assumption) and falls back to `/proc/self/statm` (resident
+/// pages, assuming 4 KiB pages — correct for the default page size on
+/// x86-64 and aarch64 Linux). Soak harnesses sample this through the
+/// server's `/v1/metrics` gauge to assert flat memory; it is observational
+/// only and must never influence results.
+pub fn rss_bytes() -> Option<u64> {
+    if let Some(kb) = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .as_deref()
+        .and_then(vmrss_kb)
+    {
+        return Some(kb * 1024);
+    }
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// Parse the `VmRSS:` line (value in kB) out of `/proc/self/status` text.
+fn vmrss_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
 // ---------------------------------------------------------------------------
 // Events and the JSONL sink
 // ---------------------------------------------------------------------------
@@ -834,6 +865,24 @@ pub fn global_arc() -> Arc<MetricsRegistry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vmrss_parses_proc_status_format() {
+        let status = "Name:\tatena\nVmPeak:\t  123 kB\nVmRSS:\t    2048 kB\nThreads:\t4\n";
+        assert_eq!(vmrss_kb(status), Some(2048));
+        assert_eq!(vmrss_kb("Name:\tatena\n"), None);
+    }
+
+    #[test]
+    fn rss_probe_reports_a_sane_value_on_linux() {
+        match rss_bytes() {
+            // A running test process holds at least a few hundred KiB and
+            // (being a test binary) far less than a terabyte.
+            Some(rss) => assert!(rss > (1 << 18) && rss < (1u64 << 40), "rss {rss}"),
+            // Non-Linux platforms have no /proc; the probe opts out cleanly.
+            None => {}
+        }
+    }
 
     #[test]
     fn level_parsing_and_ordering() {
